@@ -1,0 +1,95 @@
+"""Extended baseline comparison: Ulysses and FlexSP-style planners (§8).
+
+The paper positions DCP against two families of related work it does
+not benchmark directly: all-to-all head parallelism (DeepSpeed Ulysses
+[23]) and sequence-granular dynamic DP/CP (ByteScale [18] / FlexSP
+[44]).  This ablation runs both through the shared executor/timing
+stack next to DCP and static ring attention, under a causal and a
+sparse mask, checking the paper's §8 argument: sequence-level dynamism
+recovers much of DCP's causal-mask benefit, but only mask-aware
+placement wins once attention is sparse.
+"""
+
+import os
+
+import numpy as np
+from conftest import run_once
+
+from repro.baselines import (
+    FlexSPPlanner,
+    RingAttentionPlanner,
+    UlyssesPlanner,
+)
+from repro.bench import BenchScale, PAPER_MASKS, Table, attention_times, make_batches
+from repro.blocks import AttentionSpec
+from repro.core import DCPPlanner
+from repro.sim import ClusterSpec
+
+# Ulysses needs head groups divisible by the device count, so this
+# ablation runs the *un-TP-sharded* operator (32 Q heads, 8 KV groups)
+# on an 8-GPU node group.
+SCALE = BenchScale(
+    token_budget=32768,
+    max_seqlen=32768,
+    block_size=1024,
+    num_batches=2,
+    cluster=ClusterSpec(num_machines=2, devices_per_machine=4),
+    attention=AttentionSpec(num_q_heads=32, num_kv_groups=8, head_dim=128),
+)
+
+
+def _planners():
+    return {
+        "rfa_zigzag": RingAttentionPlanner(zigzag=True),
+        "ulysses": UlyssesPlanner(),
+        "flexsp": FlexSPPlanner(),
+        "dcp": DCPPlanner(
+            SCALE.cluster, SCALE.attention, SCALE.dcp_config()
+        ),
+    }
+
+
+def test_ablation_baselines_extra(benchmark, results_dir):
+    def run():
+        table = Table(
+            "Ablation: Ulysses / FlexSP-style baselines vs DCP",
+            ["mask", "system", "fw_ms", "bw_ms", "comm_mb", "inter_mb"],
+        )
+        for mask_name in ("causal", "lambda"):
+            batches = make_batches(
+                "longdatacollections", SCALE, PAPER_MASKS[mask_name]()
+            )
+            for name, planner in _planners().items():
+                stats = attention_times(planner, batches, SCALE)
+                table.add(
+                    mask_name, name, stats["fw_ms"], stats["bw_ms"],
+                    stats["comm_mb"], stats["inter_mb"],
+                )
+        return table
+
+    table = run_once(benchmark, run)
+    table.save(os.path.join(results_dir, "ablation_baselines_extra.md"))
+    table.show()
+
+    rows = {
+        (mask, system): (fw, comm, inter)
+        for mask, system, fw, _, comm, inter in table.rows
+    }
+    # DCP beats the static ring outright under the causal mask; the
+    # FlexSP-style planner delivers its advertised benefit — much less
+    # traffic over the slow links — though its looser compute balance
+    # keeps it off DCP's pace.
+    assert rows[("causal", "dcp")][0] < rows[("causal", "rfa_zigzag")][0]
+    assert (
+        rows[("causal", "flexsp")][2] < rows[("causal", "rfa_zigzag")][2]
+    )
+    # Mask-aware DCP is the fastest system on the sparse mask, and its
+    # traffic over the slow inter-node links stays competitive with the
+    # mask-agnostic FlexSP (DCP trades cheap NVSwitch bytes for time).
+    assert rows[("lambda", "dcp")][0] <= rows[("lambda", "flexsp")][0]
+    assert (
+        rows[("lambda", "dcp")][2] <= rows[("lambda", "flexsp")][2] * 1.25
+    )
+    assert rows[("lambda", "dcp")][1] < rows[("lambda", "ulysses")][1]
+    # Ulysses moves less data than the ring (single all-to-all pass).
+    assert rows[("causal", "ulysses")][1] < rows[("causal", "rfa_zigzag")][1]

@@ -1,0 +1,17 @@
+"""Shared fixtures for the figure benchmarks."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run a figure driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

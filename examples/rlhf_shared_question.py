@@ -1,0 +1,74 @@
+"""RLHF-style training with the shared-question mask (paper Fig. 6d/7).
+
+In RLHF/DPO post-training one question is paired with several candidate
+answers.  The shared-question mask lets answers share the question
+prefix without attending to each other.  Static CP wastes most of its
+communication here (paper Fig. 7: 38 of 48 KV transfers redundant);
+DCP's mask-aware planning removes that waste.
+
+This example compares TE (static) against DCP on shared-question
+batches and prints the communication and simulated-time advantage.
+
+Run:  python examples/rlhf_shared_question.py
+"""
+
+import numpy as np
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    generate_blocks,
+    make_mask,
+)
+from repro.baselines import TransformerEnginePlanner
+from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
+from repro.sim import simulate_plan
+
+
+def main() -> None:
+    cluster = ClusterSpec(num_machines=2, devices_per_machine=4)
+    attention = AttentionSpec(num_q_heads=8, num_kv_groups=2, head_dim=128)
+
+    # Each sequence: one question (20%) + 4 answers (20% each).
+    mask = make_mask("shared_question", num_answers=4, answer_fraction=0.2)
+    seqlens = [16384, 12288, 8192, 8192, 4096]
+    batch = BatchSpec.build(seqlens, mask)
+    block_set = generate_blocks(batch, attention, block_size=1024)
+    print(f"batch: {seqlens} tokens with shared-question masks")
+    print(f"mask sparsity vs causal: "
+          f"{mask.sparsity_vs_causal(16384):.2f}")
+
+    te_plan = TransformerEnginePlanner().plan(block_set, cluster)
+    dcp = DCPPlanner(cluster, attention, DCPConfig(block_size=1024))
+    dcp_plan = dcp.plan(block_set)
+
+    for name, plan in (("TE (static)", te_plan), ("DCP", dcp_plan)):
+        forward = simulate_plan(plan)
+        backward = simulate_plan(plan, backward=True)
+        print(f"\n{name}:")
+        print(f"  communication: {plan.total_comm_bytes() / 1e6:9.2f} MB")
+        print(f"  attention fw:  {forward.iteration_time * 1e3:9.3f} ms")
+        print(f"  attention bw:  {backward.iteration_time * 1e3:9.3f} ms")
+
+    # Verify DCP numerics on a smaller instance (dense reference is O(L^2)).
+    small_batch = BatchSpec.build([512, 384], mask)
+    small_blocks = generate_blocks(small_batch, attention, block_size=64)
+    small_plan = DCPPlanner(
+        cluster, attention, DCPConfig(block_size=64)
+    ).plan(small_blocks)
+    executor = SimExecutor(small_plan)
+    inputs = BatchInputs.random(small_blocks, seed=0)
+    executor.load_inputs(inputs)
+    executor.run()
+    for out, ref in zip(
+        executor.gather_outputs(), reference_batch_outputs(small_blocks, inputs)
+    ):
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+    print("\nnumerics verified against dense reference")
+
+
+if __name__ == "__main__":
+    main()

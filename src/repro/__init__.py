@@ -1,0 +1,47 @@
+"""repro — reproduction of DCP: Dynamic Context Parallelism (SOSP 2025).
+
+Top-level convenience re-exports; see subpackages for the full API:
+
+* :mod:`repro.core` — DCPConfig, DCPPlanner, DCPDataloader, distributed
+  planner pool + KV store, plan cache, block-size autotuner
+* :mod:`repro.masks` — attention-mask specifications (2-range paper
+  masks plus arbitrary multi-range masks)
+* :mod:`repro.blocks` — data/computation block representation
+* :mod:`repro.hypergraph` — multilevel hypergraph partitioner
+* :mod:`repro.placement` — hierarchical block placement
+* :mod:`repro.scheduling` — divisions, instructions, serialization
+* :mod:`repro.runtime` — simulated distributed executor (numerics)
+* :mod:`repro.sim` — cluster spec, timing simulation, model cost,
+  memory accounting, timeline/trace export
+* :mod:`repro.parallel` — composing DCP with TP and PP (§6.2)
+* :mod:`repro.baselines` — RFA / LoongTrain / TransformerEngine /
+  Ulysses / FlexSP-style
+* :mod:`repro.data` — synthetic datasets, batching, packing strategies
+* :mod:`repro.model` — numpy GPT for the loss-curve experiment
+"""
+
+from .blocks import AttentionSpec, BatchSpec, SequenceSpec, generate_blocks
+from .core import (
+    DCPConfig,
+    DCPDataloader,
+    DCPPlanner,
+    autotune_block_size,
+)
+from .masks import make_mask
+from .sim import ClusterSpec
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AttentionSpec",
+    "BatchSpec",
+    "SequenceSpec",
+    "generate_blocks",
+    "DCPConfig",
+    "DCPDataloader",
+    "DCPPlanner",
+    "autotune_block_size",
+    "make_mask",
+    "ClusterSpec",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baseline context-parallel planners (RFA, LoongTrain, TE)."""
+
+from .common import (
+    contiguous_slice_assignment,
+    slices_by_assignment,
+    zigzag_slice_assignment,
+)
+from .flexsp import FlexSPPlanner
+from .loongtrain import LoongTrainPlanner, pad_batch
+from .megatron import MegatronBaseline
+from .ring import RingAttentionPlanner
+from .ring_backward import plan_ring_backward, run_ring_forward_backward
+from .transformer_engine import TransformerEnginePlanner
+from .ulysses import UlyssesPlanner, run_ulysses_forward_backward
+
+__all__ = [
+    "FlexSPPlanner",
+    "UlyssesPlanner",
+    "run_ulysses_forward_backward",
+    "RingAttentionPlanner",
+    "plan_ring_backward",
+    "run_ring_forward_backward",
+    "TransformerEnginePlanner",
+    "LoongTrainPlanner",
+    "MegatronBaseline",
+    "pad_batch",
+    "contiguous_slice_assignment",
+    "zigzag_slice_assignment",
+    "slices_by_assignment",
+]

@@ -1,0 +1,65 @@
+"""Shared helpers for baseline context-parallel planners."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..blocks import BlockSet
+from ..placement.heuristics import zigzag_chunk_device
+
+__all__ = [
+    "contiguous_slice_assignment",
+    "zigzag_slice_assignment",
+    "slices_by_assignment",
+]
+
+
+def contiguous_slice_assignment(block_set: BlockSet, k: int) -> np.ndarray:
+    """Ring placement: each sequence split into ``k`` contiguous chunks.
+
+    Slice ``i`` of a sequence with ``n`` slices goes to ``i * k // n``
+    (devices may receive nothing for short sequences).
+    """
+    out = np.zeros(len(block_set.token_slices), dtype=np.int64)
+    counts: Dict[int, int] = {}
+    for token_slice in block_set.token_slices:
+        counts[token_slice.seq_index] = max(
+            counts.get(token_slice.seq_index, 0), token_slice.block_index + 1
+        )
+    for index, token_slice in enumerate(block_set.token_slices):
+        n = counts[token_slice.seq_index]
+        out[index] = min(token_slice.block_index * k // n, k - 1)
+    return out
+
+
+def zigzag_slice_assignment(block_set: BlockSet, k: int) -> np.ndarray:
+    """ZigZag placement (paper Fig. 4): balances causal computation."""
+    out = np.zeros(len(block_set.token_slices), dtype=np.int64)
+    counts: Dict[int, int] = {}
+    for token_slice in block_set.token_slices:
+        counts[token_slice.seq_index] = max(
+            counts.get(token_slice.seq_index, 0), token_slice.block_index + 1
+        )
+    for index, token_slice in enumerate(block_set.token_slices):
+        n = counts[token_slice.seq_index]
+        out[index] = zigzag_chunk_device(token_slice.block_index, n, k)
+    return out
+
+
+def slices_by_assignment(
+    block_set: BlockSet, assignment: np.ndarray, k: int
+) -> List[List[int]]:
+    """Slice indices per device, ordered (seq, block)."""
+    per_device: List[List[int]] = [[] for _ in range(k)]
+    order = sorted(
+        range(len(block_set.token_slices)),
+        key=lambda i: (
+            block_set.token_slices[i].seq_index,
+            block_set.token_slices[i].block_index,
+        ),
+    )
+    for index in order:
+        per_device[int(assignment[index])].append(index)
+    return per_device

@@ -1,0 +1,233 @@
+"""RingFlashAttention baseline (paper baseline (i), [49]).
+
+Parallelizes attention only along the sequence dimension: every device
+holds one chunk of every sequence and the KV chunks circulate around a
+ring of all ``R`` devices, one hop per step, for ``R - 1`` steps.  The
+``Ring`` variant uses contiguous chunks; ``ZigZag`` uses the
+causal-balancing zigzag placement (Fig. 4).
+
+Communication is *static*: every KV block is forwarded at every step
+whether or not the receiving device has unmasked work for it — this is
+precisely the redundancy DCP eliminates (paper Fig. 7), and it is fully
+expressed here so the timing simulator and traffic accounting charge
+for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..blocks import BlockKind, BlockSet, DataBlockId
+from ..scheduling.buffers import BufferManager
+from ..scheduling.instructions import (
+    BlockwiseAttention,
+    BlockwiseReduction,
+    CommLaunch,
+    CommWait,
+    DevicePlan,
+    ExecutionPlan,
+    FinalizeArg,
+    RecvArg,
+    SendArg,
+    Tile,
+)
+from ..sim.cluster import ClusterSpec
+from .common import (
+    contiguous_slice_assignment,
+    slices_by_assignment,
+    zigzag_slice_assignment,
+)
+
+__all__ = ["RingAttentionPlanner"]
+
+
+class RingAttentionPlanner:
+    """RFA with ``Ring`` or ``ZigZag`` input placement."""
+
+    def __init__(self, zigzag: bool = False) -> None:
+        self.zigzag = zigzag
+
+    @property
+    def name(self) -> str:
+        return "rfa_zigzag" if self.zigzag else "rfa_ring"
+
+    def plan(self, block_set: BlockSet, cluster: ClusterSpec) -> ExecutionPlan:
+        num_devices = cluster.num_devices
+        attention = block_set.attention
+        assign = (
+            zigzag_slice_assignment(block_set, num_devices)
+            if self.zigzag
+            else contiguous_slice_assignment(block_set, num_devices)
+        )
+        device_slices = slices_by_assignment(block_set, assign, num_devices)
+
+        # KV chunk (ordered block ids) originally homed on each device.
+        chunks: List[List[DataBlockId]] = []
+        for device in range(num_devices):
+            chunk = []
+            for slice_index in device_slices[device]:
+                token_slice = block_set.token_slices[slice_index]
+                for head_group in range(attention.head_groups):
+                    chunk.append(
+                        DataBlockId(
+                            BlockKind.KV,
+                            token_slice.seq_index,
+                            token_slice.block_index,
+                            head_group,
+                        )
+                    )
+            chunks.append(chunk)
+
+        # Group computation tiles by (owner device, ring step).
+        slice_of = {
+            (ts.seq_index, ts.block_index): i
+            for i, ts in enumerate(block_set.token_slices)
+        }
+        tiles_by: Dict[Tuple[int, int], List] = {}
+        for comp in block_set.comp_blocks:
+            owner = int(assign[slice_of[(comp.seq_index, comp.q_block)]])
+            source = int(assign[slice_of[(comp.seq_index, comp.kv_block)]])
+            step = (owner - source) % num_devices
+            tiles_by.setdefault((owner, step), []).append(comp)
+
+        device_plans: Dict[int, DevicePlan] = {}
+        for device in range(num_devices):
+            device_plans[device] = self._device_plan(
+                device,
+                block_set,
+                num_devices,
+                device_slices[device],
+                chunks,
+                tiles_by,
+            )
+        return ExecutionPlan(
+            block_set=block_set,
+            cluster=cluster,
+            device_plans=device_plans,
+            meta={"planner": self.name, "num_steps": num_devices},
+        )
+
+    def _device_plan(
+        self,
+        device: int,
+        block_set: BlockSet,
+        num_devices: int,
+        local_slice_ids: List[int],
+        chunks: List[List[DataBlockId]],
+        tiles_by: Dict[Tuple[int, int], List],
+    ) -> DevicePlan:
+        attention = block_set.attention
+        buffers = BufferManager()
+        instructions: List = []
+        q_slots: Dict[Tuple[int, int, int], int] = {}
+        kv_slots: Dict[Tuple[int, int, int], int] = {}
+        o_slots: Dict[Tuple[int, int, int], int] = {}
+        acc_slots: Dict[Tuple[int, int, int], int] = {}
+        local_slices = [block_set.token_slices[i] for i in local_slice_ids]
+
+        for token_slice in local_slices:
+            for head_group in range(attention.head_groups):
+                key = (token_slice.seq_index, token_slice.block_index, head_group)
+                q_slots[key] = buffers.alloc("q")
+                kv_slots[key] = buffers.alloc("kv")
+                o_slots[key] = buffers.alloc("o")
+
+        def acc_for(key: Tuple[int, int, int]) -> int:
+            if key not in acc_slots:
+                acc_slots[key] = buffers.alloc("acc")
+            return acc_slots[key]
+
+        # Current location of each circulating KV block on this device.
+        current: Dict[DataBlockId, int] = {
+            DataBlockId(BlockKind.KV, k[0], k[1], k[2]): slot
+            for k, slot in kv_slots.items()
+        }
+        next_peer = (device + 1) % num_devices
+        prev_peer = (device - 1) % num_devices
+        op_base = device * 1_000_000
+
+        for step in range(num_devices):
+            held = (device - step) % num_devices  # chunk held this step
+            incoming = (device - step - 1) % num_devices
+            op_id = op_base + step
+            recv_slots: Dict[DataBlockId, int] = {}
+            if step < num_devices - 1:
+                sends = tuple(
+                    SendArg(
+                        peer=next_peer,
+                        buffer="kv",
+                        slot=current[block],
+                        tag=("ring", step, block),
+                        nbytes=block_set.block_bytes(block),
+                    )
+                    for block in chunks[held]
+                )
+                recvs = []
+                for block in chunks[incoming]:
+                    slot = buffers.alloc("kv")
+                    recv_slots[block] = slot
+                    recvs.append(
+                        RecvArg(
+                            peer=prev_peer,
+                            buffer="kv",
+                            slot=slot,
+                            tag=("ring", step, block),
+                            nbytes=block_set.block_bytes(block),
+                        )
+                    )
+                if sends or recvs:
+                    instructions.append(
+                        CommLaunch(op_id=op_id, sends=sends, recvs=tuple(recvs))
+                    )
+
+            tiles = []
+            for comp in tiles_by.get((device, step), []):
+                key = (comp.seq_index, comp.q_block, comp.head_group)
+                tiles.append(
+                    Tile(
+                        q_slot=q_slots[key],
+                        kv_slot=current[comp.kv_input],
+                        acc_slot=acc_for(key),
+                        seq_index=comp.seq_index,
+                        head_group=comp.head_group,
+                        q_block=comp.q_block,
+                        kv_block=comp.kv_block,
+                    )
+                )
+            if tiles:
+                instructions.append(BlockwiseAttention(tuple(tiles)))
+
+            if step < num_devices - 1:
+                if any(
+                    isinstance(ins, CommLaunch) and ins.op_id == op_id
+                    for ins in instructions
+                ):
+                    instructions.append(CommWait(op_id=op_id))
+                # Retire the chunk just used (unless it is local data).
+                if step > 0:
+                    for block in chunks[held]:
+                        buffers.free("kv", current.pop(block))
+                else:
+                    for block in chunks[held]:
+                        current.pop(block)
+                current.update(recv_slots)
+
+        finalizes = tuple(
+            FinalizeArg(acc_slot=acc_for(key), o_slot=o_slot)
+            for key, o_slot in o_slots.items()
+        )
+        if finalizes:
+            instructions.append(BlockwiseReduction(finalizes=finalizes))
+
+        return DevicePlan(
+            device=device,
+            instructions=instructions,
+            buffer_sizes=buffers.sizes(),
+            local_slices=local_slices,
+            o_slots=o_slots,
+            q_slots=q_slots,
+            kv_slots=kv_slots,
+            acc_slots=dict(acc_slots),
+        )

@@ -1,0 +1,275 @@
+"""Ring attention backward pass (RingFlashAttention semantics).
+
+Backward in ring attention circulates *two* payloads per hop: the KV
+chunk (needed to recompute tile probabilities) and its running dKV
+accumulator.  Each device adds its gradient contribution as the pair
+passes through; after the last step, every accumulator takes one final
+hop to the KV chunk's home device.  dQ accumulates locally (Q never
+moves), and the dO/lse/delta packages are local too — exactly the
+communication doubling the paper's analytic backward model assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..blocks import BlockKind, BlockSet, DataBlockId
+from ..scheduling.buffers import BufferManager
+from ..scheduling.instructions import (
+    BackwardTile,
+    BlockwiseAttentionBackward,
+    CommLaunch,
+    CommWait,
+    DevicePlan,
+    ExecutionPlan,
+    RecvArg,
+    SendArg,
+)
+from ..sim.cluster import ClusterSpec
+from .common import (
+    contiguous_slice_assignment,
+    slices_by_assignment,
+    zigzag_slice_assignment,
+)
+
+__all__ = ["plan_ring_backward", "run_ring_forward_backward"]
+
+
+def run_ring_forward_backward(
+    block_set: BlockSet,
+    cluster: ClusterSpec,
+    inputs,
+    grad_outputs,
+    zigzag: bool = False,
+):
+    """Forward + backward through the RFA ring on the simulated cluster.
+
+    Returns ``(outputs, grads, forward_executor, backward_executor)``
+    like :func:`repro.runtime.run_plans_forward_backward`.
+    """
+    from ..runtime.backward import run_plans_forward_backward
+    from .ring import RingAttentionPlanner
+
+    forward_plan = RingAttentionPlanner(zigzag=zigzag).plan(block_set, cluster)
+    backward_plan = plan_ring_backward(block_set, cluster, zigzag=zigzag)
+    return run_plans_forward_backward(
+        forward_plan, backward_plan, inputs, grad_outputs, init_dkv=True
+    )
+
+
+def plan_ring_backward(
+    block_set: BlockSet, cluster: ClusterSpec, zigzag: bool = False
+) -> ExecutionPlan:
+    """Build the ring backward plan (matches the RFA forward placement)."""
+    num_devices = cluster.num_devices
+    attention = block_set.attention
+    assign = (
+        zigzag_slice_assignment(block_set, num_devices)
+        if zigzag
+        else contiguous_slice_assignment(block_set, num_devices)
+    )
+    device_slices = slices_by_assignment(block_set, assign, num_devices)
+
+    chunks: List[List[DataBlockId]] = []
+    for device in range(num_devices):
+        chunk = []
+        for slice_index in device_slices[device]:
+            token_slice = block_set.token_slices[slice_index]
+            for head_group in range(attention.head_groups):
+                chunk.append(
+                    DataBlockId(
+                        BlockKind.KV,
+                        token_slice.seq_index,
+                        token_slice.block_index,
+                        head_group,
+                    )
+                )
+        chunks.append(chunk)
+
+    slice_of = {
+        (ts.seq_index, ts.block_index): i
+        for i, ts in enumerate(block_set.token_slices)
+    }
+    tiles_by: Dict[Tuple[int, int], List] = {}
+    for comp in block_set.comp_blocks:
+        owner = int(assign[slice_of[(comp.seq_index, comp.q_block)]])
+        source = int(assign[slice_of[(comp.seq_index, comp.kv_block)]])
+        step = (owner - source) % num_devices
+        tiles_by.setdefault((owner, step), []).append(comp)
+
+    def dkv_bytes(block: DataBlockId) -> int:
+        return block_set.block_bytes(block)  # dK+dV mirror K+V
+
+    device_plans: Dict[int, DevicePlan] = {}
+    for device in range(num_devices):
+        buffers = BufferManager()
+        instructions: List = []
+        q_slots: Dict[Tuple[int, int, int], int] = {}
+        kv_slots: Dict[Tuple[int, int, int], int] = {}
+        do_slots: Dict[Tuple[int, int, int], int] = {}
+        dq_slots: Dict[Tuple[int, int, int], int] = {}
+        dkv_slots: Dict[Tuple[int, int, int], int] = {}
+        local_slices = [
+            block_set.token_slices[i] for i in device_slices[device]
+        ]
+        for token_slice in local_slices:
+            for head_group in range(attention.head_groups):
+                key = (token_slice.seq_index, token_slice.block_index,
+                       head_group)
+                q_slots[key] = buffers.alloc("q")
+                kv_slots[key] = buffers.alloc("kv")
+                do_slots[key] = buffers.alloc("do")
+                dq_slots[key] = buffers.alloc("dq")
+                dkv_slots[key] = buffers.alloc("dkv")
+
+        # Current circulating slots of (kv, dkv) per block on this device.
+        kv_current: Dict[DataBlockId, int] = {
+            DataBlockId(BlockKind.KV, k[0], k[1], k[2]): slot
+            for k, slot in kv_slots.items()
+        }
+        dkv_current: Dict[DataBlockId, int] = {
+            DataBlockId(BlockKind.KV, k[0], k[1], k[2]): slot
+            for k, slot in dkv_slots.items()
+        }
+        next_peer = (device + 1) % num_devices
+        prev_peer = (device - 1) % num_devices
+        op_base = device * 1_000_000
+
+        for step in range(num_devices):
+            held = (device - step) % num_devices
+            incoming = (device - step - 1) % num_devices
+
+            tiles = []
+            for comp in tiles_by.get((device, step), []):
+                q_key = (comp.seq_index, comp.q_block, comp.head_group)
+                tiles.append(
+                    BackwardTile(
+                        q_slot=q_slots[q_key],
+                        kv_slot=kv_current[comp.kv_input],
+                        do_slot=do_slots[q_key],
+                        dq_slot=dq_slots[q_key],
+                        dkv_slot=dkv_current[comp.kv_input],
+                        seq_index=comp.seq_index,
+                        head_group=comp.head_group,
+                        q_block=comp.q_block,
+                        kv_block=comp.kv_block,
+                    )
+                )
+            if tiles:
+                instructions.append(BlockwiseAttentionBackward(tuple(tiles)))
+
+            if step < num_devices - 1:
+                # Forward the held chunk (kv + dkv) after computing on it.
+                op_id = op_base + step
+                sends = []
+                for block in chunks[held]:
+                    sends.append(
+                        SendArg(
+                            peer=next_peer, buffer="kv",
+                            slot=kv_current[block],
+                            tag=("bwring", "kv", step, block),
+                            nbytes=block_set.block_bytes(block),
+                        )
+                    )
+                    sends.append(
+                        SendArg(
+                            peer=next_peer, buffer="dkv",
+                            slot=dkv_current[block],
+                            tag=("bwring", "dkv", step, block),
+                            nbytes=dkv_bytes(block),
+                        )
+                    )
+                recvs = []
+                kv_next: Dict[DataBlockId, int] = {}
+                dkv_next: Dict[DataBlockId, int] = {}
+                for block in chunks[incoming]:
+                    kv_slot = buffers.alloc("kv")
+                    dkv_slot = buffers.alloc("dkv")
+                    kv_next[block] = kv_slot
+                    dkv_next[block] = dkv_slot
+                    recvs.append(
+                        RecvArg(
+                            peer=prev_peer, buffer="kv", slot=kv_slot,
+                            tag=("bwring", "kv", step, block),
+                            nbytes=block_set.block_bytes(block),
+                        )
+                    )
+                    recvs.append(
+                        RecvArg(
+                            peer=prev_peer, buffer="dkv", slot=dkv_slot,
+                            tag=("bwring", "dkv", step, block),
+                            nbytes=dkv_bytes(block),
+                        )
+                    )
+                if sends or recvs:
+                    instructions.append(
+                        CommLaunch(op_id=op_id, sends=tuple(sends),
+                                   recvs=tuple(recvs))
+                    )
+                    instructions.append(CommWait(op_id=op_id))
+                # Retire the forwarded slots (payloads were snapshotted at
+                # launch) and adopt the incoming chunk.
+                for block in chunks[held]:
+                    if step > 0:
+                        buffers.free("kv", kv_current.pop(block))
+                        buffers.free("dkv", dkv_current.pop(block))
+                    else:
+                        kv_current.pop(block)
+                        dkv_current.pop(block)
+                kv_current.update(kv_next)
+                dkv_current.update(dkv_next)
+
+        # Final hop: the chunk held after the last step belongs to the
+        # next device; its accumulator is complete — send it home.
+        final_held = (device + 1) % num_devices
+        op_id = op_base + num_devices
+        sends = tuple(
+            SendArg(
+                peer=next_peer, buffer="dkv",
+                slot=dkv_current[block],
+                tag=("bwring", "final", block),
+                nbytes=dkv_bytes(block),
+            )
+            for block in chunks[final_held]
+        ) if num_devices > 1 else ()
+        recvs = tuple(
+            RecvArg(
+                peer=prev_peer, buffer="dkv",
+                slot=dkv_slots[(block.seq_index, block.block_index,
+                                block.head_group)],
+                tag=("bwring", "final", block),
+                nbytes=dkv_bytes(block),
+            )
+            for block in chunks[device]
+        ) if num_devices > 1 else ()
+        if sends or recvs:
+            instructions.append(
+                CommLaunch(op_id=op_id, sends=sends, recvs=recvs)
+            )
+            instructions.append(CommWait(op_id=op_id))
+
+        plan = DevicePlan(
+            device=device,
+            instructions=instructions,
+            buffer_sizes=buffers.sizes(),
+            local_slices=local_slices,
+            o_slots={},
+            q_slots=q_slots,
+            kv_slots=kv_slots,
+        )
+        plan.do_slots = do_slots
+        plan.dq_slots = dq_slots
+        plan.dkv_slots = dkv_slots
+        device_plans[device] = plan
+
+    return ExecutionPlan(
+        block_set=block_set,
+        cluster=cluster,
+        device_plans=device_plans,
+        meta={
+            "planner": "rfa_zigzag" if zigzag else "rfa_ring",
+            "phase": "backward",
+        },
+    )

@@ -1,0 +1,567 @@
+"""DeepSpeed-Ulysses baseline: all-to-all head parallelism ([23] in the paper).
+
+Ulysses keeps every device holding a contiguous token chunk of each
+sequence across *all* heads; before attention, an all-to-all
+redistributes Q and KV so each device owns *all* tokens of a subset of
+head groups, computes complete (undistributed) attention for those
+groups, and an all-to-all of the outputs restores the token layout.
+
+Compared to ring attention, Ulysses moves each Q/KV element once
+instead of ``R - 1`` times, but its parallel width is capped by the
+number of head groups — the reason the paper's 32-GPU setting needs
+LoongTrain's hybrid instead.  We enforce that cap (``head_groups %
+num_devices == 0``) rather than silently replicating heads.
+
+Like every baseline here, the planner emits the shared instruction
+format: the all-to-alls appear as tag-matched point-to-point transfers,
+so the executor verifies numerics and the timing simulator charges the
+NIC exactly once per element.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..blocks import BlockKind, BlockSet, DataBlockId
+from ..scheduling.buffers import BufferManager
+from ..scheduling.instructions import (
+    BackwardTile,
+    BlockwiseAttention,
+    BlockwiseAttentionBackward,
+    BlockwiseReduction,
+    CommLaunch,
+    CommWait,
+    DevicePlan,
+    ExecutionPlan,
+    FinalizeArg,
+    RecvArg,
+    SendArg,
+    Tile,
+)
+from ..sim.cluster import ClusterSpec
+from .common import contiguous_slice_assignment, slices_by_assignment
+
+__all__ = ["UlyssesPlanner", "run_ulysses_forward_backward"]
+
+
+class UlyssesPlanner:
+    """All-to-all head-parallel attention (DeepSpeed Ulysses)."""
+
+    name = "ulysses"
+
+    def plan(self, block_set: BlockSet, cluster: ClusterSpec) -> ExecutionPlan:
+        num_devices = cluster.num_devices
+        attention = block_set.attention
+        if attention.head_groups % num_devices != 0:
+            raise ValueError(
+                f"Ulysses needs head groups ({attention.head_groups}) "
+                f"divisible by devices ({num_devices})"
+            )
+        groups_per_device = attention.head_groups // num_devices
+
+        assign = contiguous_slice_assignment(block_set, num_devices)
+        device_slices = slices_by_assignment(block_set, assign, num_devices)
+        slice_owner = {
+            (ts.seq_index, ts.block_index): int(assign[i])
+            for i, ts in enumerate(block_set.token_slices)
+        }
+
+        def group_owner(head_group: int) -> int:
+            return head_group // groups_per_device
+
+        device_plans: Dict[int, DevicePlan] = {}
+        for device in range(num_devices):
+            device_plans[device] = self._device_plan(
+                device,
+                block_set,
+                num_devices,
+                groups_per_device,
+                device_slices[device],
+                slice_owner,
+                group_owner,
+            )
+        return ExecutionPlan(
+            block_set=block_set,
+            cluster=cluster,
+            device_plans=device_plans,
+            meta={"planner": self.name, "groups_per_device": groups_per_device},
+        )
+
+    def _device_plan(
+        self,
+        device: int,
+        block_set: BlockSet,
+        num_devices: int,
+        groups_per_device: int,
+        local_slice_ids: List[int],
+        slice_owner: Dict[Tuple[int, int], int],
+        group_owner,
+    ) -> DevicePlan:
+        attention = block_set.attention
+        buffers = BufferManager()
+        instructions: List = []
+        my_groups = range(
+            device * groups_per_device, (device + 1) * groups_per_device
+        )
+        local_slices = [block_set.token_slices[i] for i in local_slice_ids]
+
+        # Local slots: all head groups of my token slices.
+        q_slots: Dict[Tuple[int, int, int], int] = {}
+        kv_slots: Dict[Tuple[int, int, int], int] = {}
+        o_slots: Dict[Tuple[int, int, int], int] = {}
+        for token_slice in local_slices:
+            for head_group in range(attention.head_groups):
+                key = (token_slice.seq_index, token_slice.block_index, head_group)
+                q_slots[key] = buffers.alloc("q")
+                kv_slots[key] = buffers.alloc("kv")
+                o_slots[key] = buffers.alloc("o")
+
+        # -- forward all-to-all: gather Q/KV of my head groups --------------
+        op_scatter = device * 1_000_000
+        sends: List[SendArg] = []
+        recvs: List[RecvArg] = []
+        gathered_q: Dict[Tuple[int, int, int], int] = {}
+        gathered_kv: Dict[Tuple[int, int, int], int] = {}
+        for token_slice in block_set.token_slices:
+            key_base = (token_slice.seq_index, token_slice.block_index)
+            owner = slice_owner[key_base]
+            for head_group in range(attention.head_groups):
+                peer = group_owner(head_group)
+                key = key_base + (head_group,)
+                q_id = DataBlockId(BlockKind.Q, *key)
+                kv_id = DataBlockId(BlockKind.KV, *key)
+                if owner == device and peer != device:
+                    sends.append(
+                        SendArg(
+                            peer=peer,
+                            buffer="q",
+                            slot=q_slots[key],
+                            tag=("uly-q", key),
+                            nbytes=block_set.block_bytes(q_id),
+                        )
+                    )
+                    sends.append(
+                        SendArg(
+                            peer=peer,
+                            buffer="kv",
+                            slot=kv_slots[key],
+                            tag=("uly-kv", key),
+                            nbytes=block_set.block_bytes(kv_id),
+                        )
+                    )
+                elif peer == device:
+                    if owner == device:
+                        gathered_q[key] = q_slots[key]
+                        gathered_kv[key] = kv_slots[key]
+                    else:
+                        q_slot = buffers.alloc("q")
+                        kv_slot = buffers.alloc("kv")
+                        gathered_q[key] = q_slot
+                        gathered_kv[key] = kv_slot
+                        recvs.append(
+                            RecvArg(
+                                peer=owner,
+                                buffer="q",
+                                slot=q_slot,
+                                tag=("uly-q", key),
+                                nbytes=block_set.block_bytes(q_id),
+                            )
+                        )
+                        recvs.append(
+                            RecvArg(
+                                peer=owner,
+                                buffer="kv",
+                                slot=kv_slot,
+                                tag=("uly-kv", key),
+                                nbytes=block_set.block_bytes(kv_id),
+                            )
+                        )
+        if sends or recvs:
+            instructions.append(
+                CommLaunch(op_id=op_scatter, sends=tuple(sends),
+                           recvs=tuple(recvs))
+            )
+            if recvs:
+                instructions.append(CommWait(op_id=op_scatter))
+
+        # -- complete attention for my head groups ---------------------------
+        acc_slots: Dict[Tuple[int, int, int], int] = {}
+        tiles: List[Tile] = []
+        for comp in block_set.comp_blocks:
+            if comp.head_group not in my_groups:
+                continue
+            out_key = (comp.seq_index, comp.q_block, comp.head_group)
+            if out_key not in acc_slots:
+                acc_slots[out_key] = buffers.alloc("acc")
+            tiles.append(
+                Tile(
+                    q_slot=gathered_q[(comp.seq_index, comp.q_block,
+                                       comp.head_group)],
+                    kv_slot=gathered_kv[(comp.seq_index, comp.kv_block,
+                                         comp.head_group)],
+                    acc_slot=acc_slots[out_key],
+                    seq_index=comp.seq_index,
+                    head_group=comp.head_group,
+                    q_block=comp.q_block,
+                    kv_block=comp.kv_block,
+                )
+            )
+        if tiles:
+            instructions.append(BlockwiseAttention(tuple(tiles)))
+
+        # -- backward all-to-all: return outputs to token owners -------------
+        op_gather = op_scatter + 1
+        out_sends: List[SendArg] = []
+        for key, acc_slot in sorted(acc_slots.items()):
+            owner = slice_owner[(key[0], key[1])]
+            if owner == device:
+                continue
+            o_id = DataBlockId(BlockKind.O, *key)
+            out_sends.append(
+                SendArg(
+                    peer=owner,
+                    buffer="acc",
+                    slot=acc_slot,
+                    tag=("uly-o", key),
+                    nbytes=block_set.block_bytes(o_id),
+                )
+            )
+        out_recvs: List[RecvArg] = []
+        remote_partials: Dict[Tuple[int, int, int], int] = {}
+        for token_slice in local_slices:
+            for head_group in range(attention.head_groups):
+                peer = group_owner(head_group)
+                if peer == device:
+                    continue
+                key = (token_slice.seq_index, token_slice.block_index, head_group)
+                o_id = DataBlockId(BlockKind.O, *key)
+                slot = buffers.alloc("acc")
+                remote_partials[key] = slot
+                out_recvs.append(
+                    RecvArg(
+                        peer=peer,
+                        buffer="acc",
+                        slot=slot,
+                        tag=("uly-o", key),
+                        nbytes=block_set.block_bytes(o_id),
+                    )
+                )
+        if out_sends or out_recvs:
+            instructions.append(
+                CommLaunch(
+                    op_id=op_gather, sends=tuple(out_sends),
+                    recvs=tuple(out_recvs),
+                )
+            )
+            if out_recvs:
+                instructions.append(CommWait(op_id=op_gather))
+
+        # -- finalize every local output block --------------------------------
+        # Each output block is computed entirely on one head-group owner,
+        # so finalization never needs merges.
+        finalizes = []
+        my_final_acc: Dict[Tuple[int, int, int], int] = {}
+        for key, o_slot in o_slots.items():
+            if key in remote_partials:
+                acc = remote_partials[key]
+            elif key in acc_slots:
+                acc = acc_slots[key]
+            else:
+                # Fully-masked output rows: leave the block zeroed.
+                continue
+            my_final_acc[key] = acc
+            finalizes.append(FinalizeArg(acc_slot=acc, o_slot=o_slot))
+        if finalizes:
+            instructions.append(BlockwiseReduction(finalizes=tuple(finalizes)))
+
+        return DevicePlan(
+            device=device,
+            instructions=instructions,
+            buffer_sizes=buffers.sizes(),
+            local_slices=local_slices,
+            o_slots=o_slots,
+            q_slots=q_slots,
+            kv_slots=kv_slots,
+            acc_slots=my_final_acc,
+        )
+
+    # -- backward ------------------------------------------------------------
+
+    def plan_backward(
+        self, block_set: BlockSet, cluster: ClusterSpec
+    ) -> ExecutionPlan:
+        """Backward plan mirroring the forward all-to-alls.
+
+        Token owners stage dO packages (they hold the finalized forward
+        accumulators), scatter Q/KV/dO to head-group owners, which run
+        the backward tiles for their groups and return the dQ/dKV
+        accumulators — one reverse all-to-all.
+        """
+        num_devices = cluster.num_devices
+        attention = block_set.attention
+        if attention.head_groups % num_devices != 0:
+            raise ValueError(
+                f"Ulysses needs head groups ({attention.head_groups}) "
+                f"divisible by devices ({num_devices})"
+            )
+        groups_per_device = attention.head_groups // num_devices
+        assign = contiguous_slice_assignment(block_set, num_devices)
+        device_slices = slices_by_assignment(block_set, assign, num_devices)
+        slice_owner = {
+            (ts.seq_index, ts.block_index): int(assign[i])
+            for i, ts in enumerate(block_set.token_slices)
+        }
+
+        def group_owner(head_group: int) -> int:
+            return head_group // groups_per_device
+
+        device_plans: Dict[int, DevicePlan] = {}
+        for device in range(num_devices):
+            device_plans[device] = self._backward_device_plan(
+                device,
+                block_set,
+                groups_per_device,
+                device_slices[device],
+                slice_owner,
+                group_owner,
+            )
+        return ExecutionPlan(
+            block_set=block_set,
+            cluster=cluster,
+            device_plans=device_plans,
+            meta={"planner": f"{self.name}_backward"},
+        )
+
+    def _backward_device_plan(
+        self,
+        device: int,
+        block_set: BlockSet,
+        groups_per_device: int,
+        local_slice_ids: List[int],
+        slice_owner: Dict[Tuple[int, int], int],
+        group_owner,
+    ) -> DevicePlan:
+        attention = block_set.attention
+        buffers = BufferManager()
+        instructions: List = []
+        my_groups = range(
+            device * groups_per_device, (device + 1) * groups_per_device
+        )
+        local_slices = [block_set.token_slices[i] for i in local_slice_ids]
+
+        q_slots: Dict[Tuple[int, int, int], int] = {}
+        kv_slots: Dict[Tuple[int, int, int], int] = {}
+        do_slots: Dict[Tuple[int, int, int], int] = {}
+        dq_slots: Dict[Tuple[int, int, int], int] = {}
+        dkv_slots: Dict[Tuple[int, int, int], int] = {}
+        for token_slice in local_slices:
+            for head_group in range(attention.head_groups):
+                key = (token_slice.seq_index, token_slice.block_index,
+                       head_group)
+                q_slots[key] = buffers.alloc("q")
+                kv_slots[key] = buffers.alloc("kv")
+                do_slots[key] = buffers.alloc("do")
+                dq_slots[key] = buffers.alloc("dq")
+                dkv_slots[key] = buffers.alloc("dkv")
+
+        # -- scatter Q / KV / dO to group owners -----------------------------
+        op_scatter = device * 1_000_000 + 500_000
+        sends: List[SendArg] = []
+        recvs: List[RecvArg] = []
+        gathered_q: Dict[Tuple[int, int, int], int] = {}
+        gathered_kv: Dict[Tuple[int, int, int], int] = {}
+        gathered_do: Dict[Tuple[int, int, int], int] = {}
+        for token_slice in block_set.token_slices:
+            key_base = (token_slice.seq_index, token_slice.block_index)
+            owner = slice_owner[key_base]
+            for head_group in range(attention.head_groups):
+                peer = group_owner(head_group)
+                key = key_base + (head_group,)
+                q_id = DataBlockId(BlockKind.Q, *key)
+                kv_id = DataBlockId(BlockKind.KV, *key)
+                o_id = DataBlockId(BlockKind.O, *key)
+                payloads = (
+                    ("q", q_id), ("kv", kv_id), ("do", o_id),
+                )
+                if owner == device and peer != device:
+                    local = {
+                        "q": q_slots[key],
+                        "kv": kv_slots[key],
+                        "do": do_slots[key],
+                    }
+                    for buffer, block_id in payloads:
+                        sends.append(
+                            SendArg(
+                                peer=peer,
+                                buffer=buffer,
+                                slot=local[buffer],
+                                tag=(f"ulyb-{buffer}", key),
+                                nbytes=block_set.block_bytes(block_id),
+                            )
+                        )
+                elif peer == device:
+                    if owner == device:
+                        gathered_q[key] = q_slots[key]
+                        gathered_kv[key] = kv_slots[key]
+                        gathered_do[key] = do_slots[key]
+                    else:
+                        slots = {
+                            "q": buffers.alloc("q"),
+                            "kv": buffers.alloc("kv"),
+                            "do": buffers.alloc("do"),
+                        }
+                        gathered_q[key] = slots["q"]
+                        gathered_kv[key] = slots["kv"]
+                        gathered_do[key] = slots["do"]
+                        for buffer, block_id in payloads:
+                            recvs.append(
+                                RecvArg(
+                                    peer=owner,
+                                    buffer=buffer,
+                                    slot=slots[buffer],
+                                    tag=(f"ulyb-{buffer}", key),
+                                    nbytes=block_set.block_bytes(block_id),
+                                )
+                            )
+        if sends or recvs:
+            instructions.append(
+                CommLaunch(op_id=op_scatter, sends=tuple(sends),
+                           recvs=tuple(recvs))
+            )
+            if recvs:
+                instructions.append(CommWait(op_id=op_scatter))
+
+        # -- backward tiles for my head groups --------------------------------
+        dq_acc: Dict[Tuple[int, int, int], int] = {}
+        dkv_acc: Dict[Tuple[int, int, int], int] = {}
+        tiles: List[BackwardTile] = []
+        for comp in block_set.comp_blocks:
+            if comp.head_group not in my_groups:
+                continue
+            q_key = (comp.seq_index, comp.q_block, comp.head_group)
+            kv_key = (comp.seq_index, comp.kv_block, comp.head_group)
+            if q_key not in dq_acc:
+                dq_acc[q_key] = (
+                    dq_slots[q_key]
+                    if slice_owner[q_key[:2]] == device
+                    else buffers.alloc("dq")
+                )
+            if kv_key not in dkv_acc:
+                dkv_acc[kv_key] = (
+                    dkv_slots[kv_key]
+                    if slice_owner[kv_key[:2]] == device
+                    else buffers.alloc("dkv")
+                )
+            tiles.append(
+                BackwardTile(
+                    q_slot=gathered_q[q_key],
+                    kv_slot=gathered_kv[kv_key],
+                    do_slot=gathered_do[q_key],
+                    dq_slot=dq_acc[q_key],
+                    dkv_slot=dkv_acc[kv_key],
+                    seq_index=comp.seq_index,
+                    head_group=comp.head_group,
+                    q_block=comp.q_block,
+                    kv_block=comp.kv_block,
+                )
+            )
+        if tiles:
+            instructions.append(BlockwiseAttentionBackward(tuple(tiles)))
+
+        # -- return gradients to token owners ----------------------------------
+        op_gather = op_scatter + 1
+        grad_sends: List[SendArg] = []
+        for key, slot in sorted(dq_acc.items()):
+            owner = slice_owner[key[:2]]
+            if owner == device:
+                continue
+            q_id = DataBlockId(BlockKind.Q, *key)
+            grad_sends.append(
+                SendArg(
+                    peer=owner, buffer="dq", slot=slot,
+                    tag=("ulyb-dq", key),
+                    nbytes=block_set.block_bytes(q_id),
+                )
+            )
+        for key, slot in sorted(dkv_acc.items()):
+            owner = slice_owner[key[:2]]
+            if owner == device:
+                continue
+            kv_id = DataBlockId(BlockKind.KV, *key)
+            grad_sends.append(
+                SendArg(
+                    peer=owner, buffer="dkv", slot=slot,
+                    tag=("ulyb-dkv", key),
+                    nbytes=block_set.block_bytes(kv_id),
+                )
+            )
+        grad_recvs: List[RecvArg] = []
+        for token_slice in local_slices:
+            key_base = (token_slice.seq_index, token_slice.block_index)
+            for head_group in range(attention.head_groups):
+                peer = group_owner(head_group)
+                if peer == device:
+                    continue
+                key = key_base + (head_group,)
+                workload = block_set.seq_workloads[key[0]]
+                q_id = DataBlockId(BlockKind.Q, *key)
+                kv_id = DataBlockId(BlockKind.KV, *key)
+                # The group owner only produced gradients for blocks
+                # with unmasked work.
+                if workload[key[1], :].any():
+                    grad_recvs.append(
+                        RecvArg(
+                            peer=peer, buffer="dq", slot=dq_slots[key],
+                            tag=("ulyb-dq", key),
+                            nbytes=block_set.block_bytes(q_id),
+                        )
+                    )
+                if workload[:, key[1]].any():
+                    grad_recvs.append(
+                        RecvArg(
+                            peer=peer, buffer="dkv", slot=dkv_slots[key],
+                            tag=("ulyb-dkv", key),
+                            nbytes=block_set.block_bytes(kv_id),
+                        )
+                    )
+        if grad_sends or grad_recvs:
+            instructions.append(
+                CommLaunch(op_id=op_gather, sends=tuple(grad_sends),
+                           recvs=tuple(grad_recvs))
+            )
+            if grad_recvs:
+                instructions.append(CommWait(op_id=op_gather))
+
+        return DevicePlan(
+            device=device,
+            instructions=instructions,
+            buffer_sizes=buffers.sizes(),
+            local_slices=local_slices,
+            q_slots=q_slots,
+            kv_slots=kv_slots,
+            do_slots=do_slots,
+            dq_slots=dq_slots,
+            dkv_slots=dkv_slots,
+        )
+
+
+def run_ulysses_forward_backward(
+    block_set: BlockSet,
+    cluster: ClusterSpec,
+    inputs,
+    grad_outputs,
+):
+    """Execute Ulysses attention forward + backward on the simulator.
+
+    Returns ``(outputs, AttentionGrads, forward_executor,
+    backward_executor)`` like
+    :func:`repro.runtime.run_plans_forward_backward`.
+    """
+    from ..runtime.backward import run_plans_forward_backward
+
+    planner = UlyssesPlanner()
+    forward_plan = planner.plan(block_set, cluster)
+    backward_plan = planner.plan_backward(block_set, cluster)
+    return run_plans_forward_backward(
+        forward_plan, backward_plan, inputs, grad_outputs
+    )

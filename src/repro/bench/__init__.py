@@ -1,0 +1,35 @@
+"""Benchmark harness and per-figure experiment drivers."""
+
+from .harness import BenchScale, PAPER_MASKS, Table, attention_times, make_batches
+from .figures import (
+    fig01_comm_overhead,
+    fig02_distribution,
+    fig13_micro_causal,
+    fig14_micro_masks,
+    fig15_e2e,
+    fig17_comm_vs_blocksize,
+    fig18_planning_time,
+    fig19_comm_vs_sparsity,
+    fig20_comm_vs_imbalance,
+    fig21_loss_curves,
+    fig22_decomposition,
+)
+
+__all__ = [
+    "BenchScale",
+    "PAPER_MASKS",
+    "Table",
+    "attention_times",
+    "make_batches",
+    "fig01_comm_overhead",
+    "fig02_distribution",
+    "fig13_micro_causal",
+    "fig14_micro_masks",
+    "fig15_e2e",
+    "fig17_comm_vs_blocksize",
+    "fig18_planning_time",
+    "fig19_comm_vs_sparsity",
+    "fig20_comm_vs_imbalance",
+    "fig21_loss_curves",
+    "fig22_decomposition",
+]

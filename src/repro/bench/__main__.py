@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.bench fig13 [--scale micro|e2e|sweep|smoke]
+    python -m repro.bench fig15 --dataset longdatacollections
+    python -m repro.bench all --scale smoke
+
+Results print to stdout and are written to ``benchmarks/results/`` when
+``--save`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import figures
+from .harness import BenchScale
+
+_SCALES = {
+    "micro": BenchScale.micro,
+    "e2e": BenchScale.e2e,
+    "sweep": BenchScale.sweep,
+    "smoke": BenchScale.smoke,
+}
+
+_FIGURES = {
+    "fig01": ("e2e", lambda s, a: figures.fig01_comm_overhead(s)),
+    "fig02": (None, lambda s, a: figures.fig02_distribution()),
+    "fig13": ("micro", lambda s, a: figures.fig13_micro_causal(s)),
+    "fig14": ("micro", lambda s, a: figures.fig14_micro_masks(s)),
+    "fig15": ("e2e", lambda s, a: figures.fig15_e2e(a.dataset, s)),
+    "fig16": (
+        "e2e",
+        lambda s, a: figures.fig15_e2e("longdatacollections", s),
+    ),
+    "fig17": ("sweep", lambda s, a: figures.fig17_comm_vs_blocksize(a.dataset, s)),
+    "fig18": ("sweep", lambda s, a: figures.fig18_planning_time(a.dataset, s)),
+    "fig19": ("sweep", lambda s, a: figures.fig19_comm_vs_sparsity(a.dataset, s)),
+    "fig20": ("sweep", lambda s, a: figures.fig20_comm_vs_imbalance(s)),
+    "fig21": (None, lambda s, a: figures.fig21_loss_curves()[0]),
+    "fig22": ("e2e", lambda s, a: figures.fig22_decomposition(s)),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate DCP paper figures on the simulated cluster.",
+    )
+    parser.add_argument("figure", choices=sorted(_FIGURES) + ["all"])
+    parser.add_argument("--scale", choices=sorted(_SCALES), default=None,
+                        help="override the figure's default problem size")
+    parser.add_argument("--dataset", default="longalign",
+                        choices=["longalign", "longdatacollections"])
+    parser.add_argument("--batches", type=int, default=None,
+                        help="number of batches to average over")
+    parser.add_argument("--save", action="store_true",
+                        help="also write markdown to benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    names = sorted(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        default_scale, driver = _FIGURES[name]
+        scale = None
+        scale_name = args.scale or default_scale
+        if scale_name is not None:
+            overrides = {}
+            if args.batches is not None:
+                overrides["num_batches"] = args.batches
+            scale = _SCALES[scale_name](**overrides)
+        table = driver(scale, args)
+        table.show()
+        if args.save:
+            path = os.path.join("benchmarks", "results", f"{name}.md")
+            table.save(path)
+            print(f"[saved {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Data/computation block representation (paper §4.1)."""
+
+from .comp_blocks import CompBlock
+from .data_blocks import AttentionSpec, BlockKind, DataBlockId, TokenSlice
+from .generator import BatchSpec, BlockSet, SequenceSpec, generate_blocks
+
+__all__ = [
+    "CompBlock",
+    "AttentionSpec",
+    "BlockKind",
+    "DataBlockId",
+    "TokenSlice",
+    "BatchSpec",
+    "BlockSet",
+    "SequenceSpec",
+    "generate_blocks",
+]

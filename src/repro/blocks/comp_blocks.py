@@ -1,0 +1,57 @@
+"""Computation-block identities (paper §4.1).
+
+A *computation block* is the attention of one Q tile against one KV
+tile for one head group — the unit the scheduler assigns to devices and
+divisions.  It exists only where the attention mask has at least one
+unmasked (query, key) pair inside the tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .data_blocks import BlockKind, DataBlockId
+
+__all__ = ["CompBlock"]
+
+
+@dataclass(frozen=True, order=True)
+class CompBlock:
+    """One tile of attention work.
+
+    Attributes
+    ----------
+    seq_index, head_group:
+        Which sequence / head group the tile belongs to.
+    q_block, kv_block:
+        Tile indices along the sequence dimension.
+    pairs:
+        Number of unmasked (query, key) pairs in the tile; the FLOP
+        weight is proportional to this.
+    """
+
+    seq_index: int
+    head_group: int
+    q_block: int
+    kv_block: int
+    pairs: int
+
+    def __post_init__(self) -> None:
+        if self.pairs <= 0:
+            raise ValueError("computation blocks must contain unmasked pairs")
+
+    @property
+    def q_input(self) -> DataBlockId:
+        return DataBlockId(BlockKind.Q, self.seq_index, self.q_block, self.head_group)
+
+    @property
+    def kv_input(self) -> DataBlockId:
+        return DataBlockId(BlockKind.KV, self.seq_index, self.kv_block, self.head_group)
+
+    @property
+    def output(self) -> DataBlockId:
+        return DataBlockId(BlockKind.O, self.seq_index, self.q_block, self.head_group)
+
+    @property
+    def inputs(self) -> tuple:
+        return (self.q_input, self.kv_input)

@@ -1,0 +1,208 @@
+"""Block generation: from (sequence lengths, masks) to a BlockSet.
+
+This implements §4.1 of the paper: each sequence is cut into token
+slices of ``block_size`` tokens; data blocks exist per (slice, head
+group, tensor kind); computation blocks exist per (Q tile, KV tile,
+head group) wherever the attention mask is not entirely zero inside
+the tile.  Masked-out tiles are simply never constructed, which is how
+DCP discards unnecessary computation for sparse masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..masks import AttendRanges, MaskSpec, block_bounds, tile_workload_matrix
+from .comp_blocks import CompBlock
+from .data_blocks import AttentionSpec, BlockKind, DataBlockId, TokenSlice
+
+__all__ = ["SequenceSpec", "BatchSpec", "BlockSet", "generate_blocks"]
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """One input sequence: its length and its attention mask."""
+
+    seqlen: int
+    mask: MaskSpec
+
+    def __post_init__(self) -> None:
+        if self.seqlen < 1:
+            raise ValueError("sequences must be non-empty")
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """A training batch: the unit DCP plans for."""
+
+    sequences: Tuple[SequenceSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sequences:
+            raise ValueError("batches must contain at least one sequence")
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(seq.seqlen for seq in self.sequences)
+
+    @staticmethod
+    def build(seqlens, masks) -> "BatchSpec":
+        """Construct from parallel lists of lengths and masks.
+
+        ``masks`` may be a single :class:`MaskSpec` applied to every
+        sequence, or one per sequence.
+        """
+        if isinstance(masks, MaskSpec):
+            masks = [masks] * len(seqlens)
+        if len(masks) != len(seqlens):
+            raise ValueError("need one mask per sequence")
+        return BatchSpec(
+            tuple(SequenceSpec(int(n), m) for n, m in zip(seqlens, masks))
+        )
+
+
+@dataclass
+class BlockSet:
+    """All data and computation blocks of one batch.
+
+    This is the planner's working representation: placement assigns
+    :attr:`token_slices` and :attr:`comp_blocks` to devices; everything
+    downstream (hypergraph, scheduling, execution) reads from here.
+    """
+
+    batch: BatchSpec
+    attention: AttentionSpec
+    block_size: int
+    token_slices: List[TokenSlice]
+    comp_blocks: List[CompBlock]
+    seq_bounds: List[np.ndarray]
+    seq_ranges: List[AttendRanges]
+    seq_workloads: List[np.ndarray] = field(default_factory=list)
+    _slice_lookup: Dict[Tuple[int, int], TokenSlice] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._slice_lookup:
+            self._slice_lookup = {
+                (ts.seq_index, ts.block_index): ts for ts in self.token_slices
+            }
+
+    # -- lookups ---------------------------------------------------------
+
+    def slice_of(self, seq_index: int, block_index: int) -> TokenSlice:
+        return self._slice_lookup[(seq_index, block_index)]
+
+    def slice_for_block(self, block: DataBlockId) -> TokenSlice:
+        return self.slice_of(block.seq_index, block.block_index)
+
+    def block_bytes(self, block: DataBlockId) -> int:
+        tokens = self.slice_for_block(block).tokens
+        return self.attention.block_bytes(block.kind, tokens)
+
+    def slice_bytes(self, token_slice: TokenSlice) -> int:
+        return self.attention.slice_bytes(token_slice.tokens)
+
+    def comp_flops(self, comp: CompBlock) -> int:
+        return self.attention.tile_flops(comp.pairs)
+
+    def tile_pairs(self, seq_index: int, q_block: int, kv_block: int) -> int:
+        """Unmasked pairs of one tile (zero for fully masked tiles)."""
+        return int(self.seq_workloads[seq_index][q_block, kv_block])
+
+    # -- aggregates ------------------------------------------------------
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(c.pairs for c in self.comp_blocks)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(self.comp_flops(c) for c in self.comp_blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.slice_bytes(ts) for ts in self.token_slices)
+
+    def comp_blocks_of_output(self) -> Dict[DataBlockId, List[CompBlock]]:
+        """Map each output block to the computation blocks feeding it."""
+        out: Dict[DataBlockId, List[CompBlock]] = {}
+        for comp in self.comp_blocks:
+            out.setdefault(comp.output, []).append(comp)
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"BlockSet(seqs={len(self.batch.sequences)}, "
+            f"tokens={self.batch.total_tokens}, block={self.block_size}, "
+            f"slices={len(self.token_slices)}, comps={len(self.comp_blocks)})"
+        )
+
+
+def generate_blocks(
+    batch: BatchSpec,
+    attention: Optional[AttentionSpec] = None,
+    block_size: int = 1024,
+) -> BlockSet:
+    """Generate data and computation blocks for a batch (paper §4.1).
+
+    Parameters
+    ----------
+    batch:
+        Sequences with their masks.
+    attention:
+        Attention operator shape; defaults to the paper's GQA spec.
+    block_size:
+        Token granularity ``B`` along the sequence dimension (the
+        paper's main hyper-parameter, searched over 512..4096).
+    """
+    attention = attention or AttentionSpec()
+    token_slices: List[TokenSlice] = []
+    comp_blocks: List[CompBlock] = []
+    seq_bounds: List[np.ndarray] = []
+    seq_ranges: List[AttendRanges] = []
+    seq_workloads: List[np.ndarray] = []
+
+    for seq_index, seq in enumerate(batch.sequences):
+        bounds = block_bounds(seq.seqlen, block_size)
+        ranges = seq.mask.ranges(seq.seqlen)
+        workload = tile_workload_matrix(ranges, bounds)
+        seq_bounds.append(bounds)
+        seq_ranges.append(ranges)
+        seq_workloads.append(workload)
+
+        for block_index in range(len(bounds) - 1):
+            token_slices.append(
+                TokenSlice(
+                    seq_index=seq_index,
+                    block_index=block_index,
+                    start=int(bounds[block_index]),
+                    stop=int(bounds[block_index + 1]),
+                )
+            )
+
+        q_idx, kv_idx = np.nonzero(workload)
+        for qi, ki in zip(q_idx.tolist(), kv_idx.tolist()):
+            pairs = int(workload[qi, ki])
+            for head_group in range(attention.head_groups):
+                comp_blocks.append(
+                    CompBlock(
+                        seq_index=seq_index,
+                        head_group=head_group,
+                        q_block=qi,
+                        kv_block=ki,
+                        pairs=pairs,
+                    )
+                )
+
+    return BlockSet(
+        batch=batch,
+        attention=attention,
+        block_size=block_size,
+        token_slices=token_slices,
+        comp_blocks=comp_blocks,
+        seq_bounds=seq_bounds,
+        seq_ranges=seq_ranges,
+        seq_workloads=seq_workloads,
+    )

@@ -1,0 +1,39 @@
+"""Public DCP API: config, planner, dataloader, distributed planning."""
+
+from .autotune import AutotuneResult, BlockSizeScore, autotune_block_size
+from .cache import PlanCache, batch_signature
+from .config import DCPConfig
+from .dataloader import DCPDataloader, LocalData
+from .groups import GroupedPlan, plan_with_groups, split_batch_by_workload
+from .kvstore import KVClient, KVStore
+from .planner import DCPPlanner, PlanningStats
+from .pool import (
+    DistributedDataloader,
+    PlannerPool,
+    PlanningTimeline,
+    min_cores_to_hide_planning,
+    simulate_planning_overlap,
+)
+
+__all__ = [
+    "DCPConfig",
+    "AutotuneResult",
+    "BlockSizeScore",
+    "autotune_block_size",
+    "DCPDataloader",
+    "LocalData",
+    "DCPPlanner",
+    "PlanningStats",
+    "GroupedPlan",
+    "plan_with_groups",
+    "split_batch_by_workload",
+    "PlanCache",
+    "batch_signature",
+    "KVStore",
+    "KVClient",
+    "PlannerPool",
+    "DistributedDataloader",
+    "PlanningTimeline",
+    "simulate_planning_overlap",
+    "min_cores_to_hide_planning",
+]

@@ -1,0 +1,60 @@
+"""LRU plan cache keyed by batch shape.
+
+Many training runs see repeated batch signatures (same sequence-length
+multiset and masks), especially with bucketed batching; replanning is
+pure waste since DCP's plan depends only on (lengths, masks, config,
+cluster).  The cache is safe because all of those are immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..blocks import BatchSpec
+from .planner import DCPPlanner
+
+__all__ = ["PlanCache", "batch_signature"]
+
+
+def batch_signature(batch: BatchSpec) -> Tuple:
+    """Hashable identity of a batch for planning purposes."""
+    return tuple((seq.seqlen, seq.mask) for seq in batch.sequences)
+
+
+class PlanCache:
+    """Least-recently-used cache in front of a :class:`DCPPlanner`."""
+
+    def __init__(self, planner: DCPPlanner, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.planner = planner
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def plan_batch(self, batch: BatchSpec):
+        key = batch_signature(batch)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        plan = self.planner.plan_batch(batch)
+        self._entries[key] = plan
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,67 @@
+"""DCP configuration: the paper's hyper-parameters in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..placement.hierarchical import PlacementConfig
+
+__all__ = ["DCPConfig"]
+
+
+@dataclass(frozen=True)
+class DCPConfig:
+    """Hyper-parameters of the DCP planner (paper §7.1).
+
+    Attributes
+    ----------
+    block_size:
+        Token granularity ``B`` of block partitioning (the paper
+        searches {512, 1024, 2048, 4096}).
+    num_divisions:
+        Number of computation/communication divisions ``T`` per batch
+        (the paper fixes 4).
+    eps_inter, eps_intra:
+        Computation-imbalance tolerance between machines / between
+        devices of one machine (paper: 0.4 and 0.1).
+    lookahead:
+        Planning look-ahead ``kappa`` of the dataloader (§6.1).
+    seed, restarts, refine_passes, use_warm_starts:
+        Partitioner knobs (see :mod:`repro.hypergraph`).
+    """
+
+    block_size: int = 1024
+    num_divisions: int = 4
+    eps_inter: float = 0.4
+    eps_intra: float = 0.1
+    eps_data: float = 0.08
+    lookahead: int = 2
+    seed: int = 0
+    restarts: int = 2
+    refine_passes: int = 5
+    use_warm_starts: bool = True
+    #: Division heuristic: "paper" (Listing 3) or "balanced" (an
+    #: extension spreading compute across divisions; see
+    #: :func:`repro.scheduling.build_schedule`).
+    scheduler: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block_size must be positive")
+        if self.num_divisions < 1:
+            raise ValueError("num_divisions must be positive")
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        if self.scheduler not in ("paper", "balanced"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+    def placement_config(self) -> PlacementConfig:
+        return PlacementConfig(
+            eps_inter=self.eps_inter,
+            eps_intra=self.eps_intra,
+            eps_data=self.eps_data,
+            seed=self.seed,
+            restarts=self.restarts,
+            refine_passes=self.refine_passes,
+            use_warm_starts=self.use_warm_starts,
+        )

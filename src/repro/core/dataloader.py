@@ -1,0 +1,101 @@
+"""DCP dataloader with look-ahead planning (paper §6.1, Listing 2).
+
+The dataloader pre-fetches sequence-length/mask metadata from the
+dataset and plans upcoming iterations on a background thread pool, so
+planning overlaps with (simulated) model execution.  Iterating yields
+``(local_data, execution_plan)`` pairs exactly like the paper's API:
+``local_data`` maps each device to the token slices it will feed its
+model replica.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..blocks import BatchSpec
+from ..scheduling import ExecutionPlan
+from .planner import DCPPlanner
+
+__all__ = ["LocalData", "DCPDataloader"]
+
+
+@dataclass
+class LocalData:
+    """Model input for one device: its token slices, in order."""
+
+    device: int
+    slices: List
+
+    @property
+    def tokens(self) -> int:
+        return sum(ts.tokens for ts in self.slices)
+
+
+def _local_data(plan: ExecutionPlan) -> Dict[int, LocalData]:
+    return {
+        device: LocalData(device=device, slices=list(device_plan.local_slices))
+        for device, device_plan in plan.device_plans.items()
+    }
+
+
+class DCPDataloader:
+    """Iterate batches with asynchronously pre-planned configurations.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of :class:`BatchSpec` (a dataset already packed into
+        batches; see :mod:`repro.data.batching`).
+    planner:
+        A :class:`DCPPlanner` (or any object with ``plan_batch``).
+    lookahead:
+        Number of iterations planned ahead (paper's ``kappa``); 0 plans
+        synchronously.
+    max_workers:
+        Planning parallelism (the paper parallelizes planning across
+        CPU cores).
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[BatchSpec],
+        planner: DCPPlanner,
+        lookahead: int = 2,
+        max_workers: int = 2,
+    ) -> None:
+        self.planner = planner
+        self.lookahead = lookahead
+        self._batches = iter(batches)
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=max_workers) if lookahead > 0 else None
+        )
+        self._pending: "queue.Queue[Tuple[BatchSpec, Future]]" = queue.Queue()
+        self._exhausted = False
+
+    def _refill(self) -> None:
+        while not self._exhausted and self._pending.qsize() < self.lookahead + 1:
+            try:
+                batch = next(self._batches)
+            except StopIteration:
+                self._exhausted = True
+                return
+            future = self._pool.submit(self.planner.plan_batch, batch)
+            self._pending.put((batch, future))
+
+    def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], ExecutionPlan]]:
+        if self._pool is None:
+            for batch in self._batches:
+                plan = self.planner.plan_batch(batch)
+                yield _local_data(plan), plan
+            return
+        self._refill()
+        while not self._pending.empty():
+            _, future = self._pending.get()
+            plan = future.result()
+            self._refill()
+            yield _local_data(plan), plan
+        self._pool.shutdown(wait=False)

@@ -1,0 +1,139 @@
+"""In-memory distributed key-value store (the paper's Redis substitute).
+
+DCP distributes execution plans from planning machines to all devices
+"via a distributed key-value store (e.g., Redis) which is located in
+host memory in one of the machines" (§6.1).  No network is available
+here, so this module provides the smallest faithful equivalent: a
+thread-safe blocking KV store plus a client view that accounts the
+bytes each machine would move to/from the store's host.
+
+The accounting matters for the planner-overlap analysis: serialized
+plans are megabytes, and shipping them must not erase the benefit of
+parallel planning.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["KVStore", "KVClient"]
+
+
+@dataclass
+class _Entry:
+    payload: bytes
+    version: int
+
+
+class KVStore:
+    """Thread-safe blocking key-value store with versioned writes.
+
+    Values are pickled on ``put`` — exactly what crossing a process
+    boundary would require — so stored plans are true snapshots, not
+    shared mutable objects.
+    """
+
+    def __init__(self, host_machine: int = 0) -> None:
+        self.host_machine = host_machine
+        self._entries: Dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._bytes_in = 0
+        self._bytes_out = 0
+
+    # -- primitives -----------------------------------------------------
+
+    def put(self, key: str, value: Any) -> int:
+        """Store ``value`` under ``key``; returns the new version."""
+        payload = pickle.dumps(value)
+        with self._changed:
+            previous = self._entries.get(key)
+            version = previous.version + 1 if previous else 1
+            self._entries[key] = _Entry(payload=payload, version=version)
+            self._bytes_in += len(payload)
+            self._changed.notify_all()
+            return version
+
+    def get(self, key: str, timeout: Optional[float] = None) -> Any:
+        """Fetch ``key``, blocking until it exists.
+
+        Raises ``KeyError`` if the timeout expires first.
+        """
+        with self._changed:
+            if not self._changed.wait_for(
+                lambda: key in self._entries, timeout=timeout
+            ):
+                raise KeyError(key)
+            entry = self._entries[key]
+            self._bytes_out += len(entry.payload)
+            return pickle.loads(entry.payload)
+
+    def try_get(self, key: str) -> Optional[Any]:
+        """Fetch ``key`` if present, else ``None`` (non-blocking)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._bytes_out += len(entry.payload)
+            return pickle.loads(entry.payload)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def size_bytes(self) -> int:
+        """Resident bytes on the host machine."""
+        with self._lock:
+            return sum(len(e.payload) for e in self._entries.values())
+
+    @property
+    def traffic(self) -> Dict[str, int]:
+        """Total bytes written to / read from the store."""
+        with self._lock:
+            return {"in": self._bytes_in, "out": self._bytes_out}
+
+
+@dataclass
+class KVClient:
+    """One machine's view of the store, with transfer accounting.
+
+    Reads and writes from the host machine itself are local (no NIC
+    traffic); remote machines pay the payload over the wire.  The
+    per-client counters let experiments price plan distribution.
+    """
+
+    store: KVStore
+    machine: int
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    @property
+    def is_local(self) -> bool:
+        return self.machine == self.store.host_machine
+
+    def put(self, key: str, value: Any) -> int:
+        version = self.store.put(key, value)
+        if not self.is_local:
+            self.bytes_sent += len(pickle.dumps(value))
+        return version
+
+    def get(self, key: str, timeout: Optional[float] = None) -> Any:
+        value = self.store.get(key, timeout=timeout)
+        if not self.is_local:
+            self.bytes_received += len(pickle.dumps(value))
+        return value
+
+    def wire_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received

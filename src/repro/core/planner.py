@@ -1,0 +1,91 @@
+"""The DCP planner: block generation -> placement -> schedule -> plan.
+
+One :meth:`DCPPlanner.plan` call performs everything the paper's
+planner does for one training batch (§3.1): generate data/computation
+blocks from sequence lengths and masks, optimize their placement with
+hierarchical hypergraph partitioning, schedule divisions, and serialize
+the per-device instruction streams.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
+from ..placement import Placement, place_blocks
+from ..scheduling import ExecutionPlan, build_schedule, serialize_schedule
+from ..sim.cluster import ClusterSpec
+from .config import DCPConfig
+
+__all__ = ["DCPPlanner", "PlanningStats"]
+
+
+@dataclass
+class PlanningStats:
+    """Wall-clock breakdown of one planning run (Fig. 18)."""
+
+    block_generation: float = 0.0
+    placement: float = 0.0
+    scheduling: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.block_generation + self.placement + self.scheduling
+
+
+class DCPPlanner:
+    """Produces a fresh parallelization configuration per batch."""
+
+    name = "dcp"
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        attention: Optional[AttentionSpec] = None,
+        config: Optional[DCPConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.attention = attention or AttentionSpec()
+        self.config = config or DCPConfig()
+        self.last_stats: Optional[PlanningStats] = None
+        self.last_placement: Optional[Placement] = None
+
+    def plan_batch(self, batch: BatchSpec) -> ExecutionPlan:
+        """Plan from raw (sequence lengths, masks)."""
+        stats = PlanningStats()
+        start = time.perf_counter()
+        block_set = generate_blocks(
+            batch, attention=self.attention, block_size=self.config.block_size
+        )
+        stats.block_generation = time.perf_counter() - start
+        return self._plan_blocks(block_set, stats)
+
+    def plan(self, block_set: BlockSet, cluster: Optional[ClusterSpec] = None):
+        """Planner-protocol entry point (shared with the baselines)."""
+        if cluster is not None and cluster != self.cluster:
+            self.cluster = cluster
+        return self._plan_blocks(block_set, PlanningStats())
+
+    def _plan_blocks(self, block_set: BlockSet, stats: PlanningStats):
+        start = time.perf_counter()
+        placement = place_blocks(
+            block_set, self.cluster, self.config.placement_config()
+        )
+        stats.placement = time.perf_counter() - start
+
+        start = time.perf_counter()
+        schedule = build_schedule(
+            block_set,
+            placement,
+            num_divisions=self.config.num_divisions,
+            strategy=self.config.scheduler,
+        )
+        plan = serialize_schedule(schedule)
+        stats.scheduling = time.perf_counter() - start
+
+        plan.meta["planning_stats"] = stats
+        self.last_stats = stats
+        self.last_placement = placement
+        return plan

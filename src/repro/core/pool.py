@@ -1,0 +1,308 @@
+"""Distributed look-ahead planning (paper §6.1).
+
+Two complementary pieces:
+
+* :class:`PlannerPool` — working plumbing: planning jobs for upcoming
+  iterations are assigned round-robin to machines, run on a bounded
+  worker pool per machine, and published to the cluster through a
+  :class:`~repro.core.kvstore.KVStore` exactly as the paper distributes
+  plans via Redis.  :class:`DistributedDataloader` iterates
+  ``(local_data, plan)`` pairs against the store.
+
+* :func:`simulate_planning_overlap` — the analytic model behind the
+  paper's Fig. 18 claim: planning of up to 10 s per batch "can
+  perfectly overlap model execution time (> 1 second per iteration)
+  ... if planning is parallelized with more than 10 CPU cores".  Given
+  per-iteration planning and execution times, machine count and
+  cores per machine, it replays the §6.1 pipeline and reports the
+  execution stalls caused by late plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..blocks import BatchSpec
+from .dataloader import LocalData, _local_data
+from .kvstore import KVClient, KVStore
+from .planner import DCPPlanner
+
+__all__ = [
+    "PlannerPool",
+    "DistributedDataloader",
+    "PlanningTimeline",
+    "simulate_planning_overlap",
+    "min_cores_to_hide_planning",
+]
+
+
+def plan_key(iteration: int) -> str:
+    return f"plan/{iteration}"
+
+
+class PlannerPool:
+    """Parallel planning across machines, publishing to a KV store.
+
+    Parameters
+    ----------
+    planner:
+        The planner used for every iteration (any ``plan_batch`` object).
+    store:
+        Shared KV store; plans land under ``plan/<iteration>``.
+    num_machines:
+        Planning machines; iteration ``i`` plans on ``i % num_machines``
+        (the paper assigns different iterations to different machines).
+    cores_per_machine:
+        Parallel planner instances per machine.
+    """
+
+    def __init__(
+        self,
+        planner: DCPPlanner,
+        store: KVStore,
+        num_machines: int = 1,
+        cores_per_machine: int = 2,
+    ) -> None:
+        if num_machines < 1 or cores_per_machine < 1:
+            raise ValueError("need at least one machine and one core")
+        self.planner = planner
+        self.store = store
+        self.num_machines = num_machines
+        self.clients = [
+            KVClient(store=store, machine=m) for m in range(num_machines)
+        ]
+        self._pools = [
+            ThreadPoolExecutor(max_workers=cores_per_machine)
+            for _ in range(num_machines)
+        ]
+        self._submitted: Dict[int, Future] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, iteration: int, batch: BatchSpec) -> Future:
+        """Queue planning of ``iteration`` on its assigned machine."""
+        machine = iteration % self.num_machines
+        client = self.clients[machine]
+
+        def job():
+            plan = self.planner.plan_batch(batch)
+            client.put(plan_key(iteration), plan)
+            return plan
+
+        with self._lock:
+            if iteration in self._submitted:
+                return self._submitted[iteration]
+            future = self._pools[machine].submit(job)
+            self._submitted[iteration] = future
+            return future
+
+    def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
+        """A device-side read of the published plan."""
+        return self.clients[machine % self.num_machines].get(
+            plan_key(iteration), timeout=timeout
+        )
+
+    def shutdown(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PlannerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class DistributedDataloader:
+    """§6.1 dataloader on top of a :class:`PlannerPool`.
+
+    Keeps the planning pipeline ``lookahead`` iterations ahead of
+    execution and yields ``(local_data, plan)`` like
+    :class:`~repro.core.dataloader.DCPDataloader`, but every plan
+    travels through the KV store — the full distribution path.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[BatchSpec],
+        pool: PlannerPool,
+        lookahead: int = 2,
+    ) -> None:
+        if lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        self.pool = pool
+        self.lookahead = lookahead
+        self._batches = iter(batches)
+        self._next_submit = 0
+        self._exhausted = False
+
+    def _fill(self, upto: int) -> None:
+        while not self._exhausted and self._next_submit <= upto:
+            try:
+                batch = next(self._batches)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self.pool.submit(self._next_submit, batch)
+            self._next_submit += 1
+
+    def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
+        iteration = 0
+        self._fill(self.lookahead)
+        while True:
+            if self._exhausted and iteration >= self._next_submit:
+                return
+            plan = self.pool.fetch(iteration)
+            self._fill(iteration + 1 + self.lookahead)
+            yield _local_data(plan), plan
+            iteration += 1
+
+
+# -- analytic overlap model ---------------------------------------------------
+
+
+@dataclass
+class PlanningTimeline:
+    """Result of replaying the §6.1 planning/execution pipeline."""
+
+    exec_start: List[float]
+    exec_end: List[float]
+    plan_start: List[float]
+    plan_end: List[float]
+    stalls: List[float]
+
+    @property
+    def total_stall(self) -> float:
+        return sum(self.stalls)
+
+    @property
+    def total_time(self) -> float:
+        return self.exec_end[-1] if self.exec_end else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        if not self.exec_end:
+            return 0.0
+        busy = sum(e - s for s, e in zip(self.exec_start, self.exec_end))
+        return self.total_stall / (self.total_stall + busy)
+
+    def planning_hidden(self, tolerance: float = 1e-9,
+                        warmup: int = 1) -> bool:
+        """True if no execution stall beyond the first ``warmup``
+        iterations.
+
+        Iteration 0 always waits for its own plan, and a cold planner
+        pool takes several iterations to fill its pipeline; the paper's
+        claim is about steady state.  ``warmup`` controls how much
+        ramp-up to forgive (at least 1).
+        """
+        warmup = max(warmup, 1)
+        return all(stall <= tolerance for stall in self.stalls[warmup:])
+
+
+def simulate_planning_overlap(
+    plan_times: Sequence[float],
+    exec_times: Sequence[float],
+    num_machines: int = 1,
+    cores_per_machine: int = 1,
+    lookahead: int = 2,
+) -> PlanningTimeline:
+    """Replay the look-ahead planning pipeline against execution.
+
+    Planning of iteration ``i`` runs on machine ``i % num_machines``,
+    which processes at most ``cores_per_machine`` plans concurrently.
+    Planning for an iteration may begin once the window allows it (the
+    dataloader prefetches ``lookahead`` iterations beyond the one
+    currently executing, so job ``i`` becomes available when iteration
+    ``i - lookahead - 1`` starts executing; the first ``lookahead + 1``
+    jobs are available at time zero).  Execution of iteration ``i``
+    starts at ``max(end of i-1, plan i done)``; the difference is the
+    stall the paper's design must avoid.
+    """
+    if len(plan_times) != len(exec_times):
+        raise ValueError("need matching plan and exec time lists")
+    if num_machines < 1 or cores_per_machine < 1:
+        raise ValueError("need at least one machine and one core")
+    if lookahead < 0:
+        raise ValueError("lookahead must be non-negative")
+    n = len(plan_times)
+    if n == 0:
+        return PlanningTimeline([], [], [], [], [])
+
+    available = [0.0] * n  # when the job may start (window gate)
+    plan_start = [0.0] * n
+    plan_end = [0.0] * n
+    exec_start = [0.0] * n
+    exec_end = [0.0] * n
+    stalls = [0.0] * n
+    # Per-machine core free times.
+    cores: List[List[float]] = [
+        [0.0] * cores_per_machine for _ in range(num_machines)
+    ]
+
+    def run_plan(i: int) -> None:
+        machine = cores[i % num_machines]
+        core = min(range(len(machine)), key=machine.__getitem__)
+        plan_start[i] = max(machine[core], available[i])
+        plan_end[i] = plan_start[i] + plan_times[i]
+        machine[core] = plan_end[i]
+
+    for i in range(min(lookahead + 1, n)):
+        available[i] = 0.0
+        run_plan(i)
+
+    for i in range(n):
+        plan_ready = plan_end[i]
+        prev_end = exec_end[i - 1] if i > 0 else 0.0
+        exec_start[i] = max(prev_end, plan_ready)
+        stalls[i] = exec_start[i] - prev_end
+        exec_end[i] = exec_start[i] + exec_times[i]
+        # Starting iteration i opens the window for job i + lookahead + 1.
+        nxt = i + lookahead + 1
+        if nxt < n:
+            available[nxt] = exec_start[i]
+            run_plan(nxt)
+
+    return PlanningTimeline(
+        exec_start=exec_start,
+        exec_end=exec_end,
+        plan_start=plan_start,
+        plan_end=plan_end,
+        stalls=stalls,
+    )
+
+
+def min_cores_to_hide_planning(
+    plan_times: Sequence[float],
+    exec_times: Sequence[float],
+    num_machines: int = 1,
+    lookahead: int = 2,
+    max_cores: int = 128,
+    warmup: Optional[int] = None,
+) -> Optional[int]:
+    """Smallest cores-per-machine hiding all steady-state planning.
+
+    ``warmup`` iterations of ramp-up stall are forgiven (default:
+    ``2 * (lookahead + 1)``, enough for the pipeline to fill from a
+    cold start).  Returns ``None`` if even ``max_cores`` cannot hide it
+    (planning of a single batch longer than ``lookahead`` iterations of
+    execution can never be hidden, no matter the parallelism).
+    """
+    if warmup is None:
+        warmup = 2 * (lookahead + 1)
+    for cores in itertools.takewhile(
+        lambda c: c <= max_cores, itertools.count(1)
+    ):
+        timeline = simulate_planning_overlap(
+            plan_times,
+            exec_times,
+            num_machines=num_machines,
+            cores_per_machine=cores,
+            lookahead=lookahead,
+        )
+        if timeline.planning_hidden(warmup=warmup):
+            return cores
+    return None

@@ -1,0 +1,39 @@
+"""Synthetic datasets and batching."""
+
+from .batching import batches_to_specs, pack_batches
+from .packing import (
+    PACKERS,
+    pack_first_fit_decreasing,
+    pack_length_grouped,
+    pack_sequential,
+    pack_workload_balanced,
+    packing_stats,
+)
+from .rlhf import RlhfSample, sample_rlhf_batches
+from .datasets import (
+    LONGALIGN,
+    LONG_DATA_COLLECTIONS,
+    LengthDistribution,
+    MAX_SEQLEN,
+    sample_lengths,
+    scale_lengths,
+)
+
+__all__ = [
+    "batches_to_specs",
+    "pack_batches",
+    "PACKERS",
+    "pack_sequential",
+    "pack_first_fit_decreasing",
+    "pack_workload_balanced",
+    "pack_length_grouped",
+    "packing_stats",
+    "LONGALIGN",
+    "LONG_DATA_COLLECTIONS",
+    "LengthDistribution",
+    "MAX_SEQLEN",
+    "sample_lengths",
+    "scale_lengths",
+    "RlhfSample",
+    "sample_rlhf_batches",
+]

@@ -1,0 +1,69 @@
+"""Token-budget batching (paper §7.1: global batch size 131072 tokens).
+
+Sequences are taken in dataset order; each batch greedily accumulates
+whole sequences until the token budget would overflow.  Sequences
+longer than ``max_seqlen`` are truncated (the paper's "maximally
+allowed sequence length").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..blocks import BatchSpec
+from ..masks import MaskSpec
+
+__all__ = ["pack_batches", "batches_to_specs"]
+
+
+def pack_batches(
+    lengths: Sequence[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> List[List[int]]:
+    """Pack lengths into batches of at most ``token_budget`` tokens.
+
+    Every batch contains at least one sequence, so a single sequence at
+    the cap still forms a (full) batch.
+    """
+    if token_budget < 1:
+        raise ValueError("token budget must be positive")
+    batches: List[List[int]] = []
+    current: List[int] = []
+    used = 0
+    for raw in lengths:
+        length = int(raw)
+        if max_seqlen is not None:
+            length = min(length, max_seqlen)
+        if length < 1:
+            continue
+        if current and used + length > token_budget:
+            batches.append(current)
+            current, used = [], 0
+        current.append(min(length, token_budget))
+        used += current[-1]
+    if current:
+        batches.append(current)
+    return batches
+
+
+def batches_to_specs(
+    batches: List[List[int]],
+    mask: Union[MaskSpec, Callable[[int], MaskSpec]],
+) -> List[BatchSpec]:
+    """Turn packed length batches into :class:`BatchSpec` objects.
+
+    ``mask`` is either a single spec shared by all sequences or a
+    callable ``seqlen -> MaskSpec`` (the paper's ``mask_fn``, for masks
+    whose shape depends on the input, like shared-question).
+    """
+    specs = []
+    for lengths in batches:
+        if callable(mask) and not isinstance(mask, MaskSpec):
+            masks = [mask(int(n)) for n in lengths]
+        else:
+            masks = mask
+        specs.append(BatchSpec.build(lengths, masks))
+    return specs

@@ -1,0 +1,184 @@
+"""Packing strategies for variable-length batches (paper §8 related work).
+
+Hierarchical Balance Packing [48] and WLB-LLM [45] attack the same
+input dynamism as DCP from the packing side: *which sequences share a
+batch* determines how balanced any downstream parallelism can be.
+This module implements the packing-strategy space so the reproduction
+can measure how much of the problem packing alone solves and where
+DCP's placement-side dynamism still pays:
+
+* :func:`pack_sequential` — the baseline greedy packer (dataset order);
+* :func:`pack_first_fit_decreasing` — classic FFD bin packing on
+  tokens, minimizing the number of batches;
+* :func:`pack_workload_balanced` — WLB-style: balance *attention
+  FLOPs* (quadratic in length) across a fixed number of batches, so no
+  batch is compute-dominated by one long sequence;
+* :func:`pack_length_grouped` — HBP-style: group similar lengths so
+  static CP degrees fit each batch well.
+
+All packers return ``List[List[int]]`` like
+:func:`~repro.data.batching.pack_batches` and compose with
+:func:`~repro.data.batching.batches_to_specs`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .batching import pack_batches
+
+__all__ = [
+    "pack_sequential",
+    "pack_first_fit_decreasing",
+    "pack_workload_balanced",
+    "pack_length_grouped",
+    "packing_stats",
+    "PACKERS",
+]
+
+
+def _clean(lengths: Sequence[int], max_seqlen: Optional[int]) -> List[int]:
+    out = []
+    for raw in lengths:
+        length = int(raw)
+        if max_seqlen is not None:
+            length = min(length, max_seqlen)
+        if length >= 1:
+            out.append(length)
+    return out
+
+
+def pack_sequential(
+    lengths: Sequence[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> List[List[int]]:
+    """Greedy packing in dataset order (the paper's setup)."""
+    return pack_batches(lengths, token_budget, max_seqlen)
+
+
+def pack_first_fit_decreasing(
+    lengths: Sequence[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> List[List[int]]:
+    """First-fit-decreasing bin packing on token counts.
+
+    Minimizes batch count (within the classic 11/9 OPT guarantee), so
+    fewer iterations process the same data — but ignores attention
+    workload, so batches can mix one huge sequence with many tiny ones.
+    """
+    if token_budget < 1:
+        raise ValueError("token budget must be positive")
+    cleaned = sorted(_clean(lengths, max_seqlen), reverse=True)
+    batches: List[List[int]] = []
+    room: List[int] = []
+    for length in cleaned:
+        length = min(length, token_budget)
+        for index, free in enumerate(room):
+            if length <= free:
+                batches[index].append(length)
+                room[index] -= length
+                break
+        else:
+            batches.append([length])
+            room.append(token_budget - length)
+    return batches
+
+
+def pack_workload_balanced(
+    lengths: Sequence[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> List[List[int]]:
+    """WLB-LLM-style packing: balance attention FLOPs across batches.
+
+    The batch count is fixed to what sequential packing needs (same
+    iteration count), then sequences are LPT-assigned by quadratic
+    workload subject to the token budget; overflow opens a new batch.
+    """
+    if token_budget < 1:
+        raise ValueError("token budget must be positive")
+    cleaned = [
+        min(length, token_budget) for length in _clean(lengths, max_seqlen)
+    ]
+    if not cleaned:
+        return []
+    num_batches = max(len(pack_batches(cleaned, token_budget)), 1)
+    order = sorted(range(len(cleaned)), key=lambda i: cleaned[i],
+                   reverse=True)
+    batches: List[List[int]] = [[] for _ in range(num_batches)]
+    tokens = np.zeros(num_batches, dtype=np.int64)
+    work = np.zeros(num_batches, dtype=np.float64)
+    for index in order:
+        length = cleaned[index]
+        candidates = [
+            b for b in range(num_batches)
+            if tokens[b] + length <= token_budget
+        ]
+        if not candidates:
+            batches.append([])
+            tokens = np.append(tokens, 0)
+            work = np.append(work, 0.0)
+            candidates = [len(batches) - 1]
+        target = min(candidates, key=lambda b: work[b])
+        batches[target].append(length)
+        tokens[target] += length
+        work[target] += float(length) ** 2
+    return [batch for batch in batches if batch]
+
+
+def pack_length_grouped(
+    lengths: Sequence[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> List[List[int]]:
+    """HBP-style packing: sort by length so batches hold similar sizes.
+
+    Homogeneous batches let a static CP degree fit every sequence in
+    the batch; the cost is inter-batch workload variance (long-sequence
+    batches are far heavier than short-sequence ones).
+    """
+    cleaned = sorted(_clean(lengths, max_seqlen))
+    return pack_batches(cleaned, token_budget, max_seqlen)
+
+
+def packing_stats(batches: List[List[int]]) -> dict:
+    """Balance metrics of a packing.
+
+    Returns batch count, token utilization spread, and the quadratic
+    workload imbalance (max/mean - 1) that governs compute balance
+    under causal attention.
+    """
+    if not batches:
+        return {
+            "num_batches": 0,
+            "token_imbalance": 0.0,
+            "workload_imbalance": 0.0,
+            "max_intra_spread": 0.0,
+        }
+    tokens = np.array([sum(batch) for batch in batches], dtype=np.float64)
+    work = np.array(
+        [sum(float(n) ** 2 for n in batch) for batch in batches],
+        dtype=np.float64,
+    )
+    spread = max(
+        (max(batch) / min(batch)) for batch in batches
+    )
+    return {
+        "num_batches": len(batches),
+        "token_imbalance": float(tokens.max() / tokens.mean() - 1.0),
+        "workload_imbalance": float(work.max() / work.mean() - 1.0),
+        "max_intra_spread": float(spread),
+    }
+
+
+#: Strategy registry for sweeps.
+PACKERS = {
+    "sequential": pack_sequential,
+    "ffd": pack_first_fit_decreasing,
+    "workload_balanced": pack_workload_balanced,
+    "length_grouped": pack_length_grouped,
+}

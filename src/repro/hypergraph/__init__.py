@@ -1,0 +1,23 @@
+"""From-scratch multilevel hypergraph partitioner (KaHyPar substitute)."""
+
+from .coarsen import coarsen, coarsen_once, contract
+from .graph import BalanceConstraint, Hypergraph, PartitionResult
+from .initial import greedy_initial, random_initial
+from .partition import partition_hypergraph
+from .refine import RefinementState, fm_refine, greedy_refine, rebalance
+
+__all__ = [
+    "Hypergraph",
+    "BalanceConstraint",
+    "PartitionResult",
+    "partition_hypergraph",
+    "coarsen",
+    "coarsen_once",
+    "contract",
+    "greedy_initial",
+    "random_initial",
+    "RefinementState",
+    "fm_refine",
+    "greedy_refine",
+    "rebalance",
+]

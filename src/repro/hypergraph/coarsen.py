@@ -1,0 +1,141 @@
+"""Multilevel coarsening via heavy-pin matching.
+
+Pairs of vertices that share many light hyperedges are contracted, so
+the coarse graph preserves the connectivity structure.  The similarity
+score between two vertices is the classic heavy-edge rating
+``sum_{e shared} w_e / (|pins_e| - 1)`` used by hMETIS/KaHyPar-style
+partitioners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Hypergraph
+
+__all__ = ["contract", "coarsen_once", "coarsen"]
+
+# Hyperedges with more pins than this contribute little information per
+# pair and cost a lot to scan, so matching skips them.
+_MAX_SCAN_PINS = 64
+
+
+def contract(graph: Hypergraph, mapping: np.ndarray, num_coarse: int) -> Hypergraph:
+    """Contract ``graph`` according to ``mapping`` (fine -> coarse ids).
+
+    Coarse vertex weights are sums of their fine constituents.  Pins are
+    deduplicated; edges that collapse to a single pin are dropped (their
+    connectivity contribution is identically zero); duplicate edges are
+    merged with summed weights.
+    """
+    weights = np.zeros((num_coarse, graph.weight_dims), dtype=np.int64)
+    np.add.at(weights, mapping, graph.weights)
+
+    merged: Dict[Tuple[int, ...], int] = {}
+    pins: List[np.ndarray] = []
+    edge_weights: List[int] = []
+    for edge_index, pin in enumerate(graph.pins):
+        coarse_pin = np.unique(mapping[pin])
+        if len(coarse_pin) < 2:
+            continue
+        key = tuple(coarse_pin.tolist())
+        weight = int(graph.edge_weights[edge_index])
+        if key in merged:
+            edge_weights[merged[key]] += weight
+        else:
+            merged[key] = len(pins)
+            pins.append(coarse_pin)
+            edge_weights.append(weight)
+    return Hypergraph(weights, pins, edge_weights)
+
+
+def coarsen_once(
+    graph: Hypergraph,
+    max_vertex_weight: np.ndarray,
+    rng: np.random.Generator,
+) -> Optional[Tuple[Hypergraph, np.ndarray]]:
+    """One matching + contraction round.
+
+    Returns ``(coarse_graph, mapping)`` or ``None`` when no meaningful
+    contraction is possible.
+    """
+    n = graph.num_vertices
+    incidence = graph.incidence()
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+
+    for u in order:
+        if match[u] >= 0:
+            continue
+        scores: Dict[int, float] = {}
+        for edge_index in incidence[u]:
+            pin = graph.pins[edge_index]
+            if len(pin) > _MAX_SCAN_PINS:
+                continue
+            rating = graph.edge_weights[edge_index] / (len(pin) - 1)
+            for v in pin.tolist():
+                if v != u and match[v] < 0:
+                    scores[v] = scores.get(v, 0.0) + rating
+        best, best_score = -1, 0.0
+        for v, score in scores.items():
+            if score <= best_score:
+                continue
+            combined = graph.weights[u] + graph.weights[v]
+            if np.any(combined > max_vertex_weight):
+                continue
+            best, best_score = v, score
+        if best >= 0:
+            match[u] = best
+            match[best] = u
+
+    mapping = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for u in range(n):
+        if mapping[u] >= 0:
+            continue
+        mapping[u] = next_id
+        partner = match[u]
+        if partner >= 0:
+            mapping[partner] = next_id
+        next_id += 1
+
+    if next_id >= n:  # nothing contracted
+        return None
+    return contract(graph, mapping, next_id), mapping
+
+
+def coarsen(
+    graph: Hypergraph,
+    k: int,
+    rng: np.random.Generator,
+    min_vertices: Optional[int] = None,
+    max_levels: int = 25,
+) -> List[Tuple[Hypergraph, np.ndarray]]:
+    """Full coarsening hierarchy.
+
+    Returns a list of ``(coarse_graph, mapping_from_previous_level)``
+    pairs, finest first.  Contraction stops when the graph is small
+    enough (``min_vertices``, default ``max(60, 12 * k)``) or stops
+    shrinking (< 5% reduction).
+    """
+    if min_vertices is None:
+        min_vertices = max(60, 12 * k)
+    # Cap coarse vertex weight so balanced k-way partitions stay
+    # representable: no cluster may exceed ~half a part.
+    cap = np.maximum(graph.total_weight // max(2 * k, 1), 1)
+    levels: List[Tuple[Hypergraph, np.ndarray]] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.num_vertices <= min_vertices:
+            break
+        step = coarsen_once(current, cap, rng)
+        if step is None:
+            break
+        coarse, mapping = step
+        if coarse.num_vertices > 0.95 * current.num_vertices:
+            break
+        levels.append((coarse, mapping))
+        current = coarse
+    return levels

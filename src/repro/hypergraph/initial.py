@@ -1,0 +1,68 @@
+"""Initial partitioning of the coarsest hypergraph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Hypergraph
+
+__all__ = ["greedy_initial", "random_initial"]
+
+
+def random_initial(
+    graph: Hypergraph, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random assignment (restart seed for refinement)."""
+    return rng.integers(0, k, size=graph.num_vertices, dtype=np.int64)
+
+
+def greedy_initial(
+    graph: Hypergraph,
+    k: int,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy constructive assignment.
+
+    Vertices are placed heaviest-first (LPT-style, normalizing each
+    weight dimension by its total); each vertex goes to the part where
+    it increases connectivity least, breaking ties by least load.
+    Balance caps are respected where possible.
+    """
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    totals = np.maximum(graph.total_weight, 1).astype(np.float64)
+    norm = (graph.weights / totals[None, :]).sum(axis=1)
+    order = np.argsort(-norm, kind="stable")
+
+    part_weights = np.zeros((k, graph.weight_dims), dtype=np.int64)
+    # counts[e, p] = assigned pins of edge e in part p so far
+    counts = np.zeros((graph.num_edges, k), dtype=np.int64)
+    incidence = graph.incidence()
+
+    for vertex in order.tolist():
+        # Connectivity increase of each candidate part: an edge whose
+        # span does not yet include the part gains (weight) cost, unless
+        # the edge has no assigned pins at all yet.
+        increase = np.zeros(k, dtype=np.int64)
+        for edge_index in incidence[vertex]:
+            edge_counts = counts[edge_index]
+            if edge_counts.sum() == 0:
+                continue
+            increase += np.where(edge_counts == 0, graph.edge_weights[edge_index], 0)
+        fits = np.all(
+            part_weights + graph.weights[vertex][None, :] <= caps[None, :], axis=1
+        )
+        candidates = np.nonzero(fits)[0]
+        if len(candidates) == 0:
+            candidates = np.arange(k)
+        load = (part_weights[candidates] / totals[None, :]).sum(axis=1)
+        score = increase[candidates].astype(np.float64) + 1e-9 * load
+        # Randomized tie-break keeps restarts diverse.
+        score += rng.random(len(candidates)) * 1e-12
+        choice = int(candidates[np.argmin(score)])
+        labels[vertex] = choice
+        part_weights[choice] += graph.weights[vertex]
+        for edge_index in incidence[vertex]:
+            counts[edge_index, choice] += 1
+    return labels

@@ -1,0 +1,246 @@
+"""Partition refinement: greedy move-based local search (FM-style).
+
+Pin-part counts are maintained incrementally so each move's gain is
+O(incident edges).  Moves are accepted when they reduce the
+connectivity cost without violating the balance caps; a dedicated
+rebalancing pass repairs infeasible partitions by relocating vertices
+out of overloaded parts at minimal cost increase.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from .graph import Hypergraph
+
+__all__ = ["RefinementState", "greedy_refine", "fm_refine", "rebalance"]
+
+
+class RefinementState:
+    """Incremental bookkeeping for move-based refinement."""
+
+    def __init__(self, graph: Hypergraph, labels: np.ndarray, k: int) -> None:
+        self.graph = graph
+        self.k = k
+        self.labels = labels.astype(np.int64).copy()
+        self.pin_counts = graph.pin_part_counts(self.labels, k)
+        self.part_weights = graph.part_weights(self.labels, k)
+
+    def gain(self, vertex: int, target: int) -> int:
+        """Connectivity reduction if ``vertex`` moves to ``target``."""
+        source = self.labels[vertex]
+        if source == target:
+            return 0
+        total = 0
+        for edge_index in self.graph.incidence()[vertex]:
+            weight = int(self.graph.edge_weights[edge_index])
+            counts = self.pin_counts[edge_index]
+            if counts[source] == 1:
+                total += weight  # source part leaves the edge's span
+            if counts[target] == 0:
+                total -= weight  # target part joins the edge's span
+        return total
+
+    def move(self, vertex: int, target: int) -> None:
+        source = self.labels[vertex]
+        if source == target:
+            return
+        for edge_index in self.graph.incidence()[vertex]:
+            self.pin_counts[edge_index, source] -= 1
+            self.pin_counts[edge_index, target] += 1
+        self.part_weights[source] -= self.graph.weights[vertex]
+        self.part_weights[target] += self.graph.weights[vertex]
+        self.labels[vertex] = target
+
+    def fits(self, vertex: int, target: int, caps: np.ndarray) -> bool:
+        new_weight = self.part_weights[target] + self.graph.weights[vertex]
+        return bool(np.all(new_weight <= caps))
+
+    def cost(self) -> int:
+        spans = (self.pin_counts > 0).sum(axis=1)
+        active = spans > 0
+        return int(
+            (self.graph.edge_weights[active] * (spans[active] - 1)).sum()
+        )
+
+    def is_feasible(self, caps: np.ndarray) -> bool:
+        return bool(np.all(self.part_weights <= caps[None, :]))
+
+
+def greedy_refine(
+    state: RefinementState,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_passes: int = 8,
+) -> int:
+    """Iterated greedy improvement; returns the number of moves made.
+
+    Each pass visits vertices in random order and applies the best
+    strictly-positive-gain move that keeps the partition feasible.
+    Candidate targets are restricted to parts adjacent through incident
+    edges (moving elsewhere can never reduce connectivity).
+    """
+    graph, k = state.graph, state.k
+    incidence = graph.incidence()
+    moves = 0
+    for _ in range(max_passes):
+        improved = False
+        for vertex in rng.permutation(graph.num_vertices):
+            source = state.labels[vertex]
+            candidates = set()
+            for edge_index in incidence[vertex]:
+                counts = state.pin_counts[edge_index]
+                candidates.update(np.nonzero(counts)[0].tolist())
+            candidates.discard(source)
+            best_target, best_gain = -1, 0
+            for target in candidates:
+                gain = state.gain(vertex, target)
+                if gain > best_gain and state.fits(vertex, target, caps):
+                    best_target, best_gain = target, gain
+            if best_target >= 0:
+                state.move(vertex, best_target)
+                moves += 1
+                improved = True
+        if not improved:
+            break
+    return moves
+
+
+def _adjacent_parts(state: RefinementState, vertex: int) -> set:
+    parts = set()
+    for edge_index in state.graph.incidence()[vertex]:
+        parts.update(np.nonzero(state.pin_counts[edge_index])[0].tolist())
+    parts.discard(int(state.labels[vertex]))
+    return parts
+
+
+def fm_refine(
+    state: RefinementState,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_passes: int = 3,
+    move_cap: Optional[int] = None,
+) -> int:
+    """Fiduccia–Mattheyses refinement with rollback.
+
+    Unlike :func:`greedy_refine`, FM tentatively applies zero- and
+    negative-gain moves (each vertex at most once per pass) and rolls
+    back to the best prefix, which lets the cut slide across plateaus —
+    essential for chain-like hypergraphs such as causal attention.
+
+    Returns the number of net (kept) moves.
+    """
+    graph = state.graph
+    if move_cap is None:
+        move_cap = min(graph.num_vertices, 4000)
+    incidence = graph.incidence()
+    counter = itertools.count()
+    kept_moves = 0
+
+    for _ in range(max_passes):
+        heap: list = []
+
+        def push(vertex: int) -> None:
+            for target in _adjacent_parts(state, vertex):
+                gain = state.gain(vertex, target)
+                heapq.heappush(heap, (-gain, next(counter), vertex, target))
+
+        boundary = [
+            v
+            for v in range(graph.num_vertices)
+            if _adjacent_parts(state, v)
+        ]
+        rng.shuffle(boundary)
+        for vertex in boundary:
+            push(vertex)
+
+        moved = set()
+        history = []  # (vertex, source_part)
+        current_cost = state.cost()
+        best_cost = current_cost
+        best_length = 0
+
+        while heap and len(history) < move_cap:
+            neg_gain, _, vertex, target = heapq.heappop(heap)
+            if vertex in moved or target == state.labels[vertex]:
+                continue
+            actual = state.gain(vertex, target)
+            if actual < -neg_gain:  # stale entry: requeue with real gain
+                heapq.heappush(heap, (-actual, next(counter), vertex, target))
+                continue
+            if not state.fits(vertex, target, caps):
+                continue
+            source = int(state.labels[vertex])
+            state.move(vertex, target)
+            moved.add(vertex)
+            history.append((vertex, source))
+            current_cost -= actual
+            if current_cost < best_cost:
+                best_cost = current_cost
+                best_length = len(history)
+            # Refresh candidates of affected neighbours.
+            for edge_index in incidence[vertex]:
+                pin = graph.pins[edge_index]
+                if len(pin) > 64:
+                    continue
+                for neighbour in pin.tolist():
+                    if neighbour not in moved:
+                        push(neighbour)
+
+        for vertex, source in reversed(history[best_length:]):
+            state.move(vertex, source)
+        kept_moves += best_length
+        if best_length == 0:
+            break
+    return kept_moves
+
+
+def rebalance(
+    state: RefinementState,
+    caps: np.ndarray,
+    rng: np.random.Generator,
+    max_moves: Optional[int] = None,
+) -> bool:
+    """Repair balance violations; returns True when feasible afterwards.
+
+    Vertices are evicted from overloaded parts into the least-loaded
+    feasible part, preferring moves with the smallest cost increase.
+    """
+    graph = state.graph
+    if max_moves is None:
+        max_moves = 4 * graph.num_vertices
+    for _ in range(max_moves):
+        overload = state.part_weights.astype(np.float64) / caps[None, :]
+        worst_part = int(np.argmax(overload.max(axis=1)))
+        if np.all(state.part_weights[worst_part] <= caps):
+            return True
+        over_dim = int(np.argmax(overload[worst_part]))
+        members = np.nonzero(state.labels == worst_part)[0]
+        movable = members[graph.weights[members, over_dim] > 0]
+        if len(movable) == 0:
+            return False
+        # Prefer evicting small vertices with the least connectivity loss.
+        sample = rng.permutation(movable)[: min(len(movable), 64)]
+        best = None
+        for vertex in sample:
+            for target in range(state.k):
+                if target == worst_part or not state.fits(vertex, target, caps):
+                    continue
+                loss = -state.gain(vertex, target)
+                if best is None or loss < best[0]:
+                    best = (loss, vertex, target)
+        if best is None:
+            # No target has room: move to the globally least-loaded part
+            # anyway so progress continues (cap re-checked at the end).
+            vertex = int(sample[0])
+            target = int(np.argmin(state.part_weights[:, over_dim]))
+            if target == worst_part:
+                return False
+            state.move(vertex, target)
+            continue
+        state.move(int(best[1]), int(best[2]))
+    return state.is_feasible(caps)

@@ -1,0 +1,185 @@
+"""A small GPT in pure numpy with manual backpropagation.
+
+Architecturally a miniature of the paper's 8B model: pre-norm
+transformer blocks, GQA attention, GELU MLP, learned positional
+embeddings, untied LM head.  Used for the loss-curve experiment
+(Fig. 21): the same model trains with different attention forwards
+(dense "MLM" vs. distributed plans) and the losses must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..masks import CausalMask, MaskSpec
+from .attention import AttentionForward, attention_forward_backward
+from .layers import (
+    gelu_backward,
+    gelu_forward,
+    layer_norm_backward,
+    layer_norm_forward,
+    linear_backward,
+    linear_forward,
+    softmax_cross_entropy,
+)
+
+__all__ = ["GPTConfig", "TinyGPT"]
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    vocab: int = 128
+    d_model: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    num_kv_groups: int = 2
+    head_dim: int = 16
+    d_ff: int = 128
+    max_len: int = 512
+
+    def __post_init__(self) -> None:
+        if self.num_heads * self.head_dim != self.d_model:
+            raise ValueError("d_model must equal num_heads * head_dim")
+        if self.num_heads % self.num_kv_groups != 0:
+            raise ValueError("heads must divide into KV groups")
+
+
+class TinyGPT:
+    """Decoder-only transformer with explicit parameter dict."""
+
+    def __init__(self, config: GPTConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        c = config
+
+        def init(*shape) -> np.ndarray:
+            scale = 1.0 / np.sqrt(shape[0])
+            return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+        self.params: Dict[str, np.ndarray] = {
+            "tok_emb": init(c.vocab, c.d_model),
+            "pos_emb": init(c.max_len, c.d_model),
+            "final_gamma": np.ones(c.d_model, dtype=np.float32),
+            "final_beta": np.zeros(c.d_model, dtype=np.float32),
+            "head": init(c.d_model, c.vocab),
+        }
+        kv_dim = c.num_kv_groups * c.head_dim
+        for layer in range(c.num_layers):
+            p = f"l{layer}_"
+            self.params[p + "ln1_gamma"] = np.ones(c.d_model, dtype=np.float32)
+            self.params[p + "ln1_beta"] = np.zeros(c.d_model, dtype=np.float32)
+            self.params[p + "wq"] = init(c.d_model, c.d_model)
+            self.params[p + "wk"] = init(c.d_model, kv_dim)
+            self.params[p + "wv"] = init(c.d_model, kv_dim)
+            self.params[p + "wo"] = init(c.d_model, c.d_model)
+            self.params[p + "ln2_gamma"] = np.ones(c.d_model, dtype=np.float32)
+            self.params[p + "ln2_beta"] = np.zeros(c.d_model, dtype=np.float32)
+            self.params[p + "w1"] = init(c.d_model, c.d_ff)
+            self.params[p + "w2"] = init(c.d_ff, c.d_model)
+
+    # -- shape helpers ------------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray, num: int) -> np.ndarray:
+        length = x.shape[0]
+        return x.reshape(length, num, self.config.head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        return x.transpose(1, 0, 2).reshape(x.shape[1], -1)
+
+    # -- forward + backward ---------------------------------------------------
+
+    def loss_and_grads(
+        self,
+        tokens: np.ndarray,
+        mask: Optional[MaskSpec] = None,
+        attention_forward: Optional[AttentionForward] = None,
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Next-token loss and parameter gradients for one sequence."""
+        c = self.config
+        mask = mask or CausalMask()
+        params = self.params
+        length = len(tokens) - 1
+        inputs, targets = tokens[:-1], tokens[1:]
+
+        x = params["tok_emb"][inputs] + params["pos_emb"][:length]
+        x = x.astype(np.float32)
+        caches: List[dict] = []
+
+        for layer in range(c.num_layers):
+            p = f"l{layer}_"
+            cache: dict = {}
+            h1, cache["ln1"] = layer_norm_forward(
+                x, params[p + "ln1_gamma"], params[p + "ln1_beta"]
+            )
+            q_flat, cache["wq"] = linear_forward(h1, params[p + "wq"])
+            k_flat, cache["wk"] = linear_forward(h1, params[p + "wk"])
+            v_flat, cache["wv"] = linear_forward(h1, params[p + "wv"])
+            q = self._split_heads(q_flat, c.num_heads)
+            k = self._split_heads(k_flat, c.num_kv_groups)
+            v = self._split_heads(v_flat, c.num_kv_groups)
+            attn_out, attn_backward = attention_forward_backward(
+                q, k, v, mask, forward_fn=attention_forward
+            )
+            cache["attn_backward"] = attn_backward
+            merged = self._merge_heads(attn_out)
+            proj, cache["wo"] = linear_forward(merged, params[p + "wo"])
+            x = x + proj
+
+            h2, cache["ln2"] = layer_norm_forward(
+                x, params[p + "ln2_gamma"], params[p + "ln2_beta"]
+            )
+            up, cache["w1"] = linear_forward(h2, params[p + "w1"])
+            act, cache["gelu"] = gelu_forward(up)
+            down, cache["w2"] = linear_forward(act, params[p + "w2"])
+            x = x + down
+            caches.append(cache)
+
+        final, final_cache = layer_norm_forward(
+            x, params["final_gamma"], params["final_beta"]
+        )
+        logits, head_cache = linear_forward(final, params["head"])
+        loss, dlogits = softmax_cross_entropy(logits, targets)
+
+        # -- backward ----------------------------------------------------
+        grads: Dict[str, np.ndarray] = {}
+        dfinal, grads["head"] = linear_backward(dlogits, head_cache)
+        dx, grads["final_gamma"], grads["final_beta"] = layer_norm_backward(
+            dfinal, final_cache
+        )
+
+        for layer in reversed(range(c.num_layers)):
+            p = f"l{layer}_"
+            cache = caches[layer]
+            dact, grads[p + "w2"] = linear_backward(dx, cache["w2"])
+            dup = gelu_backward(dact, cache["gelu"])
+            dh2, grads[p + "w1"] = linear_backward(dup, cache["w1"])
+            dres, grads[p + "ln2_gamma"], grads[p + "ln2_beta"] = (
+                layer_norm_backward(dh2, cache["ln2"])
+            )
+            dx = dx + dres
+
+            dmerged, grads[p + "wo"] = linear_backward(dx, cache["wo"])
+            dattn = self._split_heads(dmerged, c.num_heads)
+            dq, dk, dv = cache["attn_backward"](dattn)
+            dh1_q, grads[p + "wq"] = linear_backward(
+                self._merge_heads(dq), cache["wq"]
+            )
+            dh1_k, grads[p + "wk"] = linear_backward(
+                self._merge_heads(dk), cache["wk"]
+            )
+            dh1_v, grads[p + "wv"] = linear_backward(
+                self._merge_heads(dv), cache["wv"]
+            )
+            dres, grads[p + "ln1_gamma"], grads[p + "ln1_beta"] = (
+                layer_norm_backward(dh1_q + dh1_k + dh1_v, cache["ln1"])
+            )
+            dx = dx + dres
+
+        grads["pos_emb"] = np.zeros_like(params["pos_emb"])
+        grads["pos_emb"][:length] = dx
+        grads["tok_emb"] = np.zeros_like(params["tok_emb"])
+        np.add.at(grads["tok_emb"], inputs, dx)
+        return loss, grads

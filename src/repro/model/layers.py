@@ -1,0 +1,101 @@
+"""Numpy neural-net layers with manual backward passes.
+
+Everything operates in float32 on ``[L, d]`` activations (we train with
+batch size 1 sequence at a time, like the paper's packed long-context
+batches).  Each ``*_forward`` returns ``(output, cache)``; the matching
+``*_backward`` consumes the cache and returns input/parameter grads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "layer_norm_forward",
+    "layer_norm_backward",
+    "gelu_forward",
+    "gelu_backward",
+    "linear_forward",
+    "linear_backward",
+    "softmax_cross_entropy",
+]
+
+_EPS = 1e-5
+
+
+def layer_norm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray
+) -> Tuple[np.ndarray, tuple]:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + _EPS)
+    x_hat = (x - mean) * inv_std
+    out = x_hat * gamma + beta
+    return out.astype(np.float32), (x_hat, inv_std, gamma)
+
+
+def layer_norm_backward(
+    grad_out: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x_hat, inv_std, gamma = cache
+    d = x_hat.shape[-1]
+    dgamma = (grad_out * x_hat).sum(axis=0)
+    dbeta = grad_out.sum(axis=0)
+    dx_hat = grad_out * gamma
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx.astype(np.float32), dgamma.astype(np.float32), dbeta.astype(np.float32)
+
+
+def gelu_forward(x: np.ndarray) -> Tuple[np.ndarray, tuple]:
+    """tanh-approximated GELU."""
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    u = c * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    out = 0.5 * x * (1.0 + t)
+    return out.astype(np.float32), (x, t)
+
+
+def gelu_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    x, t = cache
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    du = c * (1.0 + 3 * 0.044715 * x**2)
+    dt = (1.0 - t**2) * du
+    grad = 0.5 * (1.0 + t) + 0.5 * x * dt
+    return (grad_out * grad).astype(np.float32)
+
+
+def linear_forward(x: np.ndarray, weight: np.ndarray) -> Tuple[np.ndarray, tuple]:
+    return (x @ weight).astype(np.float32), (x, weight)
+
+
+def linear_backward(
+    grad_out: np.ndarray, cache: tuple
+) -> Tuple[np.ndarray, np.ndarray]:
+    x, weight = cache
+    dx = grad_out @ weight.T
+    dweight = x.T @ grad_out
+    return dx.astype(np.float32), dweight.astype(np.float32)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean next-token cross-entropy and its logit gradient.
+
+    ``logits``: ``[L, vocab]``; ``targets``: ``[L]`` integer ids.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+    n = len(targets)
+    loss = -float(log_probs[np.arange(n), targets].mean())
+    grad = np.exp(log_probs)
+    grad[np.arange(n), targets] -= 1.0
+    grad /= n
+    return loss, grad.astype(np.float32)

@@ -1,0 +1,254 @@
+"""End-to-end hybrid TP x DCP x PP iteration estimate (paper §6.2).
+
+This module composes the pieces the paper says are orthogonal to DCP:
+
+* tensor parallelism on consecutive in-node ranks (head sharding,
+  all-reduce cost, plan sharing — :mod:`repro.parallel.tp`);
+* DCP over the ranks Megatron would give to CP and DP (plans come from
+  any planner following the planner protocol, so baselines compose the
+  same way);
+* pipeline parallelism over machine groups, priced with the 1F1B
+  simulator (:mod:`repro.parallel.pp`).
+
+The result is an iteration-time estimate with the same decomposition
+philosophy as :mod:`repro.sim.modelcost`: attention times come from the
+timing simulator replaying real plans; context-independent work, TP
+all-reduces, activation p2p and gradient sync are analytic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..blocks import AttentionSpec, BatchSpec, generate_blocks
+from ..core.config import DCPConfig
+from ..core.groups import split_batch_by_workload
+from ..core.planner import DCPPlanner
+from ..sim.cluster import ClusterSpec
+from ..sim.modelcost import ModelSpec
+from ..sim.timing import simulate_plan
+from .pp import PipelineTiming, StageCost, simulate_1f1b_varied, split_layers
+from .topology import RankTopology
+from .tp import dcp_view_cluster, shard_attention, tp_layer_comm_time
+
+__all__ = ["HybridConfig", "HybridResult", "hybrid_iteration_time"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """How to run one model on one cluster with TP x DCP x PP."""
+
+    topology: RankTopology
+    num_microbatches: int = 1
+    dcp_config: DCPConfig = field(default_factory=DCPConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_microbatches < 1:
+            raise ValueError("need at least one microbatch")
+
+
+@dataclass
+class HybridResult:
+    """Iteration estimate of one hybrid-parallel configuration."""
+
+    iteration_time: float
+    pipeline: PipelineTiming
+    attention_time: float  # summed fw+bw attention across stages/microbatches
+    tp_comm_time: float  # summed TP all-reduce time on the critical path
+    others_time: float  # context-independent compute, critical device
+    grad_sync_time: float
+    microbatch_plans: List[object]
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "attention": self.attention_time,
+            "tp_comm": self.tp_comm_time,
+            "others": self.others_time,
+            "grad_sync": self.grad_sync_time,
+            "pipeline_bubble": self.pipeline.bubble_fraction,
+            "total": self.iteration_time,
+        }
+
+
+def _stage_cluster(cluster: ClusterSpec, topology: RankTopology) -> ClusterSpec:
+    """The cluster one pipeline stage's DCP group runs on.
+
+    PP spans the most distant ranks, so stages occupy contiguous machine
+    groups; TP groups inside each machine collapse into single DCP
+    ranks.
+    """
+    if cluster.num_machines % topology.pp != 0:
+        raise ValueError(
+            f"pp degree {topology.pp} must divide machines "
+            f"{cluster.num_machines}"
+        )
+    per_stage = ClusterSpec(
+        num_machines=cluster.num_machines // topology.pp,
+        devices_per_machine=cluster.devices_per_machine,
+        peak_flops=cluster.peak_flops,
+        flops_efficiency=cluster.flops_efficiency,
+        intra_bandwidth=cluster.intra_bandwidth,
+        intra_latency=cluster.intra_latency,
+        inter_bandwidth=cluster.inter_bandwidth,
+        inter_latency=cluster.inter_latency,
+        kernel_overhead=cluster.kernel_overhead,
+        tile_overhead=cluster.tile_overhead,
+        hbm_bandwidth=cluster.hbm_bandwidth,
+    )
+    return dcp_view_cluster(per_stage, topology.tp)
+
+
+def _attention_spec(model: ModelSpec, tp: int) -> AttentionSpec:
+    """Per-TP-shard attention operator of the model."""
+    return shard_attention(
+        AttentionSpec(
+            num_q_heads=model.num_q_heads,
+            num_kv_groups=model.num_kv_groups,
+            head_dim=model.head_dim,
+            dtype_bytes=model.dtype_bytes,
+        ),
+        tp,
+    )
+
+
+def _grad_sync_time(
+    model: ModelSpec, topology: RankTopology, cluster: ClusterSpec
+) -> float:
+    """Exposed gradient all-reduce across one stage's DCP ranks."""
+    ranks = topology.dcp
+    if ranks <= 1:
+        return 0.0
+    exposure = 0.08
+    stage_params = model.parameter_count() / topology.pp
+    grad_bytes = stage_params * model.dtype_bytes / topology.tp
+    ring = 2.0 * grad_bytes * (ranks - 1) / ranks / cluster.inter_bandwidth
+    return exposure * ring
+
+
+def hybrid_iteration_time(
+    batch: BatchSpec,
+    cluster: ClusterSpec,
+    config: HybridConfig,
+    model: Optional[ModelSpec] = None,
+    planner: Optional[object] = None,
+) -> HybridResult:
+    """Estimate one training iteration under a hybrid configuration.
+
+    Parameters
+    ----------
+    batch:
+        The global batch; it is LPT-split by attention workload into
+        ``config.num_microbatches`` microbatches.
+    cluster:
+        The physical GPU cluster (per-GPU FLOPs; TP aggregation is
+        derived from the topology).
+    config:
+        Topology and microbatching.
+    model:
+        Transformer shape; defaults to the paper's 8B GPT.
+    planner:
+        Any planner following the planner protocol
+        (``plan(block_set, cluster)``); defaults to a fresh
+        :class:`~repro.core.planner.DCPPlanner`, so baselines can be
+        dropped in for comparison.
+    """
+    model = model or ModelSpec()
+    topology = config.topology
+    topology.validate_against(cluster)
+    stage_cluster = _stage_cluster(cluster, topology)
+    attention = _attention_spec(model, topology.tp)
+    if planner is None:
+        planner = DCPPlanner(stage_cluster, attention, config.dcp_config)
+
+    microbatches = [
+        mb
+        for mb in split_batch_by_workload(batch, config.num_microbatches)
+        if mb is not None
+    ]
+    if not microbatches:
+        raise ValueError("batch produced no microbatches")
+
+    layers_per_stage = split_layers(model.num_layers, topology.pp)
+    per_gpu_flops = cluster.effective_flops()
+
+    plans = []
+    stage_costs: List[List[StageCost]] = [[] for _ in range(topology.pp)]
+    attention_total = 0.0
+    tp_total = 0.0
+    others_total = 0.0
+    for microbatch in microbatches:
+        block_set = generate_blocks(
+            microbatch, attention=attention,
+            block_size=config.dcp_config.block_size,
+        )
+        plan = planner.plan(block_set, stage_cluster)
+        plans.append(plan)
+        forward = simulate_plan(plan, stage_cluster, backward=False)
+        backward = simulate_plan(plan, stage_cluster, backward=True)
+
+        tokens = np.zeros(stage_cluster.num_devices, dtype=np.int64)
+        for device, device_plan in plan.device_plans.items():
+            tokens[device] = sum(ts.tokens for ts in device_plan.local_slices)
+        max_tokens = float(tokens.max()) if len(tokens) else 0.0
+
+        linear_fw = (
+            max_tokens * model.linear_flops_per_token()
+            / topology.tp / per_gpu_flops
+        )
+        head_fw = (
+            max_tokens * model.head_flops_per_token()
+            / topology.tp / per_gpu_flops
+        )
+        tp_layer = tp_layer_comm_time(model, int(max_tokens), cluster,
+                                      topology.tp)
+
+        for stage, num_layers in enumerate(layers_per_stage):
+            fw = num_layers * (
+                forward.iteration_time + linear_fw + tp_layer / 4.0 * 2.0
+            )
+            bw = num_layers * (
+                backward.iteration_time + 2.0 * linear_fw
+                + tp_layer / 4.0 * 2.0
+            )
+            if stage == topology.pp - 1:
+                fw += head_fw
+                bw += 2.0 * head_fw
+            stage_costs[stage].append(StageCost(forward=fw, backward=bw))
+            attention_total += (
+                num_layers
+                * (forward.iteration_time + backward.iteration_time)
+            )
+            tp_total += num_layers * tp_layer
+            others_total += num_layers * 3.0 * linear_fw
+            if stage == topology.pp - 1:
+                others_total += 3.0 * head_fw
+
+    # Activation p2p between stages: the widest device's tokens.
+    widest = 0.0
+    for plan in plans:
+        for device_plan in plan.device_plans.values():
+            widest = max(
+                widest,
+                float(sum(ts.tokens for ts in device_plan.local_slices)),
+            )
+    p2p_bytes = widest * model.hidden * model.dtype_bytes / topology.tp
+    p2p_time = (
+        cluster.inter_latency + p2p_bytes / cluster.inter_bandwidth
+        if topology.pp > 1
+        else 0.0
+    )
+
+    pipeline = simulate_1f1b_varied(stage_costs, p2p_time=p2p_time)
+    sync = _grad_sync_time(model, topology, cluster)
+    return HybridResult(
+        iteration_time=pipeline.total + sync,
+        pipeline=pipeline,
+        attention_time=attention_total,
+        tp_comm_time=tp_total,
+        others_time=others_total,
+        grad_sync_time=sync,
+        microbatch_plans=plans,
+    )

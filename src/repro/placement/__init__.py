@@ -1,0 +1,20 @@
+"""Hierarchical placement of data/computation blocks onto devices."""
+
+from .build import BlockHypergraph, build_block_hypergraph
+from .heuristics import dp_pack_labels, zigzag_chunk_device, zigzag_labels
+from .hierarchical import Placement, PlacementConfig, place_blocks
+from .volume import CommReport, Transfer, communication_report
+
+__all__ = [
+    "BlockHypergraph",
+    "build_block_hypergraph",
+    "zigzag_chunk_device",
+    "zigzag_labels",
+    "dp_pack_labels",
+    "Placement",
+    "PlacementConfig",
+    "place_blocks",
+    "CommReport",
+    "Transfer",
+    "communication_report",
+]

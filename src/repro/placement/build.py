@@ -1,0 +1,118 @@
+"""Hypergraph construction from a BlockSet (paper §4.2, Fig. 12).
+
+Vertices:
+
+* one *token-group* vertex per :class:`TokenSlice`, weight
+  ``[0, bytes]`` aggregating all of its Q/KV/O head-blocks (this encodes
+  the paper's constraint that Q/KV/O of the same tokens co-locate);
+* one vertex per :class:`CompBlock`, weight ``[flops, 0]``.
+
+Hyperedges: one per *data block* (token slice x head group x tensor
+kind), pinning the block's home vertex together with every computation
+block that reads or writes it; edge weight = the block's bytes.  The
+connectivity-minus-one metric of a partition then equals the placement's
+total communication volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..blocks import BlockKind, BlockSet, CompBlock, DataBlockId, TokenSlice
+from ..hypergraph import Hypergraph
+
+__all__ = ["BlockHypergraph", "build_block_hypergraph"]
+
+
+@dataclass
+class BlockHypergraph:
+    """A hypergraph plus the block <-> vertex correspondence.
+
+    Vertex numbering: token slices occupy ``[0, len(slices))`` in the
+    order of ``block_set.token_slices``; computation blocks follow in
+    the order of ``block_set.comp_blocks``.
+    """
+
+    graph: Hypergraph
+    block_set: BlockSet
+    slice_vertex: Dict[Tuple[int, int], int]
+    comp_vertex: Dict[CompBlock, int]
+    edge_blocks: List[DataBlockId]
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.block_set.token_slices)
+
+    def vertex_of_slice(self, token_slice: TokenSlice) -> int:
+        return self.slice_vertex[(token_slice.seq_index, token_slice.block_index)]
+
+    def labels_to_devices(self, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split a vertex label vector into (slice labels, comp labels)."""
+        return labels[: self.num_slices], labels[self.num_slices :]
+
+    def induced_subgraph(
+        self, vertices: Sequence[int]
+    ) -> Tuple[Hypergraph, np.ndarray]:
+        """Subgraph on ``vertices``; returns it plus the original ids.
+
+        Edges keep only local pins; edges left with fewer than two pins
+        are dropped (they cannot contribute connectivity).
+        """
+        vertices = np.asarray(sorted(vertices), dtype=np.int64)
+        local_of = {int(v): i for i, v in enumerate(vertices)}
+        weights = self.graph.weights[vertices]
+        pins: List[List[int]] = []
+        edge_weights: List[int] = []
+        for edge_index, pin in enumerate(self.graph.pins):
+            local = [local_of[int(v)] for v in pin if int(v) in local_of]
+            if len(local) >= 2:
+                pins.append(local)
+                edge_weights.append(int(self.graph.edge_weights[edge_index]))
+        return Hypergraph(weights, pins, edge_weights), vertices
+
+
+def build_block_hypergraph(block_set: BlockSet) -> BlockHypergraph:
+    """Build the placement hypergraph for one batch."""
+    slices = block_set.token_slices
+    comps = block_set.comp_blocks
+    num_slices = len(slices)
+
+    weights = np.zeros((num_slices + len(comps), 2), dtype=np.int64)
+    slice_vertex: Dict[Tuple[int, int], int] = {}
+    for index, token_slice in enumerate(slices):
+        slice_vertex[(token_slice.seq_index, token_slice.block_index)] = index
+        weights[index, 1] = block_set.slice_bytes(token_slice)
+
+    comp_vertex: Dict[CompBlock, int] = {}
+    for offset, comp in enumerate(comps):
+        vertex = num_slices + offset
+        comp_vertex[comp] = vertex
+        weights[vertex, 0] = block_set.comp_flops(comp)
+
+    # Group computation vertices by the data blocks they touch.
+    users: Dict[DataBlockId, List[int]] = {}
+    for comp, vertex in comp_vertex.items():
+        users.setdefault(comp.q_input, []).append(vertex)
+        users.setdefault(comp.kv_input, []).append(vertex)
+        users.setdefault(comp.output, []).append(vertex)
+
+    pins: List[List[int]] = []
+    edge_weights: List[int] = []
+    edge_blocks: List[DataBlockId] = []
+    for block, comp_vertices in sorted(users.items()):
+        home = slice_vertex[(block.seq_index, block.block_index)]
+        pins.append([home] + comp_vertices)
+        edge_weights.append(block_set.block_bytes(block))
+        edge_blocks.append(block)
+
+    graph = Hypergraph(weights, pins, edge_weights)
+    return BlockHypergraph(
+        graph=graph,
+        block_set=block_set,
+        slice_vertex=slice_vertex,
+        comp_vertex=comp_vertex,
+        edge_blocks=edge_blocks,
+    )

@@ -1,0 +1,151 @@
+"""Hierarchical data/computation placement (paper §4.2).
+
+Level 1 assigns blocks to machines, minimizing inter-machine volume
+under a loose computation-balance tolerance (the paper uses
+``eps = 0.4`` between nodes); level 2 places each machine's blocks onto
+its devices under a tight tolerance (``eps = 0.1``).  Both levels run
+the multilevel hypergraph partitioner with zigzag and DP-packing warm
+starts, so the result communicates no more than static CP or pure DP
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..blocks import BlockSet, CompBlock, TokenSlice
+from ..hypergraph import BalanceConstraint, partition_hypergraph
+from ..sim.cluster import ClusterSpec
+from .build import BlockHypergraph, build_block_hypergraph
+from .heuristics import dp_pack_labels, zigzag_labels
+from .volume import CommReport, communication_report
+
+__all__ = ["PlacementConfig", "Placement", "place_blocks"]
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Knobs of the placement optimizer (paper §7.1 hyper-parameters)."""
+
+    eps_inter: float = 0.4
+    eps_intra: float = 0.1
+    eps_data: float = 0.08
+    seed: int = 0
+    restarts: int = 2
+    refine_passes: int = 5
+    use_warm_starts: bool = True
+
+
+@dataclass
+class Placement:
+    """Device assignment for every token slice and computation block."""
+
+    block_set: BlockSet
+    cluster: ClusterSpec
+    slice_device: np.ndarray
+    comp_device: np.ndarray
+
+    def device_of_slice(self, token_slice: TokenSlice) -> int:
+        index = self.block_set.token_slices.index(token_slice)
+        return int(self.slice_device[index])
+
+    def device_of_comp(self, comp: CompBlock) -> int:
+        index = self.block_set.comp_blocks.index(comp)
+        return int(self.comp_device[index])
+
+    def tokens_per_device(self) -> np.ndarray:
+        out = np.zeros(self.cluster.num_devices, dtype=np.int64)
+        for token_slice, device in zip(self.block_set.token_slices, self.slice_device):
+            out[int(device)] += token_slice.tokens
+        return out
+
+    def flops_per_device(self) -> np.ndarray:
+        out = np.zeros(self.cluster.num_devices, dtype=np.int64)
+        for comp, device in zip(self.block_set.comp_blocks, self.comp_device):
+            out[int(device)] += self.block_set.comp_flops(comp)
+        return out
+
+    def comm_report(self) -> CommReport:
+        return communication_report(
+            self.block_set,
+            self.slice_device,
+            self.comp_device,
+            self.cluster.num_devices,
+            self.cluster,
+        )
+
+
+def _warm_starts(
+    bhg: BlockHypergraph, k: int, subset=None, enabled: bool = True
+) -> List[np.ndarray]:
+    if not enabled or k < 2:
+        return []
+    return [zigzag_labels(bhg, k, subset), dp_pack_labels(bhg, k, subset)]
+
+
+def place_blocks(
+    block_set: BlockSet,
+    cluster: ClusterSpec,
+    config: Optional[PlacementConfig] = None,
+) -> Placement:
+    """Optimize block placement hierarchically for one batch."""
+    config = config or PlacementConfig()
+    bhg = build_block_hypergraph(block_set)
+    num_machines = cluster.num_machines
+    devices_per_machine = cluster.devices_per_machine
+    num_vertices = bhg.graph.num_vertices
+
+    # -- level 1: machines ------------------------------------------------
+    if num_machines == 1:
+        machine_labels = np.zeros(num_vertices, dtype=np.int64)
+    else:
+        result = partition_hypergraph(
+            bhg.graph,
+            num_machines,
+            BalanceConstraint((config.eps_inter, config.eps_data)),
+            seed=config.seed,
+            restarts=config.restarts,
+            warm_starts=_warm_starts(
+                bhg, num_machines, enabled=config.use_warm_starts
+            ),
+            refine_passes=config.refine_passes,
+        )
+        machine_labels = result.labels
+
+    # -- level 2: devices within each machine -----------------------------
+    device_labels = np.zeros(num_vertices, dtype=np.int64)
+    for machine in range(num_machines):
+        members = np.nonzero(machine_labels == machine)[0]
+        if len(members) == 0:
+            continue
+        first_device = machine * devices_per_machine
+        if devices_per_machine == 1:
+            device_labels[members] = first_device
+            continue
+        subgraph, original_ids = bhg.induced_subgraph(members)
+        result = partition_hypergraph(
+            subgraph,
+            devices_per_machine,
+            BalanceConstraint((config.eps_intra, config.eps_data)),
+            seed=config.seed + machine + 1,
+            restarts=config.restarts,
+            warm_starts=_warm_starts(
+                bhg,
+                devices_per_machine,
+                subset=original_ids,
+                enabled=config.use_warm_starts,
+            ),
+            refine_passes=config.refine_passes,
+        )
+        device_labels[original_ids] = first_device + result.labels
+
+    slice_device, comp_device = bhg.labels_to_devices(device_labels)
+    return Placement(
+        block_set=block_set,
+        cluster=cluster,
+        slice_device=slice_device.copy(),
+        comp_device=comp_device.copy(),
+    )

@@ -1,0 +1,1 @@
+"""CLI package: ``python -m repro.plan`` (see repro.plan_cli)."""

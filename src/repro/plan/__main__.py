@@ -1,0 +1,7 @@
+"""``python -m repro.plan`` — see :mod:`repro.plan_cli`."""
+
+import sys
+
+from ..plan_cli import main
+
+sys.exit(main())

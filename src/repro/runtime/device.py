@@ -1,0 +1,109 @@
+"""Per-device block buffers for the simulated executor (paper §5).
+
+One contiguous buffer per block type, addressed by slot index — the
+executor's analogue of the paper's block tables.  Storage is float32
+(the simulator's working precision); wire sizes in the plan account for
+bf16 independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..runtime.kernels import AttnPartial, empty_partial
+
+__all__ = ["DeviceBuffers"]
+
+
+class DeviceBuffers:
+    """Q/KV/O/acc buffers of one simulated device."""
+
+    def __init__(
+        self,
+        sizes: Dict[str, int],
+        q_heads: int,
+        block_size: int,
+        head_dim: int,
+    ) -> None:
+        self.q_heads = q_heads
+        self.block_size = block_size
+        self.head_dim = head_dim
+        shape_q = (q_heads, block_size, head_dim)
+        self.q = np.zeros((sizes.get("q", 0),) + shape_q, dtype=np.float32)
+        self.kv = np.zeros(
+            (sizes.get("kv", 0), 2, block_size, head_dim), dtype=np.float32
+        )
+        self.o = np.zeros((sizes.get("o", 0),) + shape_q, dtype=np.float32)
+        self.acc: Dict[int, Optional[AttnPartial]] = {
+            slot: None for slot in range(sizes.get("acc", 0))
+        }
+        # Backward-pass buffers (allocated lazily, keyed by slot):
+        # do: (grad_out [h, t, d], lse [h, t], delta [h, t]);
+        # dq: running sum [h, t, d]; dkv: running sum [2, t, d].
+        self.do: Dict[int, tuple] = {}
+        self.dq: Dict[int, Optional[np.ndarray]] = {}
+        self.dkv: Dict[int, Optional[np.ndarray]] = {}
+        # Valid token counts per slot (last block of a sequence is short).
+        self.q_tokens = np.zeros(sizes.get("q", 0), dtype=np.int64)
+        self.kv_tokens = np.zeros(sizes.get("kv", 0), dtype=np.int64)
+
+    # -- input staging ----------------------------------------------------
+
+    def load_q(self, slot: int, data: np.ndarray) -> None:
+        tokens = data.shape[1]
+        self.q[slot, :, :tokens] = data
+        self.q_tokens[slot] = tokens
+
+    def load_kv(self, slot: int, k: np.ndarray, v: np.ndarray) -> None:
+        tokens = k.shape[0]
+        self.kv[slot, 0, :tokens] = k
+        self.kv[slot, 1, :tokens] = v
+        self.kv_tokens[slot] = tokens
+
+    def q_view(self, slot: int) -> np.ndarray:
+        return self.q[slot, :, : self.q_tokens[slot]]
+
+    def kv_view(self, slot: int):
+        tokens = self.kv_tokens[slot]
+        return self.kv[slot, 0, :tokens], self.kv[slot, 1, :tokens]
+
+    # -- accumulator management -------------------------------------------
+
+    def acc_state(self, slot: int, rows: int) -> AttnPartial:
+        state = self.acc.get(slot)
+        if state is None or state.acc.shape[1] != rows:
+            state = empty_partial(self.q_heads, rows, self.head_dim)
+            self.acc[slot] = state
+        return state
+
+    def set_acc(self, slot: int, state: AttnPartial) -> None:
+        self.acc[slot] = state
+
+    def store_o(self, slot: int, data: np.ndarray) -> None:
+        tokens = data.shape[1]
+        self.o[slot, :, :tokens] = data
+
+    def o_view(self, slot: int, tokens: int) -> np.ndarray:
+        return self.o[slot, :, :tokens]
+
+    # -- backward-pass buffers ----------------------------------------------
+
+    def load_do(self, slot: int, grad_out, lse, delta) -> None:
+        self.do[slot] = (grad_out, lse, delta)
+
+    def dq_state(self, slot: int, tokens: int) -> np.ndarray:
+        state = self.dq.get(slot)
+        if state is None or state.shape[1] != tokens:
+            state = np.zeros((self.q_heads, tokens, self.head_dim),
+                             dtype=np.float32)
+            self.dq[slot] = state
+        return state
+
+    def dkv_state(self, slot: int, tokens: int) -> np.ndarray:
+        state = self.dkv.get(slot)
+        if state is None or state.shape[1] != tokens:
+            state = np.zeros((2, tokens, self.head_dim), dtype=np.float32)
+            self.dkv[slot] = state
+        return state

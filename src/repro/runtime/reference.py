@@ -1,0 +1,76 @@
+"""Dense reference attention (single-device oracle).
+
+Computes masked GQA attention per sequence the straightforward way, in
+float32, materializing the full logit matrix.  Used only in tests and
+the loss-curve experiment; intended for modest sequence lengths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..blocks import AttentionSpec, BlockSet
+from .executor import BatchInputs
+
+__all__ = ["reference_attention", "reference_batch_outputs"]
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray,
+    q_heads_per_group: int,
+) -> np.ndarray:
+    """Dense masked attention for one sequence.
+
+    Parameters
+    ----------
+    q:
+        ``[num_q_heads, L, D]``.
+    k, v:
+        ``[num_kv_groups, L, D]``; query head ``h`` reads group
+        ``h // q_heads_per_group``.
+    mask:
+        Boolean ``[L, L]``; fully masked rows produce zeros.
+    """
+    num_heads, length, head_dim = q.shape
+    scale = np.float32(1.0 / np.sqrt(head_dim))
+    out = np.zeros_like(q, dtype=np.float32)
+    for head in range(num_heads):
+        group = head // q_heads_per_group
+        scores = (q[head].astype(np.float32) @ k[group].astype(np.float32).T) * scale
+        scores = np.where(mask, scores, np.float32(-np.inf))
+        row_max = scores.max(axis=1, keepdims=True)
+        safe_max = np.where(np.isfinite(row_max), row_max, np.float32(0.0))
+        weights = np.exp(scores - safe_max, dtype=np.float32)
+        weights = np.where(mask, weights, np.float32(0.0))
+        denom = weights.sum(axis=1, keepdims=True)
+        has_any = denom > 0
+        denom = np.where(has_any, denom, np.float32(1.0))
+        out[head] = np.where(
+            has_any, (weights / denom) @ v[group].astype(np.float32), np.float32(0.0)
+        )
+    return out
+
+
+def reference_batch_outputs(
+    block_set: BlockSet, inputs: BatchInputs
+) -> List[np.ndarray]:
+    """Reference outputs for every sequence of a batch."""
+    attention: AttentionSpec = block_set.attention
+    outputs = []
+    for seq_index, seq in enumerate(block_set.batch.sequences):
+        mask = seq.mask.dense(seq.seqlen)
+        outputs.append(
+            reference_attention(
+                inputs.q[seq_index],
+                inputs.k[seq_index],
+                inputs.v[seq_index],
+                mask,
+                attention.q_heads_per_group,
+            )
+        )
+    return outputs

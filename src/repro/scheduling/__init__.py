@@ -1,0 +1,46 @@
+"""Division scheduling, DCP instructions and plan serialization."""
+
+from .buffers import BufferManager
+from .divisions import DeviceSchedule, Schedule, build_schedule
+from .instructions import (
+    BlockwiseAttention,
+    BlockwiseCopy,
+    BlockwiseReduction,
+    CommLaunch,
+    CommWait,
+    CopyArg,
+    DevicePlan,
+    ExecutionPlan,
+    FinalizeArg,
+    MergeArg,
+    RecvArg,
+    SendArg,
+    Tile,
+)
+from .backward import serialize_backward_schedule
+from .serialize import serialize_schedule
+from .validate import PlanValidationError, validate_plan
+
+__all__ = [
+    "BufferManager",
+    "DeviceSchedule",
+    "Schedule",
+    "build_schedule",
+    "BlockwiseAttention",
+    "BlockwiseCopy",
+    "BlockwiseReduction",
+    "CommLaunch",
+    "CommWait",
+    "CopyArg",
+    "DevicePlan",
+    "ExecutionPlan",
+    "FinalizeArg",
+    "MergeArg",
+    "RecvArg",
+    "SendArg",
+    "Tile",
+    "serialize_schedule",
+    "serialize_backward_schedule",
+    "PlanValidationError",
+    "validate_plan",
+]

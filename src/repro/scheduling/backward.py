@@ -1,0 +1,359 @@
+"""Serialize the attention *backward* pass from a division schedule.
+
+The backward pass reuses the forward placement and divisions: every
+forward tile has a backward twin that recomputes the tile's
+probabilities (FlashAttention style) and produces gradient
+contributions.  Data flow relative to forward:
+
+* **in**: Q and KV blocks travel exactly as in forward; additionally,
+  the output-gradient package (dO, lse, delta) of a Q block travels to
+  every device that computes tiles for it (same routes as Q);
+* **out**: dQ partials return to the Q block's home (like O did) and —
+  new in backward — dKV partials return to the KV block's home.
+
+All gradient reductions are plain sums (:class:`BlockwiseGradReduce`).
+
+Buffers: ``q``/``kv`` as forward, ``do`` (gradient packages), ``dq``
+and ``dkv`` accumulators, with the same transient-slot reuse scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..blocks import BlockKind, BlockSet, DataBlockId
+from .buffers import BufferManager
+from .divisions import Schedule
+from .instructions import (
+    BackwardTile,
+    BlockwiseAttentionBackward,
+    BlockwiseGradReduce,
+    CommLaunch,
+    CommWait,
+    DevicePlan,
+    ExecutionPlan,
+    GradAdd,
+    RecvArg,
+    SendArg,
+)
+
+__all__ = ["serialize_backward_schedule"]
+
+_INPUT_BUFFER = {BlockKind.Q: "q", BlockKind.KV: "kv"}
+
+
+def _block_key(block: DataBlockId) -> Tuple[int, int, int]:
+    return (block.seq_index, block.block_index, block.head_group)
+
+
+def serialize_backward_schedule(schedule: Schedule) -> ExecutionPlan:
+    """Produce the backward execution plan for every device."""
+    block_set: BlockSet = schedule.block_set
+    placement = schedule.placement
+    cluster = placement.cluster
+    num_divisions = schedule.num_divisions
+    attention = block_set.attention
+
+    slice_index = {
+        (ts.seq_index, ts.block_index): i
+        for i, ts in enumerate(block_set.token_slices)
+    }
+
+    def home_of(block: DataBlockId) -> int:
+        return int(
+            placement.slice_device[
+                slice_index[(block.seq_index, block.block_index)]
+            ]
+        )
+
+    # -- per-device bookkeeping -------------------------------------------
+    class DeviceState:
+        def __init__(self, device: int) -> None:
+            self.device = device
+            self.buffers = BufferManager()
+            self.instructions: List = []
+            self.q_slots: Dict[Tuple[int, int, int], int] = {}
+            self.kv_slots: Dict[Tuple[int, int, int], int] = {}
+            self.do_slots: Dict[Tuple[int, int, int], int] = {}
+            self.dq_slots: Dict[Tuple[int, int, int], int] = {}
+            self.dkv_slots: Dict[Tuple[int, int, int], int] = {}
+            self.remote_slots: Dict[Tuple[str, DataBlockId], int] = {}
+            self.local_slices: List = []
+            self._op = device * 1_000_000
+
+        def new_op(self) -> int:
+            self._op += 1
+            return self._op
+
+        def dq_for(self, key) -> int:
+            if key not in self.dq_slots:
+                self.dq_slots[key] = self.buffers.alloc("dq")
+            return self.dq_slots[key]
+
+        def dkv_for(self, key) -> int:
+            if key not in self.dkv_slots:
+                self.dkv_slots[key] = self.buffers.alloc("dkv")
+            return self.dkv_slots[key]
+
+    states = {d: DeviceState(d) for d in range(cluster.num_devices)}
+
+    for index, token_slice in enumerate(block_set.token_slices):
+        state = states[int(placement.slice_device[index])]
+        state.local_slices.append(token_slice)
+        for head_group in range(attention.head_groups):
+            key = (token_slice.seq_index, token_slice.block_index, head_group)
+            state.q_slots[key] = state.buffers.alloc("q")
+            state.kv_slots[key] = state.buffers.alloc("kv")
+            state.do_slots[key] = state.buffers.alloc("do")
+
+    # -- what travels where, per division -----------------------------------
+    # Input fetches: forward fetches, plus the dO package wherever a
+    # remote Q block was fetched (dO routes with Q).
+    recv_of: Dict[int, List[List[Tuple[str, DataBlockId]]]] = {
+        d: [[] for _ in range(num_divisions)] for d in states
+    }
+    send_of: Dict[int, List[List[Tuple[str, DataBlockId, int]]]] = {
+        d: [[] for _ in range(num_divisions)] for d in states
+    }
+    for device, device_schedule in schedule.device_schedules.items():
+        for division, fetch_list in enumerate(device_schedule.fetches):
+            for block in fetch_list:
+                buffer = _INPUT_BUFFER[block.kind]
+                recv_of[device][division].append((buffer, block))
+                send_of[home_of(block)][division].append(
+                    (buffer, block, device)
+                )
+                if block.kind == BlockKind.Q:
+                    recv_of[device][division].append(("do", block))
+                    send_of[home_of(block)][division].append(
+                        ("do", block, device)
+                    )
+
+    def block_bytes(buffer: str, block: DataBlockId) -> int:
+        if buffer == "do":
+            # dO + (lse, delta) statistics; approximately one O block.
+            return block_set.block_bytes(
+                DataBlockId(BlockKind.O, block.seq_index, block.block_index,
+                            block.head_group)
+            )
+        return block_set.block_bytes(block)
+
+    # Fetch lifetimes for slot reuse.
+    frees: Dict[int, List[List[Tuple[str, DataBlockId]]]] = {
+        d: [[] for _ in range(num_divisions)] for d in states
+    }
+    for device, device_schedule in schedule.device_schedules.items():
+        last_use: Dict[Tuple[str, DataBlockId], int] = {}
+        fetched = {
+            (buf, blk)
+            for division in recv_of[device]
+            for buf, blk in division
+        }
+        for division, comps in enumerate(device_schedule.divisions):
+            for comp in comps:
+                for buffer, block in (
+                    ("q", comp.q_input),
+                    ("kv", comp.kv_input),
+                    ("do", comp.q_input),
+                ):
+                    if (buffer, block) in fetched:
+                        last_use[(buffer, block)] = division
+        for key, division in last_use.items():
+            frees[device][division].append(key)
+
+    pending: Dict[int, List[int]] = {d: [] for d in states}
+
+    def emit_comm(state: DeviceState, division: int) -> None:
+        recvs = []
+        for buffer, block in recv_of[state.device][division]:
+            slot = state.buffers.alloc(buffer)
+            state.remote_slots[(buffer, block)] = slot
+            recvs.append(
+                RecvArg(
+                    peer=home_of(block),
+                    buffer=buffer,
+                    slot=slot,
+                    tag=("bw", buffer, block),
+                    nbytes=block_bytes(buffer, block),
+                )
+            )
+        sends = []
+        for buffer, block, receiver in send_of[state.device][division]:
+            key = _block_key(block)
+            local = {
+                "q": state.q_slots, "kv": state.kv_slots, "do": state.do_slots
+            }[buffer]
+            sends.append(
+                SendArg(
+                    peer=receiver,
+                    buffer=buffer,
+                    slot=local[key],
+                    tag=("bw", buffer, block),
+                    nbytes=block_bytes(buffer, block),
+                )
+            )
+        if recvs or sends:
+            op = state.new_op()
+            state.instructions.append(
+                CommLaunch(op_id=op, sends=tuple(sends), recvs=tuple(recvs))
+            )
+            if recvs:
+                pending[state.device].append(op)
+
+    # -- main loop: launch(d+1) / compute(d) / wait(d+1) ---------------------
+    for device, state in states.items():
+        device_schedule = schedule.device_schedules.get(device)
+        divisions = (
+            device_schedule.divisions
+            if device_schedule
+            else [[] for _ in range(num_divisions)]
+        )
+
+        emit_comm(state, 0)
+        for op in pending[device]:
+            state.instructions.append(CommWait(op_id=op))
+        pending[device].clear()
+
+        for division in range(num_divisions):
+            if division + 1 < num_divisions:
+                emit_comm(state, division + 1)
+
+            tiles = []
+            for comp in divisions[division]:
+                q_key = (comp.seq_index, comp.q_block, comp.head_group)
+                kv_key = (comp.seq_index, comp.kv_block, comp.head_group)
+
+                def slot(buffer, block, local):
+                    key = _block_key(block)
+                    if key in local:
+                        return local[key]
+                    return state.remote_slots[(buffer, block)]
+
+                tiles.append(
+                    BackwardTile(
+                        q_slot=slot("q", comp.q_input, state.q_slots),
+                        kv_slot=slot("kv", comp.kv_input, state.kv_slots),
+                        do_slot=slot("do", comp.q_input, state.do_slots),
+                        dq_slot=state.dq_for(q_key),
+                        dkv_slot=state.dkv_for(kv_key),
+                        seq_index=comp.seq_index,
+                        head_group=comp.head_group,
+                        q_block=comp.q_block,
+                        kv_block=comp.kv_block,
+                    )
+                )
+            if tiles:
+                state.instructions.append(
+                    BlockwiseAttentionBackward(tuple(tiles))
+                )
+
+            for buffer, block in frees[device][division]:
+                state.buffers.free(
+                    buffer, state.remote_slots[(buffer, block)]
+                )
+
+            for op in pending[device]:
+                state.instructions.append(CommWait(op_id=op))
+            pending[device].clear()
+
+    # -- epilogue: ship gradient partials home and sum ------------------------
+    grad_receivers: Dict[int, List[Tuple[str, Tuple, int]]] = {
+        d: [] for d in states
+    }
+    for device, state in states.items():
+        for buffer, slots in (("dq", state.dq_slots), ("dkv", state.dkv_slots)):
+            for key in slots:
+                block = DataBlockId(
+                    BlockKind.Q if buffer == "dq" else BlockKind.KV,
+                    key[0], key[1], key[2],
+                )
+                home = home_of(block)
+                if home != device:
+                    grad_receivers[home].append((buffer, key, device))
+
+    for device, state in states.items():
+        sends = []
+        for buffer, slots in (("dq", state.dq_slots), ("dkv", state.dkv_slots)):
+            for key, slot in slots.items():
+                block = DataBlockId(
+                    BlockKind.Q if buffer == "dq" else BlockKind.KV,
+                    key[0], key[1], key[2],
+                )
+                home = home_of(block)
+                if home != device:
+                    sends.append(
+                        SendArg(
+                            peer=home,
+                            buffer=buffer,
+                            slot=slot,
+                            tag=("bwout", buffer, key, device),
+                            nbytes=block_bytes(
+                                "do" if buffer == "dq" else "kv", block
+                            ),
+                        )
+                    )
+        recvs = []
+        staging: List[Tuple[str, Tuple, int]] = []
+        for buffer, key, producer in grad_receivers[device]:
+            slot = state.buffers.alloc(buffer)
+            staging.append((buffer, key, slot))
+            block = DataBlockId(
+                BlockKind.Q if buffer == "dq" else BlockKind.KV,
+                key[0], key[1], key[2],
+            )
+            recvs.append(
+                RecvArg(
+                    peer=producer,
+                    buffer=buffer,
+                    slot=slot,
+                    tag=("bwout", buffer, key, producer),
+                    nbytes=block_bytes(
+                        "do" if buffer == "dq" else "kv", block
+                    ),
+                )
+            )
+        if sends or recvs:
+            op = state.new_op()
+            state.instructions.append(
+                CommLaunch(op_id=op, sends=tuple(sends), recvs=tuple(recvs))
+            )
+            state.instructions.append(CommWait(op_id=op))
+
+        adds = []
+        for buffer, key, src_slot in staging:
+            dst = (
+                state.dq_for(key) if buffer == "dq" else state.dkv_for(key)
+            )
+            adds.append(GradAdd(buffer=buffer, src_slot=src_slot,
+                                dst_slot=dst))
+        if adds:
+            state.instructions.append(BlockwiseGradReduce(adds=tuple(adds)))
+
+    device_plans = {
+        device: DevicePlan(
+            device=device,
+            instructions=state.instructions,
+            buffer_sizes=state.buffers.sizes(),
+            local_slices=state.local_slices,
+            o_slots={},  # backward produces gradients, not outputs
+            q_slots=dict(state.q_slots),
+            kv_slots=dict(state.kv_slots),
+        )
+        for device, state in states.items()
+    }
+    plan = ExecutionPlan(
+        block_set=block_set,
+        cluster=cluster,
+        device_plans=device_plans,
+        meta={
+            "num_divisions": num_divisions,
+            "planner": "dcp",
+            "phase": "backward",
+        },
+    )
+    # Expose gradient slot maps for the executor.
+    for device, state in states.items():
+        device_plans[device].do_slots = dict(state.do_slots)
+        device_plans[device].dq_slots = dict(state.dq_slots)
+        device_plans[device].dkv_slots = dict(state.dkv_slots)
+    return plan

@@ -1,0 +1,261 @@
+"""The five DCP instructions and the execution plan (paper §5).
+
+An execution plan is a per-device list of instructions:
+
+* :class:`BlockwiseAttention` — fused masked attention over a list of
+  tiles, accumulating into (acc, lse) partials (FlashAttention-style
+  online softmax).
+* :class:`BlockwiseReduction` — fused merge of partial outputs, with
+  optional finalization (normalize and write the output block).
+* :class:`BlockwiseCopy` — fused buffer-to-buffer copies on one device.
+* :class:`CommLaunch` — asynchronously post sends/receives of blocks.
+* :class:`CommWait` — block until a previously launched operation is
+  complete.
+
+Instructions reference buffer *slots* (integers per buffer kind); the
+executor owns the actual storage.  Byte counts carried by communication
+entries reflect the logical bf16 wire size (used for traffic accounting
+and timing), independent of the simulator's float32 storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Tile",
+    "BlockwiseAttention",
+    "BackwardTile",
+    "BlockwiseAttentionBackward",
+    "GradAdd",
+    "BlockwiseGradReduce",
+    "MergeArg",
+    "FinalizeArg",
+    "BlockwiseReduction",
+    "CopyArg",
+    "BlockwiseCopy",
+    "SendArg",
+    "RecvArg",
+    "CommLaunch",
+    "CommWait",
+    "DevicePlan",
+    "ExecutionPlan",
+]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One Q-tile x KV-tile attention computation.
+
+    The mask is not materialized here: the executor reconstructs it from
+    the sequence's :class:`~repro.masks.AttendRanges` using the global
+    token coordinates carried by the tile.
+    """
+
+    q_slot: int
+    kv_slot: int
+    acc_slot: int
+    seq_index: int
+    head_group: int
+    q_block: int
+    kv_block: int
+
+
+@dataclass(frozen=True)
+class BlockwiseAttention:
+    tiles: Tuple[Tile, ...]
+
+    @property
+    def kind(self) -> str:
+        return "attention"
+
+
+@dataclass(frozen=True)
+class BackwardTile:
+    """One tile of the attention backward pass.
+
+    Reads the Q and KV blocks plus the output-gradient package
+    (``dO``, ``lse``, ``delta``) of the Q rows; accumulates into the
+    running dQ partial of the Q block and the running dKV partial of
+    the KV block (plain sums — gradients are linear).
+    """
+
+    q_slot: int
+    kv_slot: int
+    do_slot: int
+    dq_slot: int
+    dkv_slot: int
+    seq_index: int
+    head_group: int
+    q_block: int
+    kv_block: int
+
+
+@dataclass(frozen=True)
+class BlockwiseAttentionBackward:
+    tiles: Tuple[BackwardTile, ...]
+
+    @property
+    def kind(self) -> str:
+        return "attention_backward"
+
+
+@dataclass(frozen=True)
+class GradAdd:
+    """Accumulate gradient partial ``src`` into ``dst`` (same buffer)."""
+
+    buffer: str
+    src_slot: int
+    dst_slot: int
+
+
+@dataclass(frozen=True)
+class BlockwiseGradReduce:
+    adds: Tuple[GradAdd, ...]
+
+    @property
+    def kind(self) -> str:
+        return "grad_reduce"
+
+
+@dataclass(frozen=True)
+class MergeArg:
+    """Merge partial ``src`` into partial ``dst`` (both acc slots)."""
+
+    src_acc_slot: int
+    dst_acc_slot: int
+
+
+@dataclass(frozen=True)
+class FinalizeArg:
+    """Normalize partial ``acc`` and write output slot ``o``."""
+
+    acc_slot: int
+    o_slot: int
+
+
+@dataclass(frozen=True)
+class BlockwiseReduction:
+    merges: Tuple[MergeArg, ...] = ()
+    finalizes: Tuple[FinalizeArg, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "reduction"
+
+
+@dataclass(frozen=True)
+class CopyArg:
+    buffer: str
+    src_slot: int
+    dst_slot: int
+
+
+@dataclass(frozen=True)
+class BlockwiseCopy:
+    copies: Tuple[CopyArg, ...]
+
+    @property
+    def kind(self) -> str:
+        return "copy"
+
+
+@dataclass(frozen=True)
+class SendArg:
+    """Post one block to ``peer``.  ``tag`` matches the remote recv."""
+
+    peer: int
+    buffer: str
+    slot: int
+    tag: Tuple
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class RecvArg:
+    """Expect one block from ``peer`` into ``slot``."""
+
+    peer: int
+    buffer: str
+    slot: int
+    tag: Tuple
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class CommLaunch:
+    op_id: int
+    sends: Tuple[SendArg, ...] = ()
+    recvs: Tuple[RecvArg, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "comm_launch"
+
+    @property
+    def send_bytes(self) -> int:
+        return sum(s.nbytes for s in self.sends)
+
+    @property
+    def recv_bytes(self) -> int:
+        return sum(r.nbytes for r in self.recvs)
+
+
+@dataclass(frozen=True)
+class CommWait:
+    op_id: int
+
+    @property
+    def kind(self) -> str:
+        return "comm_wait"
+
+
+@dataclass
+class DevicePlan:
+    """Everything one device needs for one iteration."""
+
+    device: int
+    instructions: List
+    buffer_sizes: Dict[str, int]
+    # Token slices whose model input lives on this device, in order.
+    local_slices: List
+    # (seq_index, block_index, head_group) -> o slot, for output collection.
+    o_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    # (seq_index, block_index, head_group) -> local q / kv slots.
+    q_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    kv_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    # Accumulator slots of output blocks homed here (forward plans).
+    acc_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    # Gradient-package and gradient-accumulator slots (backward plans).
+    do_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    dq_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+    dkv_slots: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for ins in self.instructions if ins.kind == kind)
+
+
+@dataclass
+class ExecutionPlan:
+    """Plans for all devices plus shared batch context."""
+
+    block_set: object  # BlockSet; kept loose to avoid import cycles
+    cluster: object  # ClusterSpec
+    device_plans: Dict[int, DevicePlan]
+    meta: Dict = field(default_factory=dict)
+
+    def plan_for(self, device: int) -> DevicePlan:
+        return self.device_plans[device]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.device_plans)
+
+    def total_comm_bytes(self) -> int:
+        return sum(
+            ins.send_bytes
+            for plan in self.device_plans.values()
+            for ins in plan.instructions
+            if ins.kind == "comm_launch"
+        )

@@ -1,0 +1,165 @@
+"""Structural validation of execution plans.
+
+Catches planner/serializer bugs before execution: slot references
+outside buffer bounds, waits without launches, unmatched sends/receives
+across devices, and attention tiles whose blocks do not exist in the
+batch.  Used by the test suite and available to planner authors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .instructions import (
+    BlockwiseAttention,
+    BlockwiseAttentionBackward,
+    BlockwiseCopy,
+    BlockwiseGradReduce,
+    BlockwiseReduction,
+    CommLaunch,
+    CommWait,
+    ExecutionPlan,
+)
+
+__all__ = ["PlanValidationError", "validate_plan"]
+
+
+class PlanValidationError(AssertionError):
+    """An execution plan violates a structural invariant."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise PlanValidationError(message)
+
+
+def validate_plan(plan: ExecutionPlan) -> None:
+    """Raise :class:`PlanValidationError` on any structural violation."""
+    block_set = plan.block_set
+    num_tiles = 0
+    sends: Set[Tuple[int, int, Tuple]] = set()
+    recvs: Set[Tuple[int, int, Tuple]] = set()
+
+    for device, device_plan in plan.device_plans.items():
+        _check(device_plan.device == device, f"device id mismatch on {device}")
+        sizes = device_plan.buffer_sizes
+        launched: Set[int] = set()
+        needs_wait: Set[int] = set()
+        waited: Set[int] = set()
+
+        def slot_ok(buffer: str, slot: int) -> bool:
+            return 0 <= slot < sizes.get(buffer, 0)
+
+        for instruction in device_plan.instructions:
+            if isinstance(instruction, CommLaunch):
+                _check(
+                    instruction.op_id not in launched,
+                    f"op {instruction.op_id} launched twice on {device}",
+                )
+                launched.add(instruction.op_id)
+                for send in instruction.sends:
+                    _check(
+                        send.peer != device,
+                        f"device {device} sends to itself",
+                    )
+                    _check(
+                        slot_ok(send.buffer, send.slot),
+                        f"send slot {send.buffer}[{send.slot}] out of range "
+                        f"on device {device}",
+                    )
+                    key = (device, send.peer, send.tag)
+                    _check(key not in sends, f"duplicate send {key}")
+                    sends.add(key)
+                if instruction.recvs:
+                    needs_wait.add(instruction.op_id)
+                for recv in instruction.recvs:
+                    _check(
+                        slot_ok(recv.buffer, recv.slot),
+                        f"recv slot {recv.buffer}[{recv.slot}] out of range "
+                        f"on device {device}",
+                    )
+                    key = (recv.peer, device, recv.tag)
+                    _check(key not in recvs, f"duplicate recv {key}")
+                    recvs.add(key)
+            elif isinstance(instruction, CommWait):
+                _check(
+                    instruction.op_id in launched,
+                    f"wait for unlaunched op {instruction.op_id} "
+                    f"on device {device}",
+                )
+                waited.add(instruction.op_id)
+            elif isinstance(instruction, BlockwiseAttention):
+                for tile in instruction.tiles:
+                    num_tiles += 1
+                    _check(
+                        slot_ok("q", tile.q_slot)
+                        and slot_ok("kv", tile.kv_slot)
+                        and slot_ok("acc", tile.acc_slot),
+                        f"tile references invalid slot on device {device}",
+                    )
+                    _check(
+                        0 <= tile.seq_index < len(block_set.batch.sequences),
+                        "tile references unknown sequence",
+                    )
+                    bounds = block_set.seq_bounds[tile.seq_index]
+                    _check(
+                        0 <= tile.q_block < len(bounds) - 1
+                        and 0 <= tile.kv_block < len(bounds) - 1,
+                        "tile references block outside sequence",
+                    )
+            elif isinstance(instruction, BlockwiseAttentionBackward):
+                for tile in instruction.tiles:
+                    num_tiles += 1
+                    _check(
+                        slot_ok("q", tile.q_slot)
+                        and slot_ok("kv", tile.kv_slot)
+                        and slot_ok("do", tile.do_slot)
+                        and slot_ok("dq", tile.dq_slot)
+                        and slot_ok("dkv", tile.dkv_slot),
+                        f"backward tile references invalid slot "
+                        f"on device {device}",
+                    )
+            elif isinstance(instruction, BlockwiseGradReduce):
+                for add in instruction.adds:
+                    _check(
+                        slot_ok(add.buffer, add.src_slot)
+                        and slot_ok(add.buffer, add.dst_slot),
+                        f"grad-reduce slot out of range on device {device}",
+                    )
+            elif isinstance(instruction, BlockwiseReduction):
+                for merge in instruction.merges:
+                    _check(
+                        slot_ok("acc", merge.src_acc_slot)
+                        and slot_ok("acc", merge.dst_acc_slot),
+                        f"reduction slot out of range on device {device}",
+                    )
+                for fin in instruction.finalizes:
+                    _check(
+                        slot_ok("acc", fin.acc_slot)
+                        and slot_ok("o", fin.o_slot),
+                        f"finalize slot out of range on device {device}",
+                    )
+            elif isinstance(instruction, BlockwiseCopy):
+                for copy in instruction.copies:
+                    _check(
+                        slot_ok(copy.buffer, copy.src_slot)
+                        and slot_ok(copy.buffer, copy.dst_slot),
+                        f"copy slot out of range on device {device}",
+                    )
+            else:
+                raise PlanValidationError(
+                    f"unknown instruction {instruction!r} on device {device}"
+                )
+
+        missing = needs_wait - waited
+        _check(
+            not missing,
+            f"device {device} never waits for receives of ops "
+            f"{sorted(missing)} (buffers would be read before arrival)",
+        )
+
+    _check(
+        sends == recvs,
+        f"unmatched messages: {len(sends - recvs)} sends without recv, "
+        f"{len(recvs - sends)} recvs without send",
+    )

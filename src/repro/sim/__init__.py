@@ -1,0 +1,25 @@
+"""Cluster specification, timing simulation and model cost."""
+
+from .cluster import ClusterSpec, E2E_CLUSTER, MICRO_BENCH_CLUSTER
+from .memory import MemoryReport, plan_memory
+from .modelcost import E2EResult, GPT_8B, ModelSpec, e2e_iteration_time
+from .timing import DeviceTiming, TimingResult, simulate_plan
+from .trace import ascii_gantt, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ascii_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "ClusterSpec",
+    "E2E_CLUSTER",
+    "MICRO_BENCH_CLUSTER",
+    "ModelSpec",
+    "GPT_8B",
+    "E2EResult",
+    "e2e_iteration_time",
+    "DeviceTiming",
+    "TimingResult",
+    "simulate_plan",
+    "MemoryReport",
+    "plan_memory",
+]

@@ -1,0 +1,93 @@
+"""Cluster topology and hardware parameters.
+
+Calibrated to the paper's testbed: Amazon EC2 p4de.24xlarge — 8x A100
+80GB per node connected by NVSwitch (600 GB/s bidirectional = 300 GB/s
+per direction), nodes connected by 4x100 Gbps EFA NICs (= 50 GB/s per
+node per direction).  The achievable-FLOPs fraction and kernel-launch
+overheads are effective values, chosen so simulated attention times land
+in the same regime as the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterSpec", "MICRO_BENCH_CLUSTER", "E2E_CLUSTER"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous multi-machine GPU cluster.
+
+    Devices are numbered globally: device ``d`` lives on machine
+    ``d // devices_per_machine``.
+    """
+
+    num_machines: int = 4
+    devices_per_machine: int = 8
+    # Computation.
+    peak_flops: float = 312e12  # A100 BF16 tensor-core peak
+    flops_efficiency: float = 0.42  # achievable fraction for attention
+    # Intra-machine links (NVSwitch), per direction, per device.
+    intra_bandwidth: float = 300e9
+    intra_latency: float = 8e-6
+    # Inter-machine NIC, per direction, shared by a machine's devices.
+    inter_bandwidth: float = 50e9
+    inter_latency: float = 25e-6
+    # Fixed overhead per launched kernel / instruction.
+    kernel_overhead: float = 20e-6
+    # Per-tile fixed cost inside a fused attention kernel (block setup,
+    # block-table reads); dominates for tiny sparse tiles.
+    tile_overhead: float = 1.5e-6
+    # HBM bandwidth, used to cost reductions and copies.
+    hbm_bandwidth: float = 1.6e12
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1 or self.devices_per_machine < 1:
+            raise ValueError("cluster must contain at least one device")
+
+    @property
+    def num_devices(self) -> int:
+        return self.num_machines * self.devices_per_machine
+
+    def machine_of(self, device: int) -> int:
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} outside cluster")
+        return device // self.devices_per_machine
+
+    def devices_of_machine(self, machine: int) -> range:
+        if not 0 <= machine < self.num_machines:
+            raise ValueError(f"machine {machine} outside cluster")
+        start = machine * self.devices_per_machine
+        return range(start, start + self.devices_per_machine)
+
+    def same_machine(self, a: int, b: int) -> bool:
+        return self.machine_of(a) == self.machine_of(b)
+
+    def effective_flops(self) -> float:
+        return self.peak_flops * self.flops_efficiency
+
+    def link_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Alpha-beta transfer time for one message."""
+        if self.same_machine(src, dst):
+            return self.intra_latency + nbytes / self.intra_bandwidth
+        return self.inter_latency + nbytes / self.inter_bandwidth
+
+    def compute_time(self, flops: float) -> float:
+        return flops / self.effective_flops()
+
+
+#: The paper's micro-benchmark testbed: 4 p4de nodes, 32 GPUs (§7.1).
+MICRO_BENCH_CLUSTER = ClusterSpec(num_machines=4, devices_per_machine=8)
+
+#: The end-to-end testbed: 8 p4de nodes, 64 GPUs (§7.2).  With 4-way
+#: tensor parallelism inside each node, context parallelism sees 16
+#: ranks: 2 per machine, each rank aggregating 4 GPUs' NVSwitch lanes.
+E2E_CLUSTER = ClusterSpec(
+    num_machines=8,
+    devices_per_machine=2,
+    # A CP rank = a TP group of 4 GPUs acting as one device.
+    peak_flops=4 * 312e12,
+    intra_bandwidth=300e9,
+    inter_bandwidth=50e9,
+)

@@ -1,0 +1,372 @@
+"""Timing simulation of execution plans (alpha-beta model).
+
+This is the performance substitute for the paper's A100 testbed: the
+simulator replays each device's instruction stream against per-device
+clocks, modelling
+
+* computation as ``flops / effective_flops`` plus per-kernel and
+  per-tile overheads,
+* communication with an alpha-beta link model, serialized over shared
+  resources (NVSwitch point-to-point links intra-machine, a per-machine
+  NIC in each direction inter-machine),
+* overlap exactly as the instruction streams express it: transfers
+  launched by ``CommLaunch`` proceed while subsequent computation runs;
+  ``CommWait`` stalls only if the data has not arrived.
+
+The result records per-device compute/communication interval unions, so
+the paper's decomposition (Fig. 1 / Fig. 22: non-overlapped attention
+computation, overlapped time, non-overlapped CP communication) falls
+out of interval arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..scheduling.instructions import (
+    BlockwiseAttention,
+    BlockwiseAttentionBackward,
+    BlockwiseCopy,
+    BlockwiseGradReduce,
+    BlockwiseReduction,
+    CommLaunch,
+    CommWait,
+    ExecutionPlan,
+)
+from .cluster import ClusterSpec
+
+__all__ = ["DeviceTiming", "TimingResult", "simulate_plan"]
+
+#: Backward-over-forward multipliers: attention backward recomputes the
+#: tile and produces dQ/dK/dV (~2.5x FLOPs); communication moves KV in
+#: and dKV back out (~2x bytes).
+_BW_FLOPS_FACTOR = 2.5
+_BW_COMM_FACTOR = 2.0
+
+
+def _union_length(intervals: List[Tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return total + (current_end - current_start)
+
+
+def _intersection_length(
+    a: List[Tuple[float, float]], b: List[Tuple[float, float]]
+) -> float:
+    """Length of (union of a) ∩ (union of b)."""
+    events = []
+    for start, end in a:
+        events.append((start, 0, 1))
+        events.append((end, 0, -1))
+    for start, end in b:
+        events.append((start, 1, 1))
+        events.append((end, 1, -1))
+    events.sort()
+    depth = [0, 0]
+    last = None
+    total = 0.0
+    for time, which, delta in events:
+        if last is not None and depth[0] > 0 and depth[1] > 0:
+            total += time - last
+        depth[which] += delta
+        last = time
+    return total
+
+
+@dataclass
+class DeviceTiming:
+    """Per-device timeline summary.
+
+    ``events`` is the labeled timeline: ``(name, lane, start, end)``
+    tuples with ``lane`` one of ``"compute"``, ``"comm"`` or
+    ``"stall"`` — the raw material of :mod:`repro.sim.trace`.
+    """
+
+    device: int
+    total: float
+    compute_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    comm_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    stall: float = 0.0
+    events: List[Tuple[str, str, float, float]] = field(default_factory=list)
+
+    @property
+    def compute_time(self) -> float:
+        return _union_length(self.compute_intervals)
+
+    @property
+    def comm_time(self) -> float:
+        return _union_length(self.comm_intervals)
+
+    @property
+    def overlap_time(self) -> float:
+        return _intersection_length(self.compute_intervals, self.comm_intervals)
+
+    @property
+    def exposed_comm(self) -> float:
+        return self.comm_time - self.overlap_time
+
+    @property
+    def exposed_compute(self) -> float:
+        return self.compute_time - self.overlap_time
+
+
+@dataclass
+class TimingResult:
+    """Cluster-level timing of one plan replay."""
+
+    devices: Dict[int, DeviceTiming]
+
+    @property
+    def iteration_time(self) -> float:
+        return max((d.total for d in self.devices.values()), default=0.0)
+
+    @property
+    def critical_device(self) -> DeviceTiming:
+        return max(self.devices.values(), key=lambda d: d.total)
+
+    def breakdown(self) -> Dict[str, float]:
+        """The paper's stacked-bar decomposition on the critical device."""
+        dev = self.critical_device
+        overlap = dev.overlap_time
+        non_ovlp_attn = dev.compute_time - overlap
+        non_ovlp_comm = dev.comm_time - overlap
+        others = max(dev.total - non_ovlp_attn - overlap - non_ovlp_comm, 0.0)
+        return {
+            "others": others,
+            "non_ovlp_attn": non_ovlp_attn,
+            "overlap": overlap,
+            "non_ovlp_comm": non_ovlp_comm,
+            "total": dev.total,
+        }
+
+    def mean_compute(self) -> float:
+        return float(np.mean([d.compute_time for d in self.devices.values()]))
+
+
+class _TimingRunner:
+    """Clock-based interpreter of one device's instruction stream."""
+
+    def __init__(self, device, plan, sim) -> None:
+        self.device = device
+        self.instructions = plan.instructions
+        self.sim = sim
+        self.pc = 0
+        self.clock = 0.0
+        self.timing = DeviceTiming(device=device, total=0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.instructions)
+
+    def step(self) -> bool:
+        progressed = False
+        while not self.done:
+            instruction = self.instructions[self.pc]
+            if isinstance(instruction, CommWait):
+                arrival = self.sim.wait_time(self.device, instruction.op_id)
+                if arrival is None:
+                    return progressed  # sender has not launched yet
+                if arrival > self.clock:
+                    self.timing.stall += arrival - self.clock
+                    self.timing.events.append(
+                        (f"wait op{instruction.op_id}", "stall",
+                         self.clock, arrival)
+                    )
+                    self.clock = arrival
+            elif isinstance(instruction, CommLaunch):
+                self.clock += self.sim.cluster.kernel_overhead
+                self.sim.launch(self.device, instruction, self.clock)
+            elif isinstance(
+                instruction, (BlockwiseAttention, BlockwiseAttentionBackward)
+            ):
+                duration = self.sim.attention_time(instruction)
+                self.timing.compute_intervals.append(
+                    (self.clock, self.clock + duration)
+                )
+                self.timing.events.append(
+                    (
+                        f"{instruction.kind}[{len(instruction.tiles)} tiles]",
+                        "compute",
+                        self.clock,
+                        self.clock + duration,
+                    )
+                )
+                self.clock += duration
+            elif isinstance(
+                instruction,
+                (BlockwiseReduction, BlockwiseCopy, BlockwiseGradReduce),
+            ):
+                duration = self.sim.memory_op_time(instruction)
+                self.timing.compute_intervals.append(
+                    (self.clock, self.clock + duration)
+                )
+                self.timing.events.append(
+                    (instruction.kind, "compute", self.clock,
+                     self.clock + duration)
+                )
+                self.clock += duration
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown instruction {instruction!r}")
+            self.pc += 1
+            progressed = True
+        self.timing.total = self.clock
+        return progressed
+
+
+class _TimingSim:
+    """Shared state: link contention and message arrival times."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        cluster: ClusterSpec,
+        flops_factor: float,
+        comm_factor: float,
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.flops_factor = flops_factor
+        self.comm_factor = comm_factor
+        self.block_set = plan.block_set
+        self.resource_free: Dict[Tuple, float] = {}
+        self.arrivals: Dict[Tuple[int, int, Tuple], float] = {}
+        # op_id -> list of (peer, tag) a device waits on
+        self.recv_specs: Dict[Tuple[int, int], List[Tuple[int, Tuple]]] = {}
+        self.comm_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        self.comm_events: Dict[int, List[Tuple[str, str, float, float]]] = {}
+
+    # -- communication -----------------------------------------------------
+
+    def launch(self, device: int, instruction: CommLaunch, now: float) -> None:
+        cluster = self.cluster
+        for send in instruction.sends:
+            nbytes = send.nbytes * self.comm_factor
+            if cluster.same_machine(device, send.peer):
+                resources = [("link", device, send.peer)]
+                bandwidth, latency = cluster.intra_bandwidth, cluster.intra_latency
+            else:
+                resources = [
+                    ("nic_out", cluster.machine_of(device)),
+                    ("nic_in", cluster.machine_of(send.peer)),
+                ]
+                bandwidth, latency = cluster.inter_bandwidth, cluster.inter_latency
+            start = max([now] + [self.resource_free.get(r, 0.0) for r in resources])
+            end = start + nbytes / bandwidth
+            for resource in resources:
+                self.resource_free[resource] = end
+            arrival = end + latency
+            self.arrivals[(device, send.peer, send.tag)] = arrival
+            self.comm_intervals.setdefault(device, []).append((start, arrival))
+            self.comm_intervals.setdefault(send.peer, []).append((start, arrival))
+            kb = send.nbytes / 1024.0
+            self.comm_events.setdefault(device, []).append(
+                (f"send {kb:.0f}KB -> dev{send.peer}", "comm", start, arrival)
+            )
+            self.comm_events.setdefault(send.peer, []).append(
+                (f"recv {kb:.0f}KB <- dev{device}", "comm", start, arrival)
+            )
+        if instruction.recvs:
+            self.recv_specs[(device, instruction.op_id)] = [
+                (recv.peer, recv.tag) for recv in instruction.recvs
+            ]
+
+    def wait_time(self, device: int, op_id: int) -> Optional[float]:
+        specs = self.recv_specs.get((device, op_id), [])
+        arrival = 0.0
+        for peer, tag in specs:
+            key = (peer, device, tag)
+            if key not in self.arrivals:
+                return None
+            arrival = max(arrival, self.arrivals[key])
+        return arrival
+
+    # -- computation ---------------------------------------------------------
+
+    def attention_time(self, instruction) -> float:
+        flops = 0
+        for tile in instruction.tiles:
+            pairs = self.block_set.tile_pairs(
+                tile.seq_index, tile.q_block, tile.kv_block
+            )
+            flops += self.block_set.attention.tile_flops(pairs)
+        flops *= self.flops_factor
+        if instruction.kind == "attention_backward":
+            # Recompute + dQ/dK/dV: ~2.5x the forward tile FLOPs.
+            flops *= _BW_FLOPS_FACTOR
+        return (
+            self.cluster.kernel_overhead
+            + len(instruction.tiles) * self.cluster.tile_overhead
+            + self.cluster.compute_time(flops)
+        )
+
+    def memory_op_time(self, instruction) -> float:
+        attention = self.block_set.attention
+        block_bytes = attention.o_block_bytes(self.block_set.block_size) * 2
+        if isinstance(instruction, BlockwiseReduction):
+            ops = len(instruction.merges) + len(instruction.finalizes)
+        elif isinstance(instruction, BlockwiseGradReduce):
+            ops = len(instruction.adds)
+        else:
+            ops = len(instruction.copies)
+        return (
+            self.cluster.kernel_overhead
+            + ops * block_bytes / self.cluster.hbm_bandwidth
+        )
+
+
+def simulate_plan(
+    plan: ExecutionPlan,
+    cluster: Optional[ClusterSpec] = None,
+    backward: bool = False,
+) -> TimingResult:
+    """Replay ``plan`` and return the cluster timing.
+
+    ``backward=True`` models the attention backward pass: identical
+    schedule with ~2.5x the FLOPs (recompute + three gradients) and ~2x
+    the bytes (KV in, dKV out) — the standard cost model for
+    Flash-style distributed attention backward.
+    """
+    cluster = cluster or plan.cluster
+    sim = _TimingSim(
+        plan,
+        cluster,
+        flops_factor=_BW_FLOPS_FACTOR if backward else 1.0,
+        comm_factor=_BW_COMM_FACTOR if backward else 1.0,
+    )
+    runners = [
+        _TimingRunner(device, device_plan, sim)
+        for device, device_plan in sorted(plan.device_plans.items())
+    ]
+    while True:
+        if all(runner.done for runner in runners):
+            break
+        progressed = False
+        for runner in runners:
+            if not runner.done and runner.step():
+                progressed = True
+        if not progressed:
+            stuck = [r.device for r in runners if not r.done]
+            raise RuntimeError(f"timing deadlock on devices {stuck}")
+    devices = {}
+    for runner in runners:
+        runner.timing.comm_intervals = sim.comm_intervals.get(runner.device, [])
+        runner.timing.events.extend(sim.comm_events.get(runner.device, []))
+        runner.timing.events.sort(key=lambda e: (e[2], e[3]))
+        runner.timing.total = max(
+            runner.timing.total,
+            max((end for _, end in runner.timing.comm_intervals), default=0.0),
+        )
+        devices[runner.device] = runner.timing
+    return TimingResult(devices=devices)

@@ -1,0 +1,126 @@
+"""Timeline export of simulated executions.
+
+The timing simulator records a labeled event stream per device
+(attention kernels with tile counts, reductions, transfers with sizes
+and peers, stalls).  This module renders that stream two ways:
+
+* **Chrome trace JSON** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`) — load the file into ``chrome://tracing``
+  or Perfetto, the same workflow the paper uses with NVIDIA Nsight
+  Systems for Fig. 22;
+* **ASCII Gantt chart** (:func:`ascii_gantt`) — a terminal rendering
+  where overlap between computation and communication (the quantity
+  Fig. 22 decomposes) is directly visible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .timing import TimingResult
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "ascii_gantt"]
+
+_LANES = ("compute", "comm", "stall")
+_LANE_CHAR = {"compute": "#", "comm": "=", "stall": "-"}
+_OVERLAP_CHAR = "X"
+
+
+def to_chrome_trace(result: TimingResult, time_scale: float = 1e6) -> Dict:
+    """Convert a :class:`TimingResult` into Chrome trace-event JSON.
+
+    One process per device; one thread per lane (compute / comm /
+    stall).  ``time_scale`` converts simulated seconds into the
+    microseconds the trace format expects.
+    """
+    events: List[Dict] = []
+    for device, timing in sorted(result.devices.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": device,
+                "args": {"name": f"device {device}"},
+            }
+        )
+        for tid, lane in enumerate(_LANES):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": device,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        for name, lane, start, end in timing.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": lane,
+                    "ph": "X",
+                    "pid": device,
+                    "tid": _LANES.index(lane),
+                    "ts": start * time_scale,
+                    "dur": max(end - start, 0.0) * time_scale,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(result: TimingResult, path: str,
+                       time_scale: float = 1e6) -> None:
+    """Write the Chrome trace of ``result`` to ``path`` (JSON)."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(result, time_scale=time_scale), handle)
+
+
+def _paint(
+    line: List[str], start: float, end: float, total: float, char: str
+) -> None:
+    width = len(line)
+    if total <= 0:
+        return
+    first = int(start / total * width)
+    last = max(int(end / total * width), first + 1)
+    for i in range(first, min(last, width)):
+        if line[i] == ".":
+            line[i] = char
+        elif line[i] != char:
+            line[i] = _OVERLAP_CHAR
+
+
+def ascii_gantt(result: TimingResult, width: int = 72,
+                max_devices: Optional[int] = None) -> str:
+    """Render per-device timelines as an ASCII Gantt chart.
+
+    ``#`` computation, ``=`` communication, ``-`` stall, ``X``
+    computation/communication overlap, ``.`` idle.  The chart is
+    normalized to the iteration time, so bars are directly comparable
+    across devices.
+    """
+    total = result.iteration_time
+    lines = [
+        f"iteration {total * 1e3:.3f} ms  "
+        f"(# compute, = comm, X overlap, - stall, . idle)"
+    ]
+    devices = sorted(result.devices)
+    if max_devices is not None:
+        devices = devices[:max_devices]
+    for device in devices:
+        timing = result.devices[device]
+        line = ["."] * width
+        for start, end in timing.compute_intervals:
+            _paint(line, start, end, total, "#")
+        for start, end in timing.comm_intervals:
+            _paint(line, start, end, total, "=")
+        for name, lane, start, end in timing.events:
+            if lane == "stall":
+                _paint(line, start, end, total, "-")
+        busy = timing.compute_time + timing.exposed_comm
+        lines.append(
+            f"dev{device:>3} |{''.join(line)}| "
+            f"{busy / total * 100 if total else 0:5.1f}% busy"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""Tests for the Ulysses and FlexSP-style baseline planners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FlexSPPlanner,
+    RingAttentionPlanner,
+    UlyssesPlanner,
+    run_ulysses_forward_backward,
+)
+from repro.blocks import AttentionSpec, BatchSpec, generate_blocks
+from repro.core import DCPConfig, DCPPlanner
+from repro.masks import CausalMask, LambdaMask, SharedQuestionMask
+from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
+from repro.sim import ClusterSpec, simulate_plan
+
+
+def build(seqlens=(96, 48, 32), mask=None, block_size=16, kv_groups=2):
+    batch = BatchSpec.build(list(seqlens), mask or CausalMask())
+    spec = AttentionSpec(
+        num_q_heads=2 * kv_groups, num_kv_groups=kv_groups, head_dim=16
+    )
+    return generate_blocks(batch, spec, block_size=block_size)
+
+
+CLUSTER_2 = ClusterSpec(num_machines=1, devices_per_machine=2)
+CLUSTER_4 = ClusterSpec(num_machines=2, devices_per_machine=2)
+
+
+def run_and_check(planner, block_set, cluster, seed=11):
+    plan = planner.plan(block_set, cluster)
+    executor = SimExecutor(plan)
+    inputs = BatchInputs.random(block_set, seed=seed)
+    executor.load_inputs(inputs)
+    executor.run()
+    outputs = executor.gather_outputs()
+    references = reference_batch_outputs(block_set, inputs)
+    for out, ref in zip(outputs, references):
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+    return plan
+
+
+# -- Ulysses -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [CausalMask(), LambdaMask(sink=4, window=12),
+     SharedQuestionMask(num_answers=2, answer_fraction=0.3)],
+    ids=lambda m: m.name,
+)
+def test_ulysses_numerics(mask):
+    block_set = build(mask=mask)
+    run_and_check(UlyssesPlanner(), block_set, CLUSTER_2)
+
+
+def test_ulysses_numerics_four_devices():
+    block_set = build(kv_groups=4)
+    run_and_check(UlyssesPlanner(), block_set, CLUSTER_4)
+
+
+def test_ulysses_rejects_too_many_devices():
+    block_set = build(kv_groups=2)
+    with pytest.raises(ValueError, match="divisible"):
+        UlyssesPlanner().plan(block_set, CLUSTER_4)
+
+
+def test_ulysses_single_device_no_comm():
+    block_set = build()
+    plan = UlyssesPlanner().plan(
+        block_set, ClusterSpec(num_machines=1, devices_per_machine=1)
+    )
+    assert plan.total_comm_bytes() == 0
+
+
+def test_ulysses_moves_each_element_once():
+    """All-to-all volume: each non-local Q/KV/O block crosses once."""
+    block_set = build()
+    plan = UlyssesPlanner().plan(block_set, CLUSTER_2)
+    # Every send tag is unique: no block is ever re-sent.
+    tags = []
+    for device_plan in plan.device_plans.values():
+        for ins in device_plan.instructions:
+            if ins.kind == "comm_launch":
+                tags.extend(send.tag for send in ins.sends)
+    assert len(tags) == len(set(tags))
+
+
+def test_ulysses_beats_ring_on_comm():
+    """Ulysses moves O(L) bytes; the ring moves O(L * R) bytes.
+
+    At R = 2 the ring's single KV hop is cheaper than moving Q + KV + O
+    once, so the crossover needs R >= 4.
+    """
+    block_set = build(seqlens=(256, 256), block_size=32, kv_groups=4)
+    ring = RingAttentionPlanner().plan(block_set, CLUSTER_4)
+    ulysses = UlyssesPlanner().plan(block_set, CLUSTER_4)
+    assert ulysses.total_comm_bytes() < ring.total_comm_bytes()
+
+
+def test_ulysses_compute_balanced_by_head_groups():
+    block_set = build()
+    plan = UlyssesPlanner().plan(block_set, CLUSTER_2)
+    tiles_per_device = {
+        device: sum(
+            len(ins.tiles)
+            for ins in device_plan.instructions
+            if ins.kind == "attention"
+        )
+        for device, device_plan in plan.device_plans.items()
+    }
+    counts = list(tiles_per_device.values())
+    assert counts[0] == counts[1]  # symmetric head groups
+
+
+def test_ulysses_timing_simulates():
+    block_set = build()
+    plan = UlyssesPlanner().plan(block_set, CLUSTER_2)
+    result = simulate_plan(plan)
+    assert result.iteration_time > 0
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [CausalMask(), LambdaMask(sink=4, window=12),
+     SharedQuestionMask(num_answers=2, answer_fraction=0.3)],
+    ids=lambda m: m.name,
+)
+def test_ulysses_executed_backward(mask):
+    """Ulysses backward: outputs exact, dQ matches central differences."""
+    from repro.runtime.reference import reference_attention
+
+    block_set = build(seqlens=(96, 48), mask=mask)
+    attention = block_set.attention
+    inputs = BatchInputs.random(block_set, seed=3)
+    rng = np.random.default_rng(4)
+    grad_outputs = [
+        rng.standard_normal(
+            (attention.num_q_heads, seq.seqlen, attention.head_dim)
+        ).astype(np.float32)
+        for seq in block_set.batch.sequences
+    ]
+    outputs, grads, _, _ = run_ulysses_forward_backward(
+        block_set, CLUSTER_2, inputs, grad_outputs
+    )
+    for i, seq in enumerate(block_set.batch.sequences):
+        ref = reference_attention(
+            inputs.q[i], inputs.k[i], inputs.v[i],
+            seq.mask.dense(seq.seqlen), attention.q_heads_per_group,
+        )
+        np.testing.assert_allclose(outputs[i], ref, rtol=2e-4, atol=2e-5)
+
+    # Spot-check dQ numerically on the first sequence.
+    seq = block_set.batch.sequences[0]
+    dense = seq.mask.dense(seq.seqlen)
+    eps = 1e-3
+
+    def loss(q):
+        out = reference_attention(
+            q, inputs.k[0], inputs.v[0], dense, attention.q_heads_per_group
+        )
+        return float((out * grad_outputs[0]).sum())
+
+    for coord in [(0, 5, 3), (2, 40, 7), (3, 90, 1)]:
+        q_plus = inputs.q[0].copy()
+        q_plus[coord] += eps
+        q_minus = inputs.q[0].copy()
+        q_minus[coord] -= eps
+        numeric = (loss(q_plus) - loss(q_minus)) / (2 * eps)
+        actual = float(grads.dq[0][coord])
+        assert actual == pytest.approx(numeric, rel=3e-2, abs=3e-3)
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [CausalMask(), LambdaMask(sink=4, window=12)],
+    ids=lambda m: m.name,
+)
+def test_new_baseline_plans_validate(mask):
+    """Ulysses and FlexSP plans pass the structural validator."""
+    from repro.scheduling import validate_plan
+
+    block_set = build(mask=mask)
+    validate_plan(UlyssesPlanner().plan(block_set, CLUSTER_2))
+    validate_plan(UlyssesPlanner().plan_backward(block_set, CLUSTER_2))
+    validate_plan(FlexSPPlanner().plan(build(mask=mask), CLUSTER_4))
+
+
+def test_ulysses_backward_volume_mirrors_forward():
+    """The reverse all-to-all moves ~the forward's Q/KV plus dO/dKV."""
+    block_set = build(seqlens=(256, 128), block_size=32)
+    planner = UlyssesPlanner()
+    forward = planner.plan(block_set, CLUSTER_2)
+    backward = planner.plan_backward(block_set, CLUSTER_2)
+    # Backward moves Q + KV + dO out and dQ + dKV back: strictly more
+    # than the forward's Q + KV out and O back, bounded by ~2x.
+    assert backward.total_comm_bytes() > forward.total_comm_bytes()
+    assert backward.total_comm_bytes() < 2.5 * forward.total_comm_bytes()
+
+
+# -- FlexSP ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [CausalMask(), LambdaMask(sink=4, window=12),
+     SharedQuestionMask(num_answers=2, answer_fraction=0.3)],
+    ids=lambda m: m.name,
+)
+def test_flexsp_numerics(mask):
+    block_set = build(mask=mask)
+    run_and_check(FlexSPPlanner(), block_set, CLUSTER_4)
+
+
+def test_flexsp_short_sequences_stay_dp():
+    """A batch of short equal sequences needs no communication."""
+    block_set = build(seqlens=(32, 32, 32, 32), block_size=16)
+    plan = FlexSPPlanner().plan(block_set, CLUSTER_4)
+    assert plan.total_comm_bytes() == 0
+
+
+def test_flexsp_long_sequence_gets_cp():
+    """One dominant sequence must be split to respect budgets."""
+    block_set = build(seqlens=(512, 32, 32, 32), block_size=16)
+    placement = FlexSPPlanner().place(block_set, CLUSTER_4)
+    long_devices = {
+        int(device)
+        for ts, device in zip(block_set.token_slices, placement.slice_device)
+        if ts.seq_index == 0
+    }
+    assert len(long_devices) > 1
+
+
+def test_flexsp_degree_is_power_of_two():
+    planner = FlexSPPlanner()
+    for seqlen in (1, 100, 1000, 10000):
+        degree = planner._degree_for(seqlen, 500.0, 1e6, 16)
+        assert degree & (degree - 1) == 0
+
+
+def test_flexsp_tokens_balanced():
+    block_set = build(seqlens=(128, 128, 128, 128), block_size=16)
+    placement = FlexSPPlanner().place(block_set, CLUSTER_4)
+    tokens = placement.tokens_per_device()
+    assert tokens.max() <= 1.5 * max(tokens.min(), 1)
+
+
+def test_flexsp_mask_agnostic_placement():
+    """Identical lengths => identical placement, causal or sparse."""
+    causal = FlexSPPlanner().place(build(mask=CausalMask()), CLUSTER_4)
+    sparse = FlexSPPlanner().place(
+        build(mask=LambdaMask(sink=4, window=12)), CLUSTER_4
+    )
+    np.testing.assert_array_equal(causal.slice_device, sparse.slice_device)
+
+
+def test_dcp_no_worse_than_flexsp_on_sparse_mask():
+    """Mask-aware placement should not lose to mask-agnostic placement."""
+    mask = LambdaMask(sink=4, window=12)
+    block_set = build(seqlens=(512, 64, 64), mask=mask, block_size=16)
+    flexsp_plan = FlexSPPlanner().plan(block_set, CLUSTER_4)
+    dcp = DCPPlanner(
+        CLUSTER_4,
+        attention=block_set.attention,
+        config=DCPConfig(block_size=16, restarts=2),
+    )
+    dcp_plan = dcp.plan(block_set, CLUSTER_4)
+    assert dcp_plan.total_comm_bytes() <= flexsp_plan.total_comm_bytes() * 1.05
+
+
+def test_flexsp_timing_simulates():
+    block_set = build(seqlens=(256, 64, 32), block_size=16)
+    plan = FlexSPPlanner().plan(block_set, CLUSTER_4)
+    result = simulate_plan(plan)
+    assert result.iteration_time > 0
+
+
+def test_flexsp_executed_backward_matches_reference():
+    """FlexSP reuses DCP scheduling, so the real backward runs on it too."""
+    from repro.runtime import run_forward_backward
+    from repro.runtime.reference import reference_attention
+    from repro.scheduling import build_schedule
+
+    mask = LambdaMask(sink=4, window=12)
+    block_set = build(seqlens=(128, 64), mask=mask, block_size=16)
+    placement = FlexSPPlanner().place(block_set, CLUSTER_4)
+    schedule = build_schedule(block_set, placement, num_divisions=2)
+
+    inputs = BatchInputs.random(block_set, seed=13)
+    rng = np.random.default_rng(14)
+    attention = block_set.attention
+    grad_outputs = [
+        rng.standard_normal(
+            (attention.num_q_heads, seq.seqlen, attention.head_dim)
+        ).astype(np.float32)
+        for seq in block_set.batch.sequences
+    ]
+    outputs, grads, _, _ = run_forward_backward(
+        schedule, inputs, grad_outputs
+    )
+    for seq_index, seq in enumerate(block_set.batch.sequences):
+        ref = reference_attention(
+            inputs.q[seq_index],
+            inputs.k[seq_index],
+            inputs.v[seq_index],
+            seq.mask.dense(seq.seqlen),
+            attention.q_heads_per_group,
+        )
+        np.testing.assert_allclose(
+            outputs[seq_index], ref, rtol=2e-4, atol=2e-5
+        )
+    # Gradients exist for every sequence and are finite.
+    for dq in grads.dq:
+        assert np.isfinite(dq).all()
+        assert float(np.abs(dq).sum()) > 0

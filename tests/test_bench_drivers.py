@@ -1,0 +1,100 @@
+"""Smoke tests for the figure drivers (tiny problem sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    PAPER_MASKS,
+    Table,
+    attention_times,
+    fig02_distribution,
+    fig13_micro_causal,
+    fig14_micro_masks,
+    fig17_comm_vs_blocksize,
+    fig18_planning_time,
+    fig20_comm_vs_imbalance,
+    make_batches,
+)
+
+
+class TestHarness:
+    def test_table_roundtrip(self, tmp_path):
+        table = Table("t", ["a", "b"])
+        table.add(1, 2.5)
+        table.add("x", 0.125)
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown and "| 1 | 2.500 |" in markdown
+        path = tmp_path / "out" / "t.md"
+        table.save(str(path))
+        assert path.read_text() == markdown
+        assert table.column("a") == [1, "x"]
+
+    def test_table_row_width_checked(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+    def test_make_batches_budget(self):
+        scale = BenchScale.smoke()
+        batches = make_batches("longalign", scale, PAPER_MASKS["causal"]())
+        assert 1 <= len(batches) <= scale.num_batches
+        for batch in batches:
+            assert batch.total_tokens <= scale.token_budget
+
+    def test_attention_times_keys(self):
+        from repro.baselines import TransformerEnginePlanner
+
+        scale = BenchScale.smoke()
+        batches = make_batches("longalign", scale, PAPER_MASKS["causal"]())
+        stats = attention_times(TransformerEnginePlanner(), batches, scale)
+        assert set(stats) == {"fw_ms", "bw_ms", "comm_mb", "inter_mb"}
+        assert stats["bw_ms"] > stats["fw_ms"] > 0
+
+    def test_scales(self):
+        assert BenchScale.micro().cluster.num_devices == 32
+        assert BenchScale.e2e().cluster.num_devices == 16
+        assert BenchScale.smoke(num_batches=3).num_batches == 3
+
+
+class TestDrivers:
+    def test_fig02(self):
+        table = fig02_distribution(num_samples=2000)
+        assert len(table.rows) == 2
+
+    def test_fig13_smoke(self):
+        table = fig13_micro_causal(BenchScale.smoke(), length_scales=(1.0,))
+        systems = set(table.column("system"))
+        assert systems == {"rfa_ring", "rfa_zigzag", "lt", "te", "dcp"}
+        dcp_comm = [r for r in table.rows if r[1] == "dcp"][0][4]
+        te_comm = [r for r in table.rows if r[1] == "te"][0][4]
+        assert dcp_comm <= te_comm
+
+    def test_fig14_smoke(self):
+        table = fig14_micro_masks(
+            BenchScale.smoke(), length_scales=(1.0,),
+            mask_names=("causal", "lambda"),
+        )
+        assert len(table.rows) == 4
+
+    def test_fig17_smoke(self):
+        table = fig17_comm_vs_blocksize(
+            "longdatacollections", BenchScale.smoke(),
+            block_sizes=(128, 256), mask_names=("causal",),
+        )
+        for _, _, dcp_mb, mlm_mb in table.rows:
+            assert dcp_mb <= mlm_mb
+
+    def test_fig18_smoke(self):
+        table = fig18_planning_time(
+            "longalign", BenchScale.smoke(), block_sizes=(128, 256),
+            mask_names=("causal",),
+        )
+        assert all(row[2] > 0 for row in table.rows)
+
+    def test_fig20_smoke(self):
+        table = fig20_comm_vs_imbalance(
+            BenchScale.smoke(), eps_values=(0.2, 1.0),
+            datasets=("longalign",),
+        )
+        assert len(table.rows) == 2

@@ -1,0 +1,99 @@
+"""Tests for synthetic datasets and batching."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import BatchSpec
+from repro.data import (
+    LONGALIGN,
+    LONG_DATA_COLLECTIONS,
+    MAX_SEQLEN,
+    batches_to_specs,
+    pack_batches,
+    sample_lengths,
+    scale_lengths,
+)
+from repro.masks import CausalMask, SharedQuestionMask, make_mask
+
+
+class TestDistributions:
+    def test_deterministic_given_seed(self):
+        a = sample_lengths("longalign", 100, seed=1)
+        b = sample_lengths("longalign", 100, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_lengths("longalign", 100, seed=1)
+        b = sample_lengths("longalign", 100, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_capped_and_positive(self):
+        lengths = sample_lengths("longdatacollections", 5000, seed=0)
+        assert lengths.min() >= 32
+        assert lengths.max() <= MAX_SEQLEN
+
+    def test_longalign_longer_than_ldc(self):
+        """Fig. 2: LongAlign has longer mean, fewer short sequences."""
+        la = LONGALIGN.sample(20000, seed=0)
+        ldc = LONG_DATA_COLLECTIONS.sample(20000, seed=0)
+        assert la.mean() > 1.5 * ldc.mean()
+        assert (ldc < 4096).mean() > (la < 4096).mean()
+
+    def test_skewed_long_tail(self):
+        lengths = LONG_DATA_COLLECTIONS.sample(20000, seed=0)
+        assert np.median(lengths) < lengths.mean()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            sample_lengths("nope", 10)
+
+
+class TestScaleLengths:
+    def test_scaling_and_cap(self):
+        lengths = np.array([100, 70000])
+        assert scale_lengths(lengths, 2.0, cap=131072).tolist() == [200, 131072]
+
+    def test_scale_down_keeps_positive(self):
+        assert scale_lengths(np.array([1]), 0.5).tolist() == [1]
+
+
+class TestPackBatches:
+    def test_budget_respected(self):
+        lengths = [500] * 20
+        batches = pack_batches(lengths, token_budget=1024)
+        for batch in batches:
+            assert sum(batch) <= 1024
+        assert sum(len(b) for b in batches) == 20
+
+    def test_oversized_sequence_truncated(self):
+        batches = pack_batches([5000], token_budget=1000)
+        assert batches == [[1000]]
+
+    def test_max_seqlen_clipping(self):
+        batches = pack_batches([5000, 100], token_budget=10000,
+                               max_seqlen=2000)
+        assert batches == [[2000, 100]]
+
+    def test_every_sequence_kept_in_order(self):
+        lengths = [300, 800, 200, 900, 100]
+        batches = pack_batches(lengths, token_budget=1000)
+        flat = [n for batch in batches for n in batch]
+        assert flat == lengths
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            pack_batches([10], token_budget=0)
+
+
+class TestBatchesToSpecs:
+    def test_shared_mask(self):
+        specs = batches_to_specs([[10, 20], [30]], CausalMask())
+        assert len(specs) == 2
+        assert specs[0].total_tokens == 30
+
+    def test_mask_callable(self):
+        def mask_fn(seqlen):
+            return SharedQuestionMask(num_answers=2, answer_fraction=0.25)
+
+        specs = batches_to_specs([[40]], mask_fn)
+        assert isinstance(specs[0].sequences[0].mask, SharedQuestionMask)

@@ -1,0 +1,171 @@
+"""Failure-injection tests: corrupted plans must fail loudly.
+
+The executor and timing simulator are the correctness oracles of this
+reproduction; these tests verify they *detect* broken instruction
+streams (lost launches, duplicate messages, missing waits) instead of
+silently producing wrong numbers — the failure modes a real
+distributed attention runtime deadlocks or corrupts on.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import AttentionSpec, BatchSpec, ClusterSpec, generate_blocks
+from repro.core import DCPConfig, DCPPlanner
+from repro.masks import CausalMask
+from repro.runtime import BatchInputs, SimExecutor
+from repro.runtime.fabric import Fabric
+from repro.scheduling import PlanValidationError, validate_plan
+from repro.scheduling.instructions import CommLaunch, CommWait
+from repro.sim import simulate_plan
+
+ATTENTION = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
+
+
+def _plan(seqlens=(256, 64)):
+    batch = BatchSpec.build(list(seqlens), CausalMask())
+    block_set = generate_blocks(batch, ATTENTION, block_size=32)
+    planner = DCPPlanner(
+        CLUSTER, attention=ATTENTION,
+        config=DCPConfig(block_size=32, restarts=1),
+    )
+    return planner.plan(block_set, CLUSTER)
+
+
+def _first_device_with(plan, kind):
+    for device, device_plan in sorted(plan.device_plans.items()):
+        if any(ins.kind == kind for ins in device_plan.instructions):
+            return device
+    pytest.skip(f"plan has no {kind} instruction")
+
+
+def _strip(plan, device, predicate):
+    """Remove instructions of ``device`` matching ``predicate``."""
+    device_plan = plan.device_plans[device]
+    device_plan.instructions = [
+        ins for ins in device_plan.instructions if not predicate(ins)
+    ]
+
+
+class TestExecutorDetection:
+    def test_lost_send_deadlocks_executor(self):
+        plan = _plan()
+        sender = None
+        for device, device_plan in sorted(plan.device_plans.items()):
+            if any(
+                ins.kind == "comm_launch" and ins.sends
+                for ins in device_plan.instructions
+            ):
+                sender = device
+                break
+        if sender is None:
+            pytest.skip("plan has no cross-device sends")
+        # Drop the victim's sends but keep its receives: its peers wait
+        # on messages that never arrive.
+        device_plan = plan.device_plans[sender]
+        device_plan.instructions = [
+            dataclasses.replace(ins, sends=())
+            if ins.kind == "comm_launch"
+            else ins
+            for ins in device_plan.instructions
+        ]
+        executor = SimExecutor(plan)
+        executor.load_inputs(BatchInputs.random(plan.block_set, seed=0))
+        with pytest.raises(RuntimeError, match="deadlock"):
+            executor.run()
+
+    def test_lost_send_deadlocks_timing(self):
+        plan = _plan()
+        sender = None
+        for device, device_plan in sorted(plan.device_plans.items()):
+            if any(
+                ins.kind == "comm_launch" and ins.sends
+                for ins in device_plan.instructions
+            ):
+                sender = device
+                break
+        if sender is None:
+            pytest.skip("plan has no cross-device sends")
+        device_plan = plan.device_plans[sender]
+        device_plan.instructions = [
+            dataclasses.replace(ins, sends=())
+            if ins.kind == "comm_launch"
+            else ins
+            for ins in device_plan.instructions
+        ]
+        with pytest.raises(RuntimeError, match="deadlock"):
+            simulate_plan(plan)
+
+    def test_unknown_buffer_kind_rejected(self):
+        plan = _plan()
+        device = _first_device_with(plan, "comm_launch")
+        device_plan = plan.device_plans[device]
+        for index, ins in enumerate(device_plan.instructions):
+            if ins.kind == "comm_launch" and ins.sends:
+                bad = dataclasses.replace(
+                    ins.sends[0], buffer="not-a-buffer"
+                )
+                device_plan.instructions[index] = dataclasses.replace(
+                    ins, sends=(bad,) + ins.sends[1:]
+                )
+                break
+        else:
+            pytest.skip("no sends to corrupt")
+        executor = SimExecutor(plan)
+        executor.load_inputs(BatchInputs.random(plan.block_set, seed=0))
+        with pytest.raises((ValueError, RuntimeError)):
+            executor.run()
+
+
+class TestValidatorDetection:
+    def test_intact_plan_validates(self):
+        validate_plan(_plan())
+
+    def test_dropped_launch_caught(self):
+        plan = _plan()
+        device = _first_device_with(plan, "comm_launch")
+        _strip(plan, device, lambda ins: ins.kind == "comm_launch")
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_dropped_wait_caught(self):
+        plan = _plan()
+        device = None
+        for d, device_plan in sorted(plan.device_plans.items()):
+            if any(
+                ins.kind == "comm_launch" and ins.recvs
+                for ins in device_plan.instructions
+            ):
+                device = d
+                break
+        if device is None:
+            pytest.skip("plan has no receives")
+        _strip(plan, device, lambda ins: ins.kind == "comm_wait")
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+
+class TestFabric:
+    def test_duplicate_post_rejected(self):
+        fabric = Fabric(CLUSTER)
+        fabric.post(0, 1, ("t",), np.zeros(1), 8)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            fabric.post(0, 1, ("t",), np.zeros(1), 8)
+
+    def test_collect_removes_message(self):
+        fabric = Fabric(CLUSTER)
+        fabric.post(0, 1, ("t",), np.zeros(1), 8)
+        assert fabric.ready(0, 1, ("t",))
+        assert fabric.collect(0, 1, ("t",)) is not None
+        assert not fabric.ready(0, 1, ("t",))
+        assert fabric.pending_count() == 0
+
+    def test_traffic_accounting(self):
+        fabric = Fabric(CLUSTER)
+        fabric.post(0, 1, ("a",), np.zeros(1), 100)  # same machine
+        fabric.post(0, 2, ("b",), np.zeros(1), 50)  # cross machine
+        assert fabric.total_bytes == 150
+        assert fabric.inter_machine_bytes == 50

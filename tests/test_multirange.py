@@ -1,0 +1,277 @@
+"""Tests for multi-range masks (beyond the paper's 2-range limit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import AttentionSpec, BatchSpec, generate_blocks
+from repro.core import DCPConfig, DCPPlanner
+from repro.masks import (
+    CausalMask,
+    DenseMask,
+    DilatedBlockMask,
+    GlobalTokenMask,
+    MultiRanges,
+    block_bounds,
+    tile_workload_matrix,
+)
+from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
+from repro.sim import ClusterSpec, simulate_plan
+
+
+def brute_dilated(seqlen, block, stride, window):
+    mask = np.zeros((seqlen, seqlen), dtype=bool)
+    period = block * stride
+    for i in range(seqlen):
+        for j in range(i + 1):
+            if j > i - window:
+                mask[i, j] = True
+            elif (j // period) * period + block > j and j % period < block:
+                mask[i, j] = True
+    return mask
+
+
+def brute_global(seqlen, every, window):
+    mask = np.zeros((seqlen, seqlen), dtype=bool)
+    for i in range(seqlen):
+        for j in range(i + 1):
+            if i % every == 0 or j > i - window or j % every == 0:
+                mask[i, j] = True
+    return mask
+
+
+# -- MultiRanges core ---------------------------------------------------------
+
+
+class TestMultiRanges:
+    def test_from_rows_round_trip(self):
+        ranges = MultiRanges.from_rows([[(0, 1)], [(0, 1), (3, 4)], []])
+        assert ranges.seqlen == 3
+        assert ranges.num_ranges == 3
+        starts, ends = ranges.ranges_of_row(1)
+        assert starts.tolist() == [0, 3]
+        assert ends.tolist() == [1, 4]
+
+    def test_row_count(self):
+        ranges = MultiRanges.from_rows([[(0, 2)], [(0, 1), (2, 5)], []])
+        assert ranges.row_count().tolist() == [2, 4, 0]
+
+    def test_total_pairs(self):
+        ranges = MultiRanges.from_rows([[(0, 2)], [(0, 1), (2, 5)], []])
+        assert ranges.total_pairs() == 6
+
+    def test_overlap_with(self):
+        ranges = MultiRanges.from_rows([[(0, 4)], [(0, 2), (6, 8)]])
+        assert ranges.overlap_with(1, 7).tolist() == [3, 2]
+
+    def test_dense_matches_rows(self):
+        ranges = MultiRanges.from_rows(
+            [[(0, 1)], [(0, 1), (2, 3)], [(1, 3)]]
+        )
+        expected = np.array(
+            [
+                [True, False, False],
+                [True, False, True],
+                [False, True, True],
+            ]
+        )
+        np.testing.assert_array_equal(ranges.dense(), expected)
+
+    def test_tile_mask_is_dense_slice(self):
+        mask = brute_global(32, every=8, window=4)
+        ranges = MultiRanges.from_dense(mask)
+        tile = ranges.tile_mask(8, 16, 4, 20)
+        np.testing.assert_array_equal(tile, mask[8:16, 4:20])
+
+    def test_from_dense_round_trip(self):
+        mask = brute_dilated(48, block=4, stride=2, window=8)
+        np.testing.assert_array_equal(
+            MultiRanges.from_dense(mask).dense(), mask
+        )
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_from_dense_round_trip_random(self, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((17, 17)) < 0.35
+        ranges = MultiRanges.from_dense(mask)
+        ranges.validate()
+        np.testing.assert_array_equal(ranges.dense(), mask)
+
+    def test_validate_rejects_overlap(self):
+        ranges = MultiRanges.from_rows([[(0, 3), (2, 5)], [], [], [], []])
+        with pytest.raises(ValueError, match="overlap"):
+            ranges.validate()
+
+    def test_validate_rejects_out_of_bounds(self):
+        ranges = MultiRanges.from_rows([[(0, 5)]])
+        with pytest.raises(ValueError, match="outside"):
+            ranges.validate()
+
+    def test_validate_rejects_inverted(self):
+        ranges = MultiRanges(
+            indptr=np.array([0, 1]),
+            starts=np.array([3]),
+            ends=np.array([1]),
+        )
+        with pytest.raises(ValueError, match="start exceeds"):
+            ranges.validate()
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            MultiRanges(
+                indptr=np.array([0, 2]),
+                starts=np.array([0]),
+                ends=np.array([1]),
+            )
+
+    def test_max_ranges_per_row(self):
+        ranges = MultiRanges.from_rows([[(0, 1)], [(0, 1), (2, 3), (4, 5)]])
+        assert ranges.max_ranges_per_row() == 3
+
+
+# -- mask families -------------------------------------------------------------
+
+
+class TestDilatedBlockMask:
+    def test_matches_brute_force(self):
+        mask = DilatedBlockMask(block=4, stride=2, window=8)
+        expected = brute_dilated(64, block=4, stride=2, window=8)
+        np.testing.assert_array_equal(mask.dense(64), expected)
+
+    def test_needs_more_than_two_ranges(self):
+        mask = DilatedBlockMask(block=4, stride=2, window=8)
+        assert mask.max_ranges_per_row(128) > 2
+
+    def test_sparser_than_causal(self):
+        mask = DilatedBlockMask(block=4, stride=4, window=16)
+        assert mask.sparsity_vs_causal(256) < 0.5
+
+    def test_ranges_validate(self):
+        DilatedBlockMask(block=4, stride=2, window=8).ranges(100).validate()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DilatedBlockMask(block=0)
+
+
+class TestGlobalTokenMask:
+    def test_matches_brute_force(self):
+        mask = GlobalTokenMask(every=8, window=4)
+        expected = brute_global(48, every=8, window=4)
+        np.testing.assert_array_equal(mask.dense(48), expected)
+
+    def test_global_rows_attend_everything(self):
+        dense = GlobalTokenMask(every=8, window=4).dense(32)
+        assert dense[16, :17].all()
+
+    def test_needs_more_than_two_ranges(self):
+        assert GlobalTokenMask(every=8, window=4).max_ranges_per_row(128) > 2
+
+    def test_ranges_validate(self):
+        GlobalTokenMask(every=8, window=4).ranges(100).validate()
+
+
+class TestDenseMask:
+    def test_round_trip(self):
+        matrix = np.tril(np.ones((16, 16), dtype=bool))
+        mask = DenseMask(matrix)
+        np.testing.assert_array_equal(mask.dense(16), matrix)
+
+    def test_rejects_other_lengths(self):
+        mask = DenseMask(np.tril(np.ones((16, 16), dtype=bool)))
+        with pytest.raises(ValueError, match="tokens"):
+            mask.ranges(8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DenseMask(np.ones((4, 5), dtype=bool))
+
+    def test_equivalent_to_causal(self):
+        matrix = np.tril(np.ones((24, 24), dtype=bool))
+        assert DenseMask(matrix).total_pairs(24) == CausalMask().total_pairs(24)
+
+
+# -- planner / executor integration -------------------------------------------
+
+
+CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
+
+
+def _block_set(mask, seqlens=(96, 48), block_size=16):
+    batch = BatchSpec.build(list(seqlens), mask)
+    spec = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+    return generate_blocks(batch, spec, block_size=block_size)
+
+
+@pytest.mark.parametrize(
+    "mask",
+    [
+        DilatedBlockMask(block=4, stride=2, window=12),
+        GlobalTokenMask(every=16, window=12),
+    ],
+    ids=lambda m: m.name,
+)
+def test_dcp_numerics_multirange(mask):
+    block_set = _block_set(mask)
+    planner = DCPPlanner(
+        CLUSTER,
+        attention=block_set.attention,
+        config=DCPConfig(block_size=16, restarts=1),
+    )
+    plan = planner.plan(block_set, CLUSTER)
+    executor = SimExecutor(plan)
+    inputs = BatchInputs.random(block_set, seed=3)
+    executor.load_inputs(inputs)
+    executor.run()
+    outputs = executor.gather_outputs()
+    references = reference_batch_outputs(block_set, inputs)
+    for out, ref in zip(outputs, references):
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+
+
+def test_workload_matrix_counts_pairs():
+    mask = GlobalTokenMask(every=16, window=12)
+    ranges = mask.ranges(96)
+    workload = tile_workload_matrix(ranges, block_bounds(96, 16))
+    assert workload.sum() == ranges.total_pairs()
+    dense = mask.dense(96)
+    assert workload[3, 0] == dense[48:64, 0:16].sum()
+
+
+def test_multirange_timing_simulates():
+    block_set = _block_set(DilatedBlockMask(block=4, stride=2, window=12))
+    planner = DCPPlanner(
+        CLUSTER,
+        attention=block_set.attention,
+        config=DCPConfig(block_size=16, restarts=1),
+    )
+    plan = planner.plan(block_set, CLUSTER)
+    assert simulate_plan(plan).iteration_time > 0
+
+
+@given(
+    seed=st.integers(0, 500),
+    q_lo=st.integers(0, 10),
+    q_span=st.integers(1, 10),
+    k_lo=st.integers(0, 10),
+    k_span=st.integers(1, 10),
+)
+@settings(max_examples=40, deadline=None)
+def test_tile_mask_consistent_with_overlap(seed, q_lo, q_span, k_lo, k_span):
+    """Counting true cells in a tile equals the overlap arithmetic."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((20, 20)) < 0.4
+    ranges = MultiRanges.from_dense(mask)
+    q_hi = min(q_lo + q_span, 20)
+    k_hi = min(k_lo + k_span, 20)
+    tile = ranges.tile_mask(q_lo, q_hi, k_lo, k_hi)
+    per_row = ranges.overlap_with(k_lo, k_hi)[q_lo:q_hi]
+    np.testing.assert_array_equal(tile.sum(axis=1), per_row)
+
+
+def test_sparse_multirange_plans_fewer_flops_than_causal():
+    sparse = _block_set(DilatedBlockMask(block=4, stride=4, window=8))
+    causal = _block_set(CausalMask())
+    assert sparse.total_flops < causal.total_flops

@@ -1,0 +1,99 @@
+"""Tests for the LRU plan cache."""
+
+import pytest
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    make_mask,
+)
+from repro.core import PlanCache, batch_signature
+
+
+def make_cache(capacity=4):
+    cluster = ClusterSpec(num_machines=1, devices_per_machine=2)
+    attention = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+    planner = DCPPlanner(cluster, attention,
+                         DCPConfig(block_size=16, restarts=1))
+    return PlanCache(planner, capacity=capacity)
+
+
+def batch(seqlens, mask_name="causal", **kw):
+    return BatchSpec.build(list(seqlens), make_mask(mask_name, **kw))
+
+
+class TestSignature:
+    def test_same_shape_same_signature(self):
+        assert batch_signature(batch([32, 16])) == batch_signature(
+            batch([32, 16])
+        )
+
+    def test_mask_params_distinguish(self):
+        a = batch([32], "lambda", sink=2, window=8)
+        b = batch([32], "lambda", sink=2, window=16)
+        assert batch_signature(a) != batch_signature(b)
+
+    def test_order_matters(self):
+        assert batch_signature(batch([32, 16])) != batch_signature(
+            batch([16, 32])
+        )
+
+
+class TestPlanCache:
+    def test_hit_returns_same_plan(self):
+        cache = make_cache()
+        first = cache.plan_batch(batch([48, 32]))
+        second = cache.plan_batch(batch([48, 32]))
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_batches_miss(self):
+        cache = make_cache()
+        cache.plan_batch(batch([48, 32]))
+        cache.plan_batch(batch([48, 16]))
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_lru_eviction(self):
+        cache = make_cache(capacity=2)
+        a, b, c = batch([16]), batch([32]), batch([48])
+        cache.plan_batch(a)
+        cache.plan_batch(b)
+        cache.plan_batch(a)  # refresh a; b is now least recent
+        cache.plan_batch(c)  # evicts b
+        assert len(cache) == 2
+        misses_before = cache.misses
+        cache.plan_batch(b)
+        assert cache.misses == misses_before + 1
+
+    def test_clear(self):
+        cache = make_cache()
+        cache.plan_batch(batch([16]))
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_cache(capacity=0)
+
+    def test_cached_plans_execute(self):
+        import numpy as np
+
+        from repro.runtime import (
+            BatchInputs,
+            SimExecutor,
+            reference_batch_outputs,
+        )
+
+        cache = make_cache()
+        plan = cache.plan_batch(batch([64, 32]))
+        plan = cache.plan_batch(batch([64, 32]))  # from cache
+        executor = SimExecutor(plan)
+        inputs = BatchInputs.random(plan.block_set, seed=0)
+        executor.load_inputs(inputs)
+        executor.run()
+        for out, ref in zip(executor.gather_outputs(),
+                            reference_batch_outputs(plan.block_set, inputs)):
+            np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)

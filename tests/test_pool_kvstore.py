@@ -1,0 +1,278 @@
+"""Tests for the KV store and the distributed planner pool (§6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import AttentionSpec, BatchSpec
+from repro.core import (
+    DCPConfig,
+    DCPPlanner,
+    DistributedDataloader,
+    KVClient,
+    KVStore,
+    PlannerPool,
+    min_cores_to_hide_planning,
+    simulate_planning_overlap,
+)
+from repro.masks import CausalMask
+from repro.sim import ClusterSpec
+
+
+# -- KVStore -----------------------------------------------------------------
+
+
+class TestKVStore:
+    def test_put_get_round_trip(self):
+        store = KVStore()
+        store.put("a", {"x": [1, 2, 3]})
+        assert store.get("a") == {"x": [1, 2, 3]}
+
+    def test_versions_increment(self):
+        store = KVStore()
+        assert store.put("k", 1) == 1
+        assert store.put("k", 2) == 2
+
+    def test_get_blocks_until_timeout(self):
+        store = KVStore()
+        with pytest.raises(KeyError):
+            store.get("missing", timeout=0.01)
+
+    def test_try_get_missing_is_none(self):
+        store = KVStore()
+        assert store.try_get("missing") is None
+
+    def test_delete(self):
+        store = KVStore()
+        store.put("k", 1)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert not store.contains("k")
+
+    def test_values_are_snapshots(self):
+        store = KVStore()
+        value = [1, 2]
+        store.put("k", value)
+        value.append(3)
+        assert store.get("k") == [1, 2]
+
+    def test_keys_sorted(self):
+        store = KVStore()
+        store.put("b", 1)
+        store.put("a", 2)
+        assert store.keys() == ["a", "b"]
+
+    def test_size_and_traffic(self):
+        store = KVStore()
+        store.put("k", np.zeros(100))
+        assert store.size_bytes() > 0
+        store.get("k")
+        traffic = store.traffic
+        assert traffic["in"] > 0
+        assert traffic["out"] > 0
+
+    def test_numpy_round_trip(self):
+        store = KVStore()
+        array = np.arange(12, dtype=np.float32).reshape(3, 4)
+        store.put("arr", array)
+        np.testing.assert_array_equal(store.get("arr"), array)
+
+
+class TestKVClient:
+    def test_local_client_free(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=0)
+        client.put("k", [1] * 100)
+        client.get("k")
+        assert client.wire_bytes() == 0
+
+    def test_remote_client_pays_wire(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        client.put("k", [1] * 100)
+        assert client.bytes_sent > 0
+        client.get("k")
+        assert client.bytes_received > 0
+
+
+# -- PlannerPool / DistributedDataloader --------------------------------------
+
+
+def _planner():
+    cluster = ClusterSpec(num_machines=1, devices_per_machine=2)
+    spec = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+    return DCPPlanner(cluster, spec, DCPConfig(block_size=32, restarts=1))
+
+
+def _batches(count=3):
+    return [
+        BatchSpec.build([64 + 32 * i, 32], CausalMask()) for i in range(count)
+    ]
+
+
+class TestPlannerPool:
+    def test_submit_and_fetch(self):
+        store = KVStore()
+        with PlannerPool(_planner(), store, num_machines=2) as pool:
+            batch = _batches(1)[0]
+            pool.submit(0, batch)
+            plan = pool.fetch(0, timeout=30.0)
+        assert plan.num_devices == 2
+        assert store.contains("plan/0")
+
+    def test_duplicate_submit_is_single_job(self):
+        store = KVStore()
+        with PlannerPool(_planner(), store) as pool:
+            batch = _batches(1)[0]
+            f1 = pool.submit(0, batch)
+            f2 = pool.submit(0, batch)
+            assert f1 is f2
+            f1.result(timeout=30.0)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            PlannerPool(_planner(), KVStore(), num_machines=0)
+
+    def test_plans_survive_pickling(self):
+        """Plans cross the store as pickles; instruction streams survive."""
+        store = KVStore()
+        with PlannerPool(_planner(), store) as pool:
+            batch = _batches(1)[0]
+            pool.submit(0, batch)
+            fetched = pool.fetch(0, timeout=30.0)
+        direct = _planner().plan_batch(batch)
+        assert fetched.total_comm_bytes() == direct.total_comm_bytes()
+        for device in range(fetched.num_devices):
+            assert (
+                len(fetched.plan_for(device).instructions)
+                == len(direct.plan_for(device).instructions)
+            )
+
+
+class TestDistributedDataloader:
+    def test_yields_every_batch_in_order(self):
+        store = KVStore()
+        batches = _batches(4)
+        with PlannerPool(_planner(), store, num_machines=2) as pool:
+            loader = DistributedDataloader(batches, pool, lookahead=2)
+            plans = [plan for _, plan in loader]
+        assert len(plans) == 4
+        for batch, plan in zip(batches, plans):
+            planned_tokens = sum(
+                sum(ts.tokens for ts in dp.local_slices)
+                for dp in plan.device_plans.values()
+            )
+            assert planned_tokens == batch.total_tokens
+
+    def test_local_data_covers_devices(self):
+        store = KVStore()
+        with PlannerPool(_planner(), store) as pool:
+            loader = DistributedDataloader(_batches(1), pool, lookahead=1)
+            local_data, _ = next(iter(loader))
+        assert set(local_data) == {0, 1}
+
+    def test_rejects_negative_lookahead(self):
+        with pytest.raises(ValueError):
+            DistributedDataloader([], PlannerPool(_planner(), KVStore()), -1)
+
+
+# -- analytic overlap model ---------------------------------------------------
+
+
+class TestPlanningOverlap:
+    def test_zero_plan_time_never_stalls(self):
+        timeline = simulate_planning_overlap([0.0] * 5, [1.0] * 5)
+        assert timeline.total_stall == 0.0
+        assert timeline.planning_hidden()
+
+    def test_cold_start_stall_only(self):
+        timeline = simulate_planning_overlap(
+            [0.5] * 5, [1.0] * 5, cores_per_machine=2
+        )
+        assert timeline.stalls[0] == pytest.approx(0.5)
+        assert timeline.planning_hidden()
+
+    def test_serial_slow_planning_stalls(self):
+        timeline = simulate_planning_overlap(
+            [2.0] * 6, [1.0] * 6, cores_per_machine=1, lookahead=2
+        )
+        assert not timeline.planning_hidden()
+        assert timeline.total_stall > 0
+
+    def test_paper_claim_ten_cores_hide_ten_seconds(self):
+        """Fig. 18: 10 s planning hides under 1 s iterations with ~10 cores."""
+        plan_times = [10.0] * 40
+        exec_times = [1.0] * 40
+        hidden = simulate_planning_overlap(
+            plan_times, exec_times, cores_per_machine=12, lookahead=12
+        )
+        assert hidden.planning_hidden()
+        starved = simulate_planning_overlap(
+            plan_times, exec_times, cores_per_machine=5, lookahead=12
+        )
+        assert not starved.planning_hidden()
+
+    def test_machines_multiply_capacity(self):
+        plan_times = [4.0] * 20
+        exec_times = [1.0] * 20
+        one = simulate_planning_overlap(
+            plan_times, exec_times, num_machines=1, cores_per_machine=2,
+            lookahead=6,
+        )
+        four = simulate_planning_overlap(
+            plan_times, exec_times, num_machines=4, cores_per_machine=2,
+            lookahead=6,
+        )
+        assert four.total_stall <= one.total_stall
+
+    def test_min_cores_matches_throughput_bound(self):
+        cores = min_cores_to_hide_planning(
+            [10.0] * 40, [1.0] * 40, lookahead=12
+        )
+        assert cores is not None
+        assert 10 <= cores <= 12
+
+    def test_min_cores_none_when_latency_bound(self):
+        # With lookahead 0, a 10x plan time can never hide.
+        assert (
+            min_cores_to_hide_planning(
+                [10.0] * 10, [1.0] * 10, lookahead=0, max_cores=8
+            )
+            is None
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_planning_overlap([1.0], [1.0, 2.0])
+
+    def test_empty_timeline(self):
+        timeline = simulate_planning_overlap([], [])
+        assert timeline.total_time == 0.0
+        assert timeline.stall_fraction == 0.0
+
+    def test_stall_fraction_bounded(self):
+        timeline = simulate_planning_overlap(
+            [3.0] * 8, [1.0] * 8, cores_per_machine=1, lookahead=1
+        )
+        assert 0.0 < timeline.stall_fraction < 1.0
+
+    @given(
+        plan=st.floats(0.0, 5.0),
+        execution=st.floats(0.1, 5.0),
+        cores=st.integers(1, 8),
+        lookahead=st.integers(0, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_execution_order_preserved(self, plan, execution, cores,
+                                       lookahead):
+        timeline = simulate_planning_overlap(
+            [plan] * 10,
+            [execution] * 10,
+            cores_per_machine=cores,
+            lookahead=lookahead,
+        )
+        for i in range(1, 10):
+            assert timeline.exec_start[i] >= timeline.exec_end[i - 1] - 1e-9
+            # A plan is always complete before its execution starts.
+            assert timeline.plan_end[i] <= timeline.exec_start[i] + 1e-9

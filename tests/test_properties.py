@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import AttentionSpec, BatchSpec, generate_blocks
+from repro.data import pack_batches
+from repro.hypergraph import BalanceConstraint, Hypergraph, partition_hypergraph
+from repro.masks import (
+    CausalBlockwiseMask,
+    CausalMask,
+    LambdaMask,
+    SharedQuestionMask,
+    block_bounds,
+    mask_workload_matrix,
+)
+from repro.runtime import empty_partial, finalize, merge_partials, tile_attention
+from repro.scheduling import BufferManager
+
+settings.register_profile(
+    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro")
+
+
+# -- mask strategies ---------------------------------------------------------
+
+def mask_strategy():
+    return st.one_of(
+        st.just(CausalMask()),
+        st.builds(
+            LambdaMask,
+            sink=st.integers(0, 20),
+            window=st.integers(1, 40),
+        ),
+        st.builds(
+            CausalBlockwiseMask,
+            block=st.integers(1, 16),
+            window_blocks=st.integers(1, 4),
+            sink_blocks=st.integers(0, 3),
+        ),
+        st.builds(
+            SharedQuestionMask,
+            num_answers=st.integers(1, 4),
+            answer_fraction=st.floats(0.05, 0.2),
+        ),
+    )
+
+
+@given(mask=mask_strategy(), seqlen=st.integers(1, 120))
+def test_mask_ranges_always_valid(mask, seqlen):
+    ranges = mask.ranges(seqlen)
+    ranges.validate()
+
+
+@given(mask=mask_strategy(), seqlen=st.integers(1, 120))
+def test_mask_self_attention_and_causality(mask, seqlen):
+    dense = mask.dense(seqlen)
+    assert np.all(np.diag(dense))
+    assert not np.any(np.triu(dense, k=1))
+
+
+@given(
+    mask=mask_strategy(),
+    seqlen=st.integers(1, 100),
+    block=st.integers(1, 32),
+)
+def test_workload_matrix_equals_dense_counts(mask, seqlen, block):
+    workload = mask_workload_matrix(mask, seqlen, block)
+    dense = mask.dense(seqlen)
+    bounds = block_bounds(seqlen, block)
+    assert workload.sum() == dense.sum()
+    qi = len(bounds) - 2
+    expected = dense[bounds[qi]:bounds[qi + 1], :block].sum()
+    assert workload[qi, 0] == expected
+
+
+# -- online-softmax merge ------------------------------------------------------
+
+@given(
+    seed=st.integers(0, 10_000),
+    splits=st.lists(st.integers(1, 12), min_size=1, max_size=5),
+)
+def test_merge_partials_split_invariance(seed, splits):
+    """Splitting KV arbitrarily and merging must equal one-shot attention."""
+    rng = np.random.default_rng(seed)
+    total = sum(splits)
+    heads, rows, dim = 2, 5, 4
+    q = rng.standard_normal((heads, rows, dim)).astype(np.float32)
+    k = rng.standard_normal((total, dim)).astype(np.float32)
+    v = rng.standard_normal((total, dim)).astype(np.float32)
+    mask = rng.random((rows, total)) < 0.7
+    mask[:, 0] = True  # keep at least one key per row
+
+    whole = finalize(tile_attention(q, k, v, mask, 0.5))
+    state = empty_partial(heads, rows, dim)
+    offset = 0
+    order = list(range(len(splits)))
+    rng.shuffle(order)
+    chunks = []
+    for size in splits:
+        chunks.append((offset, offset + size))
+        offset += size
+    for index in order:
+        lo, hi = chunks[index]
+        merge_partials(
+            state, tile_attention(q, k[lo:hi], v[lo:hi], mask[:, lo:hi], 0.5)
+        )
+    np.testing.assert_allclose(finalize(state), whole, rtol=2e-4, atol=2e-5)
+
+
+# -- hypergraph partitioning ---------------------------------------------------
+
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(6, 40),
+    k=st.integers(2, 4),
+)
+@settings(max_examples=25)
+def test_partition_labels_complete_and_in_range(seed, n, k):
+    rng = np.random.default_rng(seed)
+    weights = np.stack(
+        [rng.integers(1, 5, n), rng.integers(1, 5, n)], axis=1
+    )
+    num_edges = max(n // 2, 1)
+    pins = [
+        rng.choice(n, size=min(int(rng.integers(2, 5)), n), replace=False)
+        for _ in range(num_edges)
+    ]
+    graph = Hypergraph(weights, pins, rng.integers(1, 10, num_edges))
+    result = partition_hypergraph(
+        graph, k, BalanceConstraint((0.3, 0.3)), seed=seed, restarts=1
+    )
+    assert len(result.labels) == n
+    assert result.labels.min() >= 0 and result.labels.max() < k
+    assert result.part_weights.sum() == weights.sum()
+    recomputed = graph.connectivity_cost(result.labels, k)
+    assert recomputed == result.cost
+
+
+# -- batching -------------------------------------------------------------------
+
+@given(
+    lengths=st.lists(st.integers(1, 4000), min_size=1, max_size=60),
+    budget=st.integers(100, 8000),
+)
+def test_pack_batches_invariants(lengths, budget):
+    batches = pack_batches(lengths, token_budget=budget)
+    flat = [n for batch in batches for n in batch]
+    assert len(flat) == len(lengths)
+    for original, packed in zip(lengths, flat):
+        assert packed == min(original, budget)
+    for batch in batches:
+        assert sum(batch) <= budget
+
+
+# -- buffer manager (model-based) ------------------------------------------------
+
+@given(
+    ops=st.lists(st.integers(0, 2), min_size=1, max_size=200),
+)
+def test_buffer_manager_slots_unique_while_live(ops):
+    manager = BufferManager()
+    live = set()
+    for op in ops:
+        if op < 2 or not live:  # alloc twice as often as free
+            slot = manager.alloc("q")
+            assert slot not in live
+            live.add(slot)
+        else:
+            slot = live.pop()
+            manager.free("q", slot)
+    assert manager.live_count("q") == len(live)
+    assert manager.high_water("q") >= len(live)
+
+
+# -- block generation -------------------------------------------------------------
+
+@given(
+    seqlens=st.lists(st.integers(1, 80), min_size=1, max_size=5),
+    block=st.integers(1, 32),
+)
+@settings(max_examples=30)
+def test_generate_blocks_conserves_tokens_and_pairs(seqlens, block):
+    batch = BatchSpec.build(seqlens, CausalMask())
+    spec = AttentionSpec(num_q_heads=2, num_kv_groups=1, head_dim=8)
+    blocks = generate_blocks(batch, spec, block_size=block)
+    assert sum(ts.tokens for ts in blocks.token_slices) == sum(seqlens)
+    expected_pairs = sum(n * (n + 1) // 2 for n in seqlens)
+    assert blocks.total_pairs == expected_pairs * spec.head_groups

@@ -1,0 +1,139 @@
+"""Tests for plan validation, memory accounting and group-wise scaling."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    generate_blocks,
+    make_mask,
+)
+from repro.baselines import RingAttentionPlanner, TransformerEnginePlanner
+from repro.core import GroupedPlan, plan_with_groups, split_batch_by_workload
+from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
+from repro.scheduling import PlanValidationError, validate_plan
+from repro.scheduling.instructions import CommWait
+from repro.sim import plan_memory
+
+ATTENTION = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
+
+
+def dcp_plan(seqlens=(96, 64, 32), mask=None, seed=0):
+    batch = BatchSpec.build(list(seqlens), mask or make_mask("causal"))
+    block_set = generate_blocks(batch, ATTENTION, block_size=16)
+    planner = DCPPlanner(CLUSTER, ATTENTION,
+                         DCPConfig(block_size=16, restarts=1, seed=seed))
+    return planner.plan(block_set), block_set
+
+
+class TestValidatePlan:
+    def test_dcp_plans_validate(self):
+        for seed in range(3):
+            plan, _ = dcp_plan(seed=seed)
+            validate_plan(plan)
+
+    def test_baseline_plans_validate(self):
+        batch = BatchSpec.build([96, 64], make_mask("causal"))
+        block_set = generate_blocks(batch, ATTENTION, block_size=16)
+        for planner in (RingAttentionPlanner(), RingAttentionPlanner(True),
+                        TransformerEnginePlanner()):
+            validate_plan(planner.plan(block_set, CLUSTER))
+
+    def test_detects_wait_without_launch(self):
+        plan, _ = dcp_plan()
+        plan.device_plans[0].instructions.insert(0, CommWait(op_id=424242))
+        with pytest.raises(PlanValidationError, match="unlaunched"):
+            validate_plan(plan)
+
+    def test_detects_unmatched_send(self):
+        plan, _ = dcp_plan(seqlens=(128, 64, 48))
+        # Drop one device's instructions entirely: its sends/recvs vanish
+        # while peers still expect them.
+        victim = None
+        for device, device_plan in plan.device_plans.items():
+            if any(ins.kind == "comm_launch"
+                   for ins in device_plan.instructions):
+                victim = device
+                break
+        assert victim is not None
+        plan.device_plans[victim].instructions = [
+            ins for ins in plan.device_plans[victim].instructions
+            if ins.kind not in ("comm_launch", "comm_wait")
+        ]
+        with pytest.raises(PlanValidationError, match="unmatched"):
+            validate_plan(plan)
+
+
+class TestPlanMemory:
+    def test_memory_positive_and_tracks_tokens(self):
+        plan, block_set = dcp_plan()
+        report = plan_memory(plan)
+        assert report.max_bytes > 0
+        assert report.total_bytes >= report.max_bytes
+        # Total local Q/KV/O must be at least the batch's footprint.
+        assert report.total_bytes >= block_set.total_bytes
+
+    def test_memory_roughly_balanced(self):
+        plan, _ = dcp_plan(seqlens=(256, 128, 64, 32))
+        report = plan_memory(plan)
+        assert report.imbalance() < 1.0
+
+    def test_empty_report(self):
+        from repro.sim.memory import MemoryReport
+
+        assert MemoryReport({}).max_bytes == 0
+        assert MemoryReport({}).imbalance() == 0.0
+
+
+class TestGroups:
+    def test_split_balances_workload(self):
+        batch = BatchSpec.build([256, 128, 128, 64, 64, 64],
+                                make_mask("causal"))
+        groups = split_batch_by_workload(batch, 2)
+        loads = [
+            sum(s.mask.total_pairs(s.seqlen) for s in g.sequences)
+            for g in groups
+        ]
+        assert max(loads) <= 1.5 * min(loads)
+
+    def test_more_groups_than_sequences(self):
+        batch = BatchSpec.build([64], make_mask("causal"))
+        groups = split_batch_by_workload(batch, 3)
+        assert sum(g is not None for g in groups) == 1
+
+    def test_invalid_group_count(self):
+        batch = BatchSpec.build([64], make_mask("causal"))
+        with pytest.raises(ValueError):
+            split_batch_by_workload(batch, 0)
+
+    def test_plan_with_groups_executes(self):
+        batch = BatchSpec.build([96, 64, 64, 48, 32], make_mask("causal"))
+        cluster = ClusterSpec(num_machines=2, devices_per_machine=2)
+        grouped = plan_with_groups(
+            batch, cluster, 2, ATTENTION, DCPConfig(block_size=16, restarts=1)
+        )
+        assert grouped.num_groups == 2
+        assert sum(grouped.tokens_per_group()) == batch.total_tokens
+        for group_batch, plan in zip(grouped.group_batches,
+                                     grouped.group_plans):
+            if plan is None:
+                continue
+            validate_plan(plan)
+            executor = SimExecutor(plan)
+            inputs = BatchInputs.random(plan.block_set, seed=1)
+            executor.load_inputs(inputs)
+            executor.run()
+            refs = reference_batch_outputs(plan.block_set, inputs)
+            for out, ref in zip(executor.gather_outputs(), refs):
+                np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+
+    def test_uneven_machines_rejected(self):
+        batch = BatchSpec.build([64], make_mask("causal"))
+        cluster = ClusterSpec(num_machines=3, devices_per_machine=2)
+        with pytest.raises(ValueError):
+            plan_with_groups(batch, cluster, 2, ATTENTION)
