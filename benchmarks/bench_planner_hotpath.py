@@ -1,0 +1,174 @@
+"""Planner hot-path microbenchmark.
+
+Times the three planner stages — block generation, placement
+(partitioning), and scheduling — separately across batch sizes and
+block sizes, and writes ``BENCH_planner.json`` at the repo root so the
+perf trajectory is tracked across PRs.
+
+The headline configuration is the Fig. 18 sweep point the tentpole
+speedup target is measured on: 512-token blocks, causal mask, the
+2x4-device sweep cluster.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner_hotpath.py           # full
+    PYTHONPATH=src python benchmarks/bench_planner_hotpath.py --smoke   # quick
+
+Runs standalone (no pytest needed); also exposed as a pytest test so it
+rides along with the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_planner.json")
+
+DEFAULT_TOKEN_BUDGETS = (8192, 16384, 32768)
+DEFAULT_BLOCK_SIZES = (512, 1024)
+SMOKE_TOKEN_BUDGETS = (2048,)
+SMOKE_BLOCK_SIZES = (256,)
+
+
+def _git_revision() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def run_hotpath_bench(
+    token_budgets: Sequence[int] = DEFAULT_TOKEN_BUDGETS,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    mask_name: str = "causal",
+    repeats: int = 2,
+) -> Dict:
+    """Time planner stages for every (token budget, block size) point."""
+    from repro.bench.harness import BenchScale, PAPER_MASKS, make_batches
+    from repro.core import DCPPlanner
+
+    rows: List[Dict] = []
+    for token_budget in token_budgets:
+        scale = BenchScale.sweep(
+            num_batches=1,
+            token_budget=int(token_budget),
+            max_seqlen=int(token_budget),
+        )
+        batches = make_batches("longalign", scale, PAPER_MASKS[mask_name]())
+        for block_size in block_sizes:
+            planner = DCPPlanner(
+                scale.cluster,
+                scale.attention,
+                scale.dcp_config(block_size=int(block_size)),
+            )
+            best = None
+            for _ in range(max(repeats, 1)):
+                start = time.perf_counter()
+                for batch in batches:
+                    planner.plan_batch(batch)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best[0]:
+                    best = (elapsed, planner.last_stats)
+            elapsed, stats = best
+            comm = planner.last_placement.comm_report().total_bytes
+            rows.append(
+                {
+                    "token_budget": int(token_budget),
+                    "block_size": int(block_size),
+                    "mask": mask_name,
+                    "total_s": round(elapsed, 6),
+                    "block_generation_s": round(stats.block_generation, 6),
+                    "placement_s": round(stats.placement, 6),
+                    "scheduling_s": round(stats.scheduling, 6),
+                    "num_vertices": stats.num_vertices,
+                    "num_edges": stats.num_edges,
+                    "refine_moves": stats.refine_moves,
+                    "gain_evals": stats.gain_evals,
+                    "comm_bytes": int(comm),
+                }
+            )
+            print(
+                f"tokens={token_budget:>6} block={block_size:>5} "
+                f"total={elapsed:.3f}s gen={stats.block_generation:.3f}s "
+                f"place={stats.placement:.3f}s sched={stats.scheduling:.3f}s "
+                f"moves={stats.refine_moves} comm={comm / 1e6:.1f}MB"
+            )
+    return {
+        "benchmark": "planner_hotpath",
+        "mask": mask_name,
+        "git_revision": _git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": rows,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI smoke runs",
+    )
+    parser.add_argument(
+        "--mask", default="causal", help="paper mask name (default: causal)"
+    )
+    parser.add_argument(
+        "--output",
+        default=OUTPUT_PATH,
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats per point"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import PAPER_MASKS
+
+    if args.mask not in PAPER_MASKS:
+        parser.error(
+            f"unknown mask {args.mask!r}; choose from "
+            f"{', '.join(sorted(PAPER_MASKS))}"
+        )
+
+    if args.smoke:
+        report = run_hotpath_bench(
+            SMOKE_TOKEN_BUDGETS, SMOKE_BLOCK_SIZES, args.mask, repeats=1
+        )
+    else:
+        report = run_hotpath_bench(mask_name=args.mask, repeats=args.repeats)
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_planner_hotpath_smoke():
+    """Pytest entry point: smoke-size run, sanity-check the stages."""
+    report = run_hotpath_bench(
+        SMOKE_TOKEN_BUDGETS, SMOKE_BLOCK_SIZES, repeats=1
+    )
+    assert report["rows"], "benchmark produced no rows"
+    for row in report["rows"]:
+        assert row["total_s"] > 0
+        assert row["num_vertices"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify + planner hot-path perf smoke, in one command.
+#
+#   ./benchmarks/run_tier1.sh            # tests + smoke benchmark
+#   ./benchmarks/run_tier1.sh --full     # tests + full benchmark sweep
+#                                        # (rewrites BENCH_planner.json)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest -x -q =="
+python -m pytest -x -q
+
+echo "== planner hot-path smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    python benchmarks/bench_planner_hotpath.py
+else
+    # The smoke run writes to a scratch file so it never clobbers the
+    # tracked full-sweep numbers in BENCH_planner.json.
+    python benchmarks/bench_planner_hotpath.py --smoke \
+        --output "$REPO_ROOT/BENCH_planner.smoke.json"
+fi

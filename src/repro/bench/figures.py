@@ -296,7 +296,8 @@ def fig18_planning_time(
     scale = scale or BenchScale.sweep()
     table = Table(
         f"Fig. 18: planning time vs block size ({dataset})",
-        ["block_size", "mask", "plan_s", "blockgen_s", "place_s", "sched_s"],
+        ["block_size", "mask", "plan_s", "blockgen_s", "place_s", "sched_s",
+         "vertices", "edges", "moves", "gain_evals"],
     )
     for mask_name in mask_names:
         batches = make_batches(dataset, scale, PAPER_MASKS[mask_name]())
@@ -306,6 +307,7 @@ def fig18_planning_time(
                 scale.dcp_config(block_size=block_size),
             )
             totals, gens, places, scheds = [], [], [], []
+            vertices, edges, moves, gain_evals = [], [], [], []
             for batch in batches:
                 planner.plan_batch(batch)
                 stats = planner.last_stats
@@ -313,10 +315,16 @@ def fig18_planning_time(
                 gens.append(stats.block_generation)
                 places.append(stats.placement)
                 scheds.append(stats.scheduling)
+                vertices.append(stats.num_vertices)
+                edges.append(stats.num_edges)
+                moves.append(stats.refine_moves)
+                gain_evals.append(stats.gain_evals)
             table.add(
                 block_size, mask_name, float(np.mean(totals)),
                 float(np.mean(gens)), float(np.mean(places)),
                 float(np.mean(scheds)),
+                int(np.mean(vertices)), int(np.mean(edges)),
+                int(np.mean(moves)), int(np.mean(gain_evals)),
             )
     return table
 
@@ -491,12 +499,13 @@ def fig22_decomposition(
     table = Table(
         "Fig. 22: decomposition of end-to-end iteration time (LongAlign)",
         ["mask", "system", "others_s", "non_ovlp_attn_s", "overlap_s",
-         "non_ovlp_comm_s", "total_s"],
+         "non_ovlp_comm_s", "total_s", "plan_s", "plan_moves"],
     )
     for mask_name in mask_names:
         batches = make_batches("longalign", scale, PAPER_MASKS[mask_name]())
         for system in ("dcp", "mlm"):
             results = []
+            plan_times, plan_moves = [], []
             for batch in batches:
                 block_set = generate_blocks(
                     batch, scale.attention, scale.block_size
@@ -505,6 +514,10 @@ def fig22_decomposition(
                     plan = _dcp(scale).plan(block_set)
                 else:
                     plan = TransformerEnginePlanner().plan(block_set, scale.cluster)
+                plan_stats = plan.meta.get("planning_stats")
+                if plan_stats is not None:
+                    plan_times.append(plan_stats.total)
+                    plan_moves.append(plan_stats.refine_moves)
                 results.append(
                     e2e_iteration_time(plan, cluster=scale.cluster).breakdown()
                 )
@@ -512,5 +525,7 @@ def fig22_decomposition(
             table.add(
                 mask_name, system, mean["others"], mean["non_ovlp_attn"],
                 mean["overlap"], mean["non_ovlp_comm"], mean["total"],
+                float(np.mean(plan_times)) if plan_times else 0.0,
+                int(np.mean(plan_moves)) if plan_moves else 0,
             )
     return table

@@ -1,11 +1,12 @@
 """Data/computation block representation (paper §4.1)."""
 
-from .comp_blocks import CompBlock
+from .comp_blocks import CompBlock, CompBlockArray
 from .data_blocks import AttentionSpec, BlockKind, DataBlockId, TokenSlice
 from .generator import BatchSpec, BlockSet, SequenceSpec, generate_blocks
 
 __all__ = [
     "CompBlock",
+    "CompBlockArray",
     "AttentionSpec",
     "BlockKind",
     "DataBlockId",

@@ -9,10 +9,13 @@ unmasked (query, key) pair inside the tile.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
 
 from .data_blocks import BlockKind, DataBlockId
 
-__all__ = ["CompBlock"]
+__all__ = ["CompBlock", "CompBlockArray"]
 
 
 @dataclass(frozen=True, order=True)
@@ -55,3 +58,73 @@ class CompBlock:
     @property
     def inputs(self) -> tuple:
         return (self.q_input, self.kv_input)
+
+
+@dataclass(frozen=True, eq=False)
+class CompBlockArray:
+    """Columnar (structure-of-arrays) view of many computation blocks.
+
+    The planner's hot path works on these flat ``int64`` columns —
+    building the placement hypergraph, accounting communication and
+    aggregating FLOPs are all single numpy passes.  Individual
+    :class:`CompBlock` objects are materialized lazily only where
+    object identity is convenient (scheduling, baselines, tests).
+    """
+
+    seq_index: np.ndarray
+    head_group: np.ndarray
+    q_block: np.ndarray
+    kv_block: np.ndarray
+    pairs: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.seq_index)
+        for name in ("head_group", "q_block", "kv_block", "pairs"):
+            if len(getattr(self, name)) != n:
+                raise ValueError("all CompBlockArray columns must align")
+        if n and int(self.pairs.min()) <= 0:
+            raise ValueError("computation blocks must contain unmasked pairs")
+
+    def __len__(self) -> int:
+        return len(self.seq_index)
+
+    def __getitem__(self, index: int) -> CompBlock:
+        return CompBlock(
+            seq_index=int(self.seq_index[index]),
+            head_group=int(self.head_group[index]),
+            q_block=int(self.q_block[index]),
+            kv_block=int(self.kv_block[index]),
+            pairs=int(self.pairs[index]),
+        )
+
+    def __iter__(self) -> Iterator[CompBlock]:
+        return iter(self.to_blocks())
+
+    def to_blocks(self) -> List[CompBlock]:
+        """Materialize the object view (one CompBlock per row)."""
+        return [
+            CompBlock(*row)
+            for row in zip(
+                self.seq_index.tolist(),
+                self.head_group.tolist(),
+                self.q_block.tolist(),
+                self.kv_block.tolist(),
+                self.pairs.tolist(),
+            )
+        ]
+
+    @staticmethod
+    def from_blocks(blocks: Sequence[CompBlock]) -> "CompBlockArray":
+        """Build the columnar form from an object list."""
+        n = len(blocks)
+        return CompBlockArray(
+            seq_index=np.fromiter((b.seq_index for b in blocks), np.int64, n),
+            head_group=np.fromiter((b.head_group for b in blocks), np.int64, n),
+            q_block=np.fromiter((b.q_block for b in blocks), np.int64, n),
+            kv_block=np.fromiter((b.kv_block for b in blocks), np.int64, n),
+            pairs=np.fromiter((b.pairs for b in blocks), np.int64, n),
+        )
+
+    @property
+    def total_pairs(self) -> int:
+        return int(self.pairs.sum())

@@ -6,6 +6,13 @@ group, tensor kind); computation blocks exist per (Q tile, KV tile,
 head group) wherever the attention mask is not entirely zero inside
 the tile.  Masked-out tiles are simply never constructed, which is how
 DCP discards unnecessary computation for sparse masks.
+
+Computation blocks are produced directly in columnar form
+(:class:`CompBlockArray`): the nonzero tiles of each sequence's
+workload matrix are broadcast across head groups with numpy
+``repeat``/``tile`` instead of a per-tile Python loop, and the object
+list view is materialized lazily for consumers that want
+:class:`CompBlock` instances.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..masks import AttendRanges, MaskSpec, block_bounds, tile_workload_matrix
-from .comp_blocks import CompBlock
+from .comp_blocks import CompBlock, CompBlockArray
 from .data_blocks import AttentionSpec, BlockKind, DataBlockId, TokenSlice
 
 __all__ = ["SequenceSpec", "BatchSpec", "BlockSet", "generate_blocks"]
@@ -69,30 +76,99 @@ class BlockSet:
     """All data and computation blocks of one batch.
 
     This is the planner's working representation: placement assigns
-    :attr:`token_slices` and :attr:`comp_blocks` to devices; everything
-    downstream (hypergraph, scheduling, execution) reads from here.
+    :attr:`token_slices` and :attr:`comp_array` rows to devices;
+    everything downstream (hypergraph, scheduling, execution) reads
+    from here.  ``comp_blocks`` is a lazily-materialized object view of
+    the columnar :attr:`comp_array`; aggregate totals are O(1) cached
+    reductions over the flat columns.
     """
 
     batch: BatchSpec
     attention: AttentionSpec
     block_size: int
     token_slices: List[TokenSlice]
-    comp_blocks: List[CompBlock]
+    comp_array: CompBlockArray
     seq_bounds: List[np.ndarray]
     seq_ranges: List[AttendRanges]
     seq_workloads: List[np.ndarray] = field(default_factory=list)
-    _slice_lookup: Dict[Tuple[int, int], TokenSlice] = field(default_factory=dict)
 
-    def __post_init__(self) -> None:
-        if not self._slice_lookup:
-            self._slice_lookup = {
+    # -- lazy views ------------------------------------------------------
+
+    _CACHE_ATTRS = (
+        "_comp_blocks",
+        "_slice_lookup",
+        "_slice_tokens",
+        "_seq_slice_offset",
+        "_totals",
+    )
+
+    @property
+    def comp_blocks(self) -> List[CompBlock]:
+        """Object view of :attr:`comp_array` (built once, on demand)."""
+        cached = self.__dict__.get("_comp_blocks")
+        if cached is None:
+            cached = self.comp_array.to_blocks()
+            self.__dict__["_comp_blocks"] = cached
+        return cached
+
+    @property
+    def slice_tokens(self) -> np.ndarray:
+        """Tokens of every slice, aligned with :attr:`token_slices`."""
+        cached = self.__dict__.get("_slice_tokens")
+        if cached is None:
+            cached = np.fromiter(
+                (ts.tokens for ts in self.token_slices),
+                np.int64,
+                len(self.token_slices),
+            )
+            self.__dict__["_slice_tokens"] = cached
+        return cached
+
+    @property
+    def seq_slice_offset(self) -> np.ndarray:
+        """Prefix sums of per-sequence slice counts.
+
+        Slices are generated sequence-major, block-minor, so slice
+        ``(seq, block)`` lives at flat index
+        ``seq_slice_offset[seq] + block``.
+        """
+        cached = self.__dict__.get("_seq_slice_offset")
+        if cached is None:
+            counts = np.fromiter(
+                (len(bounds) - 1 for bounds in self.seq_bounds),
+                np.int64,
+                len(self.seq_bounds),
+            )
+            cached = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=cached[1:])
+            self.__dict__["_seq_slice_offset"] = cached
+        return cached
+
+    def slice_indices(
+        self, seq_index: np.ndarray, block_index: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized (seq, block) -> flat slice index lookup."""
+        return self.seq_slice_offset[seq_index] + block_index
+
+    def _lookup(self) -> Dict[Tuple[int, int], TokenSlice]:
+        cached = self.__dict__.get("_slice_lookup")
+        if cached is None:
+            cached = {
                 (ts.seq_index, ts.block_index): ts for ts in self.token_slices
             }
+            self.__dict__["_slice_lookup"] = cached
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in self._CACHE_ATTRS:
+            state.pop(name, None)
+        return state
 
     # -- lookups ---------------------------------------------------------
 
     def slice_of(self, seq_index: int, block_index: int) -> TokenSlice:
-        return self._slice_lookup[(seq_index, block_index)]
+        return self._lookup()[(seq_index, block_index)]
 
     def slice_for_block(self, block: DataBlockId) -> TokenSlice:
         return self.slice_of(block.seq_index, block.block_index)
@@ -113,17 +189,27 @@ class BlockSet:
 
     # -- aggregates ------------------------------------------------------
 
+    def _aggregate(self) -> Tuple[int, int, int]:
+        cached = self.__dict__.get("_totals")
+        if cached is None:
+            pairs = int(self.comp_array.pairs.sum())
+            flops = int(self.attention.tile_flops(self.comp_array.pairs).sum())
+            nbytes = int(self.attention.slice_bytes(self.slice_tokens).sum())
+            cached = (pairs, flops, nbytes)
+            self.__dict__["_totals"] = cached
+        return cached
+
     @property
     def total_pairs(self) -> int:
-        return sum(c.pairs for c in self.comp_blocks)
+        return self._aggregate()[0]
 
     @property
     def total_flops(self) -> int:
-        return sum(self.comp_flops(c) for c in self.comp_blocks)
+        return self._aggregate()[1]
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.slice_bytes(ts) for ts in self.token_slices)
+        return self._aggregate()[2]
 
     def comp_blocks_of_output(self) -> Dict[DataBlockId, List[CompBlock]]:
         """Map each output block to the computation blocks feeding it."""
@@ -136,7 +222,7 @@ class BlockSet:
         return (
             f"BlockSet(seqs={len(self.batch.sequences)}, "
             f"tokens={self.batch.total_tokens}, block={self.block_size}, "
-            f"slices={len(self.token_slices)}, comps={len(self.comp_blocks)})"
+            f"slices={len(self.token_slices)}, comps={len(self.comp_array)})"
         )
 
 
@@ -158,11 +244,17 @@ def generate_blocks(
         paper's main hyper-parameter, searched over 512..4096).
     """
     attention = attention or AttentionSpec()
+    head_groups = attention.head_groups
+    group_ids = np.arange(head_groups, dtype=np.int64)
     token_slices: List[TokenSlice] = []
-    comp_blocks: List[CompBlock] = []
     seq_bounds: List[np.ndarray] = []
     seq_ranges: List[AttendRanges] = []
     seq_workloads: List[np.ndarray] = []
+    col_seq: List[np.ndarray] = []
+    col_group: List[np.ndarray] = []
+    col_q: List[np.ndarray] = []
+    col_kv: List[np.ndarray] = []
+    col_pairs: List[np.ndarray] = []
 
     for seq_index, seq in enumerate(batch.sequences):
         bounds = block_bounds(seq.seqlen, block_size)
@@ -172,36 +264,51 @@ def generate_blocks(
         seq_ranges.append(ranges)
         seq_workloads.append(workload)
 
-        for block_index in range(len(bounds) - 1):
+        starts = bounds[:-1]
+        stops = bounds[1:]
+        for block_index, (start, stop) in enumerate(
+            zip(starts.tolist(), stops.tolist())
+        ):
             token_slices.append(
                 TokenSlice(
                     seq_index=seq_index,
                     block_index=block_index,
-                    start=int(bounds[block_index]),
-                    stop=int(bounds[block_index + 1]),
+                    start=int(start),
+                    stop=int(stop),
                 )
             )
 
         q_idx, kv_idx = np.nonzero(workload)
-        for qi, ki in zip(q_idx.tolist(), kv_idx.tolist()):
-            pairs = int(workload[qi, ki])
-            for head_group in range(attention.head_groups):
-                comp_blocks.append(
-                    CompBlock(
-                        seq_index=seq_index,
-                        head_group=head_group,
-                        q_block=qi,
-                        kv_block=ki,
-                        pairs=pairs,
-                    )
-                )
+        if len(q_idx) == 0:
+            continue
+        tiles = len(q_idx)
+        pairs = workload[q_idx, kv_idx].astype(np.int64)
+        # Broadcast the head-group dimension in the same (tile-major,
+        # group-minor) order the scalar loop used.
+        col_seq.append(np.full(tiles * head_groups, seq_index, dtype=np.int64))
+        col_group.append(np.tile(group_ids, tiles))
+        col_q.append(np.repeat(q_idx.astype(np.int64), head_groups))
+        col_kv.append(np.repeat(kv_idx.astype(np.int64), head_groups))
+        col_pairs.append(np.repeat(pairs, head_groups))
 
+    def _cat(parts: List[np.ndarray]) -> np.ndarray:
+        return (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        )
+
+    comp_array = CompBlockArray(
+        seq_index=_cat(col_seq),
+        head_group=_cat(col_group),
+        q_block=_cat(col_q),
+        kv_block=_cat(col_kv),
+        pairs=_cat(col_pairs),
+    )
     return BlockSet(
         batch=batch,
         attention=attention,
         block_size=block_size,
         token_slices=token_slices,
-        comp_blocks=comp_blocks,
+        comp_array=comp_array,
         seq_bounds=seq_bounds,
         seq_ranges=seq_ranges,
         seq_workloads=seq_workloads,

@@ -40,13 +40,30 @@ class PlanCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            cached.meta["plan_cache"] = self.stats()
             return cached
         self.misses += 1
         plan = self.planner.plan_batch(batch)
         self._entries[key] = plan
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+        plan.meta["plan_cache"] = self.stats()
         return plan
+
+    def stats(self) -> dict:
+        """Cache effectiveness counters for benchmark reports.
+
+        Included in every returned plan's ``meta["plan_cache"]`` so the
+        planner-overlap and e2e benchmarks can report hit rates.
+        """
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
+from ..hypergraph import COUNTERS as _REFINE_COUNTERS
 from ..placement import Placement, place_blocks
 from ..scheduling import ExecutionPlan, build_schedule, serialize_schedule
 from ..sim.cluster import ClusterSpec
@@ -24,15 +25,37 @@ __all__ = ["DCPPlanner", "PlanningStats"]
 
 @dataclass
 class PlanningStats:
-    """Wall-clock breakdown of one planning run (Fig. 18)."""
+    """Wall-clock breakdown of one planning run (Fig. 18).
+
+    Besides the per-stage timings, per-stage work counters make perf
+    regressions visible in the fig18/fig22 benchmark output: the size
+    of the placement hypergraph and how many moves / batched gain
+    evaluations refinement spent on it.
+    """
 
     block_generation: float = 0.0
     placement: float = 0.0
     scheduling: float = 0.0
+    num_vertices: int = 0
+    num_edges: int = 0
+    refine_moves: int = 0
+    gain_evals: int = 0
 
     @property
     def total(self) -> float:
         return self.block_generation + self.placement + self.scheduling
+
+    def as_dict(self) -> dict:
+        return {
+            "block_generation_s": self.block_generation,
+            "placement_s": self.placement,
+            "scheduling_s": self.scheduling,
+            "total_s": self.total,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "refine_moves": self.refine_moves,
+            "gain_evals": self.gain_evals,
+        }
 
 
 class DCPPlanner:
@@ -63,17 +86,31 @@ class DCPPlanner:
         return self._plan_blocks(block_set, stats)
 
     def plan(self, block_set: BlockSet, cluster: Optional[ClusterSpec] = None):
-        """Planner-protocol entry point (shared with the baselines)."""
-        if cluster is not None and cluster != self.cluster:
-            self.cluster = cluster
-        return self._plan_blocks(block_set, PlanningStats())
+        """Planner-protocol entry point (shared with the baselines).
 
-    def _plan_blocks(self, block_set: BlockSet, stats: PlanningStats):
+        When ``cluster`` is given, the plan targets it without
+        persisting it: a shared planner instance keeps its configured
+        :attr:`cluster` untouched across calls.
+        """
+        return self._plan_blocks(block_set, PlanningStats(), cluster=cluster)
+
+    def _plan_blocks(
+        self,
+        block_set: BlockSet,
+        stats: PlanningStats,
+        cluster: Optional[ClusterSpec] = None,
+    ):
+        cluster = self.cluster if cluster is None else cluster
+        _REFINE_COUNTERS.reset()
         start = time.perf_counter()
         placement = place_blocks(
-            block_set, self.cluster, self.config.placement_config()
+            block_set, cluster, self.config.placement_config()
         )
         stats.placement = time.perf_counter() - start
+        stats.num_vertices = placement.num_vertices
+        stats.num_edges = placement.num_edges
+        stats.refine_moves = _REFINE_COUNTERS.moves
+        stats.gain_evals = _REFINE_COUNTERS.gain_evals
 
         start = time.perf_counter()
         schedule = build_schedule(

@@ -4,7 +4,20 @@ from .coarsen import coarsen, coarsen_once, contract
 from .graph import BalanceConstraint, Hypergraph, PartitionResult
 from .initial import greedy_initial, random_initial
 from .partition import partition_hypergraph
-from .refine import RefinementState, fm_refine, greedy_refine, rebalance
+from .refine import (
+    COUNTERS,
+    RefineCounters,
+    RefinementState,
+    fm_refine,
+    greedy_refine,
+    rebalance,
+)
+from .reference import (
+    ScalarRefinementState,
+    scalar_fm_refine,
+    scalar_greedy_refine,
+    scalar_rebalance,
+)
 
 __all__ = [
     "Hypergraph",
@@ -17,7 +30,13 @@ __all__ = [
     "greedy_initial",
     "random_initial",
     "RefinementState",
+    "RefineCounters",
+    "COUNTERS",
     "fm_refine",
     "greedy_refine",
     "rebalance",
+    "ScalarRefinementState",
+    "scalar_fm_refine",
+    "scalar_greedy_refine",
+    "scalar_rebalance",
 ]

@@ -5,6 +5,11 @@ the coarse graph preserves the connectivity structure.  The similarity
 score between two vertices is the classic heavy-edge rating
 ``sum_{e shared} w_e / (|pins_e| - 1)`` used by hMETIS/KaHyPar-style
 partitioners.
+
+Matching scores one vertex's whole neighbourhood per numpy pass
+(concatenated CSR pin slices + a bincount reduction) and contraction
+deduplicates coarse pins with one global lexsort instead of per-edge
+Python loops.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .graph import Hypergraph
+from .graph import Hypergraph, concat_csr_slices
 
 __all__ = ["contract", "coarsen_once", "coarsen"]
 
@@ -33,22 +38,55 @@ def contract(graph: Hypergraph, mapping: np.ndarray, num_coarse: int) -> Hypergr
     weights = np.zeros((num_coarse, graph.weight_dims), dtype=np.int64)
     np.add.at(weights, mapping, graph.weights)
 
-    merged: Dict[Tuple[int, ...], int] = {}
+    if graph.num_pins == 0:
+        return Hypergraph.from_csr(
+            weights, np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64), []
+        )
+
+    # Sort (edge, coarse pin) pairs and drop within-edge duplicates in
+    # one vectorized pass; the result holds each edge's coarse pins
+    # sorted and unique, back to back.
+    coarse_flat = mapping[graph.edge_pins]
+    order = np.lexsort((coarse_flat, graph.pin_edge_ids))
+    edge_sorted = graph.pin_edge_ids[order]
+    pin_sorted = coarse_flat[order]
+    first = np.ones(len(order), dtype=bool)
+    first[1:] = (edge_sorted[1:] != edge_sorted[:-1]) | (
+        pin_sorted[1:] != pin_sorted[:-1]
+    )
+    edge_ids = edge_sorted[first]
+    pins_flat = pin_sorted[first]
+    sizes = np.bincount(edge_ids, minlength=graph.num_edges)
+    bounds = np.zeros(graph.num_edges + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+
+    # Merge duplicate edges (same coarse pin set) with summed weights,
+    # keeping first-occurrence order like the scalar implementation.
+    merged: Dict[bytes, int] = {}
     pins: List[np.ndarray] = []
     edge_weights: List[int] = []
-    for edge_index, pin in enumerate(graph.pins):
-        coarse_pin = np.unique(mapping[pin])
-        if len(coarse_pin) < 2:
-            continue
-        key = tuple(coarse_pin.tolist())
-        weight = int(graph.edge_weights[edge_index])
-        if key in merged:
-            edge_weights[merged[key]] += weight
+    edge_weight_list = graph.edge_weights.tolist()
+    for edge_index in np.nonzero(sizes >= 2)[0].tolist():
+        coarse_pin = pins_flat[bounds[edge_index] : bounds[edge_index + 1]]
+        key = coarse_pin.tobytes()
+        weight = edge_weight_list[edge_index]
+        slot = merged.get(key)
+        if slot is not None:
+            edge_weights[slot] += weight
         else:
             merged[key] = len(pins)
             pins.append(coarse_pin)
             edge_weights.append(weight)
-    return Hypergraph(weights, pins, edge_weights)
+
+    new_sizes = np.fromiter(
+        (len(p) for p in pins), dtype=np.int64, count=len(pins)
+    )
+    indptr = np.zeros(len(pins) + 1, dtype=np.int64)
+    np.cumsum(new_sizes, out=indptr[1:])
+    flat = (
+        np.concatenate(pins) if pins else np.zeros(0, dtype=np.int64)
+    )
+    return Hypergraph.from_csr(weights, indptr, flat, edge_weights)
 
 
 def coarsen_once(
@@ -62,33 +100,49 @@ def coarsen_once(
     contraction is possible.
     """
     n = graph.num_vertices
-    incidence = graph.incidence()
+    vindptr, vedges = graph.vertex_csr()
+    sizes = graph.edge_sizes
+    scannable = (sizes <= _MAX_SCAN_PINS) & (sizes >= 2)
+    rating = np.where(
+        scannable, graph.edge_weights / np.maximum(sizes - 1, 1), 0.0
+    )
     match = np.full(n, -1, dtype=np.int64)
     order = rng.permutation(n)
 
-    for u in order:
+    for u in order.tolist():
         if match[u] >= 0:
             continue
-        scores: Dict[int, float] = {}
-        for edge_index in incidence[u]:
-            pin = graph.pins[edge_index]
-            if len(pin) > _MAX_SCAN_PINS:
-                continue
-            rating = graph.edge_weights[edge_index] / (len(pin) - 1)
-            for v in pin.tolist():
-                if v != u and match[v] < 0:
-                    scores[v] = scores.get(v, 0.0) + rating
-        best, best_score = -1, 0.0
-        for v, score in scores.items():
-            if score <= best_score:
-                continue
-            combined = graph.weights[u] + graph.weights[v]
-            if np.any(combined > max_vertex_weight):
-                continue
-            best, best_score = v, score
-        if best >= 0:
-            match[u] = best
-            match[best] = u
+        edges = vedges[vindptr[u] : vindptr[u + 1]]
+        edges = edges[scannable[edges]]
+        if len(edges) == 0:
+            continue
+        neighbours, lens = concat_csr_slices(
+            graph.edge_indptr, graph.edge_pins, edges
+        )
+        ratings = np.repeat(rating[edges], lens)
+        usable = (match[neighbours] < 0) & (neighbours != u)
+        neighbours = neighbours[usable]
+        if len(neighbours) == 0:
+            continue
+        candidates, first_pos, inverse = np.unique(
+            neighbours, return_index=True, return_inverse=True
+        )
+        scores = np.bincount(inverse, weights=ratings[usable])
+        fits = np.all(
+            graph.weights[u] + graph.weights[candidates]
+            <= max_vertex_weight[None, :],
+            axis=1,
+        )
+        scores = np.where(fits, scores, 0.0)
+        best_score = scores.max()
+        if best_score <= 0.0:
+            continue
+        # Tie-break toward the first-encountered neighbour, matching the
+        # scalar accumulation order (edge order, then pin order).
+        tied = np.nonzero(scores == best_score)[0]
+        best = int(candidates[tied[np.argmin(first_pos[tied])]])
+        match[u] = best
+        match[best] = u
 
     mapping = np.full(n, -1, dtype=np.int64)
     next_id = 0

@@ -5,6 +5,17 @@ paper §4.2: computation blocks weigh ``[f, 0]``, data (token-group)
 vertices weigh ``[0, s]``.  The partitioning objective is the
 *connectivity metric* ``sum_e w_e * (lambda_e - 1)`` which equals the
 total communication volume of the induced placement.
+
+The incidence structure is stored as two CSR (compressed sparse row)
+arrays so every hot loop in coarsening and refinement works on flat
+``int64`` slices instead of Python lists:
+
+* edge -> pin: ``edge_indptr`` / ``edge_pins`` (pins of edge ``e`` are
+  ``edge_pins[edge_indptr[e]:edge_indptr[e+1]]``, unique and sorted);
+* vertex -> edge: ``vertex_indptr`` / ``vertex_edges`` (built lazily).
+
+``pins`` and ``incidence()`` remain available as views for existing
+callers.
 """
 
 from __future__ import annotations
@@ -14,7 +25,30 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Hypergraph", "BalanceConstraint", "PartitionResult"]
+__all__ = [
+    "Hypergraph",
+    "BalanceConstraint",
+    "PartitionResult",
+    "concat_csr_slices",
+]
+
+
+def concat_csr_slices(indptr, data, items):
+    """Gather CSR slices ``data[indptr[i]:indptr[i+1]]`` for many ``items``.
+
+    Returns ``(values, seg_lens)`` where ``values`` concatenates the
+    slices in order and ``seg_lens`` holds each slice's length
+    (zero-length slices simply contribute nothing).
+    """
+    starts = indptr[items]
+    lens = indptr[items + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=data.dtype), lens
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lens) - lens, lens
+    )
+    return data[np.repeat(starts, lens) + offsets], lens
 
 
 class Hypergraph:
@@ -26,19 +60,82 @@ class Hypergraph:
         pins: Sequence[Sequence[int]],
         edge_weights: Sequence[float],
     ) -> None:
-        self.weights = np.asarray(weights, dtype=np.int64)
-        if self.weights.ndim != 2:
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
             raise ValueError("vertex weights must be 2-D: [n, dims]")
-        self.pins: List[np.ndarray] = []
+        num_vertices = weights.shape[0]
+        unique_pins: List[np.ndarray] = []
         for pin in pins:
             arr = np.unique(np.asarray(pin, dtype=np.int64))
-            if len(arr) and (arr[0] < 0 or arr[-1] >= self.num_vertices):
+            if len(arr) and (arr[0] < 0 or arr[-1] >= num_vertices):
                 raise ValueError("pin refers to a vertex outside the graph")
-            self.pins.append(arr)
+            unique_pins.append(arr)
+        sizes = np.fromiter(
+            (len(p) for p in unique_pins), dtype=np.int64, count=len(unique_pins)
+        )
+        edge_indptr = np.zeros(len(unique_pins) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=edge_indptr[1:])
+        edge_pins = (
+            np.concatenate(unique_pins)
+            if unique_pins
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._init_csr(weights, edge_indptr, edge_pins, edge_weights)
+
+    @classmethod
+    def from_csr(
+        cls,
+        weights: np.ndarray,
+        edge_indptr: np.ndarray,
+        edge_pins: np.ndarray,
+        edge_weights: Sequence[float],
+    ) -> "Hypergraph":
+        """Build from a pre-deduplicated CSR edge->pin structure.
+
+        ``edge_pins`` must hold each edge's pins sorted and unique (the
+        invariant the list constructor establishes); vectorized builders
+        (block-hypergraph construction, contraction, subgraph
+        extraction) produce this directly and skip the per-edge
+        normalization loop.
+        """
+        graph = cls.__new__(cls)
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ValueError("vertex weights must be 2-D: [n, dims]")
+        edge_pins = np.asarray(edge_pins, dtype=np.int64)
+        if len(edge_pins) and (
+            edge_pins.min() < 0 or edge_pins.max() >= weights.shape[0]
+        ):
+            raise ValueError("pin refers to a vertex outside the graph")
+        graph._init_csr(
+            weights,
+            np.asarray(edge_indptr, dtype=np.int64),
+            edge_pins,
+            edge_weights,
+        )
+        return graph
+
+    def _init_csr(
+        self,
+        weights: np.ndarray,
+        edge_indptr: np.ndarray,
+        edge_pins: np.ndarray,
+        edge_weights: Sequence[float],
+    ) -> None:
+        self.weights = weights
+        self.edge_indptr = edge_indptr
+        self.edge_pins = edge_pins
         self.edge_weights = np.asarray(edge_weights, dtype=np.int64)
-        if len(self.edge_weights) != len(self.pins):
+        if len(self.edge_weights) != len(edge_indptr) - 1:
             raise ValueError("need one weight per hyperedge")
+        #: edge id of each flattened pin entry (aligned with edge_pins).
+        self.pin_edge_ids = np.repeat(
+            np.arange(self.num_edges, dtype=np.int64), self.edge_sizes
+        )
+        self._pins: Optional[List[np.ndarray]] = None
         self._incidence: Optional[List[List[int]]] = None
+        self._vertex_indptr: Optional[np.ndarray] = None
+        self._vertex_edges: Optional[np.ndarray] = None
 
     @property
     def num_vertices(self) -> int:
@@ -46,7 +143,15 @@ class Hypergraph:
 
     @property
     def num_edges(self) -> int:
-        return len(self.pins)
+        return len(self.edge_indptr) - 1
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.edge_pins)
+
+    @property
+    def edge_sizes(self) -> np.ndarray:
+        return np.diff(self.edge_indptr)
 
     @property
     def weight_dims(self) -> int:
@@ -56,14 +161,40 @@ class Hypergraph:
     def total_weight(self) -> np.ndarray:
         return self.weights.sum(axis=0)
 
+    @property
+    def pins(self) -> List[np.ndarray]:
+        """Per-edge pin arrays (views into the CSR storage)."""
+        if self._pins is None:
+            self._pins = [
+                self.edge_pins[self.edge_indptr[e] : self.edge_indptr[e + 1]]
+                for e in range(self.num_edges)
+            ]
+        return self._pins
+
+    def vertex_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Vertex -> edge CSR ``(indptr, edge ids)`` (lazy, cached)."""
+        if self._vertex_indptr is None:
+            order = np.argsort(self.edge_pins, kind="stable")
+            self._vertex_edges = self.pin_edge_ids[order]
+            counts = np.bincount(self.edge_pins, minlength=self.num_vertices)
+            indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._vertex_indptr = indptr
+        return self._vertex_indptr, self._vertex_edges
+
+    def incident_edges(self, vertex: int) -> np.ndarray:
+        """Edges incident to one vertex (CSR slice, sorted by edge id)."""
+        indptr, edges = self.vertex_csr()
+        return edges[indptr[vertex] : indptr[vertex + 1]]
+
     def incidence(self) -> List[List[int]]:
-        """Edges incident to each vertex (built lazily, cached)."""
+        """Edges incident to each vertex as Python lists (legacy view)."""
         if self._incidence is None:
-            inc: List[List[int]] = [[] for _ in range(self.num_vertices)]
-            for edge_index, pin in enumerate(self.pins):
-                for vertex in pin.tolist():
-                    inc[vertex].append(edge_index)
-            self._incidence = inc
+            indptr, edges = self.vertex_csr()
+            self._incidence = [
+                edges[indptr[v] : indptr[v + 1]].tolist()
+                for v in range(self.num_vertices)
+            ]
         return self._incidence
 
     # -- metrics ---------------------------------------------------------
@@ -71,20 +202,15 @@ class Hypergraph:
     def pin_part_counts(self, labels: np.ndarray, k: int) -> np.ndarray:
         """Matrix ``[num_edges, k]``: pins of each edge per part."""
         counts = np.zeros((self.num_edges, k), dtype=np.int64)
-        for edge_index, pin in enumerate(self.pins):
-            parts, occur = np.unique(labels[pin], return_counts=True)
-            counts[edge_index, parts] = occur
+        np.add.at(counts, (self.pin_edge_ids, labels[self.edge_pins]), 1)
         return counts
 
     def connectivity_cost(self, labels: np.ndarray, k: int) -> int:
         """The paper's objective: ``sum_e w_e * (lambda_e - 1)``."""
-        cost = 0
-        for edge_index, pin in enumerate(self.pins):
-            if len(pin) == 0:
-                continue
-            spans = len(np.unique(labels[pin]))
-            cost += int(self.edge_weights[edge_index]) * (spans - 1)
-        return cost
+        counts = self.pin_part_counts(np.asarray(labels, dtype=np.int64), k)
+        spans = (counts > 0).sum(axis=1)
+        active = spans > 0
+        return int((self.edge_weights[active] * (spans[active] - 1)).sum())
 
     def part_weights(self, labels: np.ndarray, k: int) -> np.ndarray:
         """Per-part total vertex weight, shape ``[k, dims]``."""

@@ -38,18 +38,19 @@ def greedy_initial(
     part_weights = np.zeros((k, graph.weight_dims), dtype=np.int64)
     # counts[e, p] = assigned pins of edge e in part p so far
     counts = np.zeros((graph.num_edges, k), dtype=np.int64)
-    incidence = graph.incidence()
+    vindptr, vedges = graph.vertex_csr()
+    edge_weights = graph.edge_weights
 
     for vertex in order.tolist():
         # Connectivity increase of each candidate part: an edge whose
         # span does not yet include the part gains (weight) cost, unless
         # the edge has no assigned pins at all yet.
-        increase = np.zeros(k, dtype=np.int64)
-        for edge_index in incidence[vertex]:
-            edge_counts = counts[edge_index]
-            if edge_counts.sum() == 0:
-                continue
-            increase += np.where(edge_counts == 0, graph.edge_weights[edge_index], 0)
+        edges = vedges[vindptr[vertex] : vindptr[vertex + 1]]
+        edge_counts = counts[edges]
+        active = edge_counts.sum(axis=1) > 0
+        increase = (
+            (edge_counts[active] == 0) * edge_weights[edges][active, None]
+        ).sum(axis=0)
         fits = np.all(
             part_weights + graph.weights[vertex][None, :] <= caps[None, :], axis=1
         )
@@ -63,6 +64,5 @@ def greedy_initial(
         choice = int(candidates[np.argmin(score)])
         labels[vertex] = choice
         part_weights[choice] += graph.weights[vertex]
-        for edge_index in incidence[vertex]:
-            counts[edge_index, choice] += 1
+        counts[edges, choice] += 1
     return labels

@@ -5,60 +5,182 @@ O(incident edges).  Moves are accepted when they reduce the
 connectivity cost without violating the balance caps; a dedicated
 rebalancing pass repairs infeasible partitions by relocating vertices
 out of overloaded parts at minimal cost increase.
+
+All inner loops are vectorized over the CSR incidence arrays:
+
+* gains are evaluated for whole *batches* of (vertex, candidate part)
+  pairs in one segmented numpy pass — the FM heap is (re)filled one
+  batch per move, and rebalancing scores its entire eviction sample at
+  once — instead of per-(vertex, part) Python loops;
+* a per-vertex staleness stamp lets FM trust heap entries whose
+  incident pin counts are untouched since the push, skipping the
+  pop-time gain recomputation entirely.
+
+Move-acceptance semantics are identical to the scalar reference in
+:mod:`repro.hypergraph.reference`, which the parity tests enforce; ties
+break toward the lowest part index.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from .graph import Hypergraph
+from .graph import Hypergraph, concat_csr_slices as _concat_slices
 
-__all__ = ["RefinementState", "greedy_refine", "fm_refine", "rebalance"]
+__all__ = [
+    "RefinementState",
+    "RefineCounters",
+    "COUNTERS",
+    "greedy_refine",
+    "fm_refine",
+    "rebalance",
+]
+
+
+@dataclass
+class RefineCounters:
+    """Global counters of refinement work (reported in PlanningStats)."""
+
+    gain_evals: int = 0
+    moves: int = 0
+
+    def reset(self) -> None:
+        self.gain_evals = 0
+        self.moves = 0
+
+    def snapshot(self) -> dict:
+        return {"gain_evals": self.gain_evals, "moves": self.moves}
+
+
+#: Module-level counters; the planner resets them per planning run.
+COUNTERS = RefineCounters()
 
 
 class RefinementState:
-    """Incremental bookkeeping for move-based refinement."""
+    """Incremental bookkeeping for move-based refinement.
 
-    def __init__(self, graph: Hypergraph, labels: np.ndarray, k: int) -> None:
+    ``counters`` defaults to the module-level :data:`COUNTERS`
+    singleton, which is fine for today's single-threaded planner; a
+    concurrent/overlapped planner should pass its own
+    :class:`RefineCounters` so per-run stats don't cross-contaminate.
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        labels: np.ndarray,
+        k: int,
+        counters: Optional[RefineCounters] = None,
+    ) -> None:
         self.graph = graph
         self.k = k
         self.labels = labels.astype(np.int64).copy()
         self.pin_counts = graph.pin_part_counts(self.labels, k)
         self.part_weights = graph.part_weights(self.labels, k)
+        self.counters = COUNTERS if counters is None else counters
+        self._vindptr, self._vedges = graph.vertex_csr()
+
+    def incident_edges(self, vertex: int) -> np.ndarray:
+        return self._vedges[self._vindptr[vertex] : self._vindptr[vertex + 1]]
 
     def gain(self, vertex: int, target: int) -> int:
         """Connectivity reduction if ``vertex`` moves to ``target``."""
-        source = self.labels[vertex]
+        source = int(self.labels[vertex])
         if source == target:
             return 0
-        total = 0
-        for edge_index in self.graph.incidence()[vertex]:
-            weight = int(self.graph.edge_weights[edge_index])
-            counts = self.pin_counts[edge_index]
-            if counts[source] == 1:
-                total += weight  # source part leaves the edge's span
-            if counts[target] == 0:
-                total -= weight  # target part joins the edge's span
-        return total
+        edges = self.incident_edges(vertex)
+        weights = self.graph.edge_weights[edges]
+        self.counters.gain_evals += 1
+        # Source part leaves edges where the vertex is its only pin;
+        # target part joins edges where it has no pin yet.
+        return int(
+            weights @ (self.pin_counts[edges, source] == 1)
+            - weights @ (self.pin_counts[edges, target] == 0)
+        )
+
+    def gain_vector(self, vertex: int) -> np.ndarray:
+        """Gains of moving ``vertex`` to every part at once (0 at source)."""
+        source = int(self.labels[vertex])
+        edges = self.incident_edges(vertex)
+        weights = self.graph.edge_weights[edges]
+        counts = self.pin_counts[edges]
+        leave = int(weights @ (counts[:, source] == 1))
+        join = weights @ (counts == 0)
+        gains = leave - join
+        gains[source] = 0
+        self.counters.gain_evals += self.k
+        return gains
+
+    def batch_gains(self, vertices: np.ndarray):
+        """Gains and adjacency for a batch of vertices in one pass.
+
+        Returns ``(gains, adjacent)`` of shape ``[len(vertices), k]``:
+        ``gains[i, t]`` is the connectivity reduction of moving
+        ``vertices[i]`` to part ``t`` and ``adjacent[i, t]`` marks parts
+        reachable through incident edges (source part excluded).  One
+        segmented reduction replaces ``len(vertices) * k`` scalar gain
+        calls; duplicates in ``vertices`` are evaluated independently.
+        """
+        n, k = len(vertices), self.k
+        self.counters.gain_evals += n * k
+        edges, lens = _concat_slices(self._vindptr, self._vedges, vertices)
+        if len(edges) == 0:
+            return (
+                np.zeros((n, k), dtype=np.int64),
+                np.zeros((n, k), dtype=bool),
+            )
+        if lens.min() > 0:  # common case: every vertex has edges
+            kept = None
+            klens = lens
+            sources = self.labels[vertices]
+        else:
+            kept = np.nonzero(lens > 0)[0]
+            klens = lens[kept]
+            sources = self.labels[vertices[kept]]
+        seg_starts = np.cumsum(klens) - klens
+        counts = self.pin_counts[edges]
+        weights = self.graph.edge_weights[edges]
+        own = counts[np.arange(len(edges)), np.repeat(sources, klens)]
+        leave = np.add.reduceat(weights * (own == 1), seg_starts)
+        join = np.add.reduceat((counts == 0) * weights[:, None], seg_starts, axis=0)
+        present = np.bitwise_or.reduceat(counts != 0, seg_starts, axis=0)
+        rows = np.arange(len(klens))
+        dense_gains = leave[:, None] - join
+        dense_gains[rows, sources] = 0
+        present[rows, sources] = False
+        if kept is None:
+            return dense_gains, present
+        gains = np.zeros((n, k), dtype=np.int64)
+        adjacent = np.zeros((n, k), dtype=bool)
+        gains[kept] = dense_gains
+        adjacent[kept] = present
+        return gains, adjacent
 
     def move(self, vertex: int, target: int) -> None:
-        source = self.labels[vertex]
+        source = int(self.labels[vertex])
         if source == target:
             return
-        for edge_index in self.graph.incidence()[vertex]:
-            self.pin_counts[edge_index, source] -= 1
-            self.pin_counts[edge_index, target] += 1
+        edges = self.incident_edges(vertex)
+        self.pin_counts[edges, source] -= 1
+        self.pin_counts[edges, target] += 1
         self.part_weights[source] -= self.graph.weights[vertex]
         self.part_weights[target] += self.graph.weights[vertex]
         self.labels[vertex] = target
+        self.counters.moves += 1
 
     def fits(self, vertex: int, target: int, caps: np.ndarray) -> bool:
         new_weight = self.part_weights[target] + self.graph.weights[vertex]
-        return bool(np.all(new_weight <= caps))
+        return bool((new_weight <= caps).all())
+
+    def fits_mask(self, vertex: int, caps: np.ndarray) -> np.ndarray:
+        """Feasibility of moving ``vertex`` into each part, bool ``[k]``."""
+        new_weight = self.part_weights + self.graph.weights[vertex][None, :]
+        return (new_weight <= caps[None, :]).all(axis=1)
 
     def cost(self) -> int:
         spans = (self.pin_counts > 0).sum(axis=1)
@@ -69,6 +191,16 @@ class RefinementState:
 
     def is_feasible(self, caps: np.ndarray) -> bool:
         return bool(np.all(self.part_weights <= caps[None, :]))
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Vertices incident to an edge spanning >= 2 parts (ascending)."""
+        graph = self.graph
+        spans = (self.pin_counts > 0).sum(axis=1)
+        cut = spans >= 2
+        if not cut.any():
+            return np.zeros(0, dtype=np.int64)
+        pin_on_cut = cut[graph.pin_edge_ids]
+        return np.unique(graph.edge_pins[pin_on_cut])
 
 
 def greedy_refine(
@@ -82,40 +214,43 @@ def greedy_refine(
     Each pass visits vertices in random order and applies the best
     strictly-positive-gain move that keeps the partition feasible.
     Candidate targets are restricted to parts adjacent through incident
-    edges (moving elsewhere can never reduce connectivity).
+    edges (moving elsewhere can never reduce connectivity); all
+    candidate gains of one vertex are evaluated in a single batched
+    pass, ties broken toward the lowest part index.
     """
-    graph, k = state.graph, state.k
-    incidence = graph.incidence()
+    graph = state.graph
+    edge_weights = graph.edge_weights
     moves = 0
     for _ in range(max_passes):
         improved = False
         for vertex in rng.permutation(graph.num_vertices):
-            source = state.labels[vertex]
-            candidates = set()
-            for edge_index in incidence[vertex]:
-                counts = state.pin_counts[edge_index]
-                candidates.update(np.nonzero(counts)[0].tolist())
-            candidates.discard(source)
-            best_target, best_gain = -1, 0
-            for target in candidates:
-                gain = state.gain(vertex, target)
-                if gain > best_gain and state.fits(vertex, target, caps):
-                    best_target, best_gain = target, gain
-            if best_target >= 0:
-                state.move(vertex, best_target)
-                moves += 1
-                improved = True
+            source = int(state.labels[vertex])
+            edges = state.incident_edges(vertex)
+            if len(edges) == 0:
+                continue
+            counts = state.pin_counts[edges]
+            candidates = counts.any(axis=0)
+            candidates[source] = False
+            if not candidates.any():
+                continue
+            weights = edge_weights[edges]
+            leave = int(weights @ (counts[:, source] == 1))
+            join = weights @ (counts == 0)
+            gains = leave - join
+            state.counters.gain_evals += state.k
+            viable = candidates & (gains > 0)
+            if not viable.any():
+                continue
+            viable &= state.fits_mask(vertex, caps)
+            if not viable.any():
+                continue
+            target = int(np.argmax(np.where(viable, gains, -1)))
+            state.move(vertex, target)
+            moves += 1
+            improved = True
         if not improved:
             break
     return moves
-
-
-def _adjacent_parts(state: RefinementState, vertex: int) -> set:
-    parts = set()
-    for edge_index in state.graph.incidence()[vertex]:
-        parts.update(np.nonzero(state.pin_counts[edge_index])[0].tolist())
-    parts.discard(int(state.labels[vertex]))
-    return parts
 
 
 def fm_refine(
@@ -124,6 +259,7 @@ def fm_refine(
     rng: np.random.Generator,
     max_passes: int = 3,
     move_cap: Optional[int] = None,
+    patience: int = 128,
 ) -> int:
     """Fiduccia–Mattheyses refinement with rollback.
 
@@ -131,65 +267,148 @@ def fm_refine(
     negative-gain moves (each vertex at most once per pass) and rolls
     back to the best prefix, which lets the cut slide across plateaus —
     essential for chain-like hypergraphs such as causal attention.
+    ``patience`` bounds how far a plateau is explored: a pass stops
+    once that many consecutive tentative moves fail to produce a new
+    best cost (they would all be rolled back unless a later
+    improvement showed up).  This is a deliberate deviation from the
+    unbounded historic traversal — improvements hiding behind a longer
+    plateau are forfeited for a large constant-factor speedup; raise
+    ``patience`` (up to ``move_cap``) to trade time for quality.
 
     Returns the number of net (kept) moves.
     """
     graph = state.graph
+    num_vertices = graph.num_vertices
+    k = state.k
     if move_cap is None:
-        move_cap = min(graph.num_vertices, 4000)
-    incidence = graph.incidence()
+        move_cap = min(num_vertices, 4000)
     counter = itertools.count()
     kept_moves = 0
+    weight_list = graph.weights.tolist()
+    caps_list = caps.tolist()
+    dims = range(len(caps_list))
 
     for _ in range(max_passes):
         heap: list = []
+        # vertex_stamp[v] = index of the last move that touched a pin
+        # count v's gains depend on; entries carry the stamp at push
+        # time, so a pop whose stamp is still current needs no gain
+        # recomputation.  version[v*k+t] identifies the newest push of
+        # each (vertex, target) candidate: older duplicates are
+        # discarded on pop without any gain or feasibility work.
+        vertex_stamp = [0] * num_vertices
+        version = [0] * (num_vertices * k)
+        move_index = 0
+        # Python mirrors of the labels and part weights keep the pop
+        # loop free of numpy scalar overhead.
+        label_list = state.labels.tolist()
+        pw_list = state.part_weights.tolist()
 
-        def push(vertex: int) -> None:
-            for target in _adjacent_parts(state, vertex):
-                gain = state.gain(vertex, target)
-                heapq.heappush(heap, (-gain, next(counter), vertex, target))
+        def push_batch(vertices: np.ndarray) -> None:
+            gains, adjacent = state.batch_gains(vertices)
+            rows, targets = np.nonzero(adjacent)
+            if len(rows) == 0:
+                return
+            entries = zip(
+                (-gains[rows, targets]).tolist(),
+                vertices[rows].tolist(),
+                targets.tolist(),
+            )
+            for neg_gain, vertex, target in entries:
+                key = vertex * k + target
+                version[key] = entry_version = version[key] + 1
+                heapq.heappush(
+                    heap,
+                    (
+                        neg_gain,
+                        next(counter),
+                        vertex,
+                        target,
+                        move_index,
+                        entry_version,
+                    ),
+                )
 
-        boundary = [
-            v
-            for v in range(graph.num_vertices)
-            if _adjacent_parts(state, v)
-        ]
+        boundary = state.boundary_vertices()
         rng.shuffle(boundary)
-        for vertex in boundary:
-            push(vertex)
+        push_batch(boundary)
 
-        moved = set()
+        moved = np.zeros(num_vertices, dtype=bool)
         history = []  # (vertex, source_part)
         current_cost = state.cost()
         best_cost = current_cost
         best_length = 0
 
         while heap and len(history) < move_cap:
-            neg_gain, _, vertex, target = heapq.heappop(heap)
-            if vertex in moved or target == state.labels[vertex]:
+            if len(history) - best_length >= patience:
+                break
+            neg_gain, _, vertex, target, stamp, entry_version = heapq.heappop(
+                heap
+            )
+            if (
+                version[vertex * k + target] != entry_version
+                or moved[vertex]
+                or target == label_list[vertex]
+            ):
                 continue
-            actual = state.gain(vertex, target)
-            if actual < -neg_gain:  # stale entry: requeue with real gain
-                heapq.heappush(heap, (-actual, next(counter), vertex, target))
+            if vertex_stamp[vertex] <= stamp:
+                actual = -neg_gain  # untouched since push: still exact
+            else:
+                actual = state.gain(vertex, target)
+                if actual < -neg_gain:  # stale entry: requeue, real gain
+                    key = vertex * k + target
+                    version[key] = entry_version = version[key] + 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            -actual,
+                            next(counter),
+                            vertex,
+                            target,
+                            move_index,
+                            entry_version,
+                        ),
+                    )
+                    continue
+            part_weight = pw_list[target]
+            vertex_weight = weight_list[vertex]
+            if any(
+                part_weight[d] + vertex_weight[d] > caps_list[d] for d in dims
+            ):
                 continue
-            if not state.fits(vertex, target, caps):
-                continue
-            source = int(state.labels[vertex])
+            source = label_list[vertex]
             state.move(vertex, target)
-            moved.add(vertex)
+            label_list[vertex] = target
+            for d in dims:
+                pw_list[source][d] -= vertex_weight[d]
+                part_weight[d] += vertex_weight[d]
+            moved[vertex] = True
             history.append((vertex, source))
             current_cost -= actual
             if current_cost < best_cost:
                 best_cost = current_cost
                 best_length = len(history)
-            # Refresh candidates of affected neighbours.
-            for edge_index in incidence[vertex]:
-                pin = graph.pins[edge_index]
-                if len(pin) > 64:
-                    continue
-                for neighbour in pin.tolist():
-                    if neighbour not in moved:
-                        push(neighbour)
+            move_index += 1
+            # Everything sharing an edge with the moved vertex now sees
+            # different pin counts.
+            edges = state.incident_edges(vertex)
+            all_pins, _ = _concat_slices(
+                graph.edge_indptr, graph.edge_pins, edges
+            )
+            for pin in all_pins.tolist():
+                vertex_stamp[pin] = move_index
+            # Refresh candidates of neighbours along small edges (large
+            # edges contribute little per pin and would flood the heap).
+            small = edges[
+                (graph.edge_indptr[edges + 1] - graph.edge_indptr[edges]) <= 64
+            ]
+            if len(small):
+                neighbours, _ = _concat_slices(
+                    graph.edge_indptr, graph.edge_pins, small
+                )
+                neighbours = neighbours[~moved[neighbours]]
+                if len(neighbours):
+                    push_batch(neighbours)
 
         for vertex, source in reversed(history[best_length:]):
             state.move(vertex, source)
@@ -209,38 +428,103 @@ def rebalance(
 
     Vertices are evicted from overloaded parts into the least-loaded
     feasible part, preferring moves with the smallest cost increase.
+    Each scan scores one random eviction sample in a single batched
+    pass, then drains it in ascending-loss order (re-checking the caps
+    before every move) until the overloaded part fits or the sample is
+    exhausted; pin-count deltas of a scan are applied in one batched
+    update at its end, so a scan costs O(sample + moved degrees) numpy
+    work regardless of how many evictions it performs.
+
+    Infeasible instances (integral weights can make the caps plainly
+    unsatisfiable) are detected by stagnation: when three consecutive
+    scans fail to reduce the total overload, the pass gives up instead
+    of thrashing vertices until ``max_moves``.
     """
     graph = state.graph
+    k = state.k
     if max_moves is None:
         max_moves = 4 * graph.num_vertices
-    for _ in range(max_moves):
-        overload = state.part_weights.astype(np.float64) / caps[None, :]
+    part_weights = state.part_weights
+    weights = graph.weights
+    moves = 0
+    best_overload = int(
+        np.maximum(part_weights - caps[None, :], 0).sum()
+    )
+    stalled = 0
+    while moves < max_moves:
+        overload = part_weights.astype(np.float64) / caps[None, :]
         worst_part = int(np.argmax(overload.max(axis=1)))
-        if np.all(state.part_weights[worst_part] <= caps):
+        if np.all(part_weights[worst_part] <= caps):
             return True
         over_dim = int(np.argmax(overload[worst_part]))
         members = np.nonzero(state.labels == worst_part)[0]
-        movable = members[graph.weights[members, over_dim] > 0]
+        movable = members[weights[members, over_dim] > 0]
         if len(movable) == 0:
             return False
         # Prefer evicting small vertices with the least connectivity loss.
         sample = rng.permutation(movable)[: min(len(movable), 64)]
-        best = None
-        for vertex in sample:
-            for target in range(state.k):
-                if target == worst_part or not state.fits(vertex, target, caps):
-                    continue
-                loss = -state.gain(vertex, target)
-                if best is None or loss < best[0]:
-                    best = (loss, vertex, target)
-        if best is None:
-            # No target has room: move to the globally least-loaded part
-            # anyway so progress continues (cap re-checked at the end).
+
+        gains, _ = state.batch_gains(sample)
+        loss = (-gains).astype(np.float64)
+        fits = (
+            part_weights[None, :, :] + weights[sample][:, None, :]
+            <= caps[None, None, :]
+        ).all(axis=2)
+        fits[:, worst_part] = False
+        loss[~fits] = np.inf
+        flat_loss = loss.ravel()
+        order = np.argsort(flat_loss, kind="stable")
+
+        taken = np.zeros(len(sample), dtype=bool)
+        scan_moves: list = []  # (vertex, target)
+        for flat in order.tolist():
+            if moves + len(scan_moves) >= max_moves:
+                break
+            if not np.isfinite(flat_loss[flat]):
+                break
+            row, target = divmod(flat, k)
+            if taken[row]:
+                continue
+            vertex = int(sample[row])
+            new_weight = part_weights[target] + weights[vertex]
+            if not (new_weight <= caps).all():
+                continue  # an earlier eviction filled this part up
+            taken[row] = True
+            scan_moves.append((vertex, target))
+            part_weights[target] = new_weight
+            part_weights[worst_part] -= weights[vertex]
+            state.labels[vertex] = target
+            if (part_weights[worst_part] <= caps).all():
+                break
+
+        if scan_moves:
+            moved = np.fromiter(
+                (v for v, _ in scan_moves), dtype=np.int64, count=len(scan_moves)
+            )
+            targets = np.fromiter(
+                (t for _, t in scan_moves), dtype=np.int64, count=len(scan_moves)
+            )
+            edges, lens = _concat_slices(state._vindptr, state._vedges, moved)
+            np.subtract.at(state.pin_counts, (edges, worst_part), 1)
+            np.add.at(state.pin_counts, (edges, np.repeat(targets, lens)), 1)
+            moves += len(scan_moves)
+            state.counters.moves += len(scan_moves)
+        else:
+            # No target has room for any sampled vertex: move one to the
+            # globally least-loaded part anyway so progress continues
+            # (the cap is re-checked at the end).
             vertex = int(sample[0])
-            target = int(np.argmin(state.part_weights[:, over_dim]))
+            target = int(np.argmin(part_weights[:, over_dim]))
             if target == worst_part:
                 return False
             state.move(vertex, target)
-            continue
-        state.move(int(best[1]), int(best[2]))
+            moves += 1
+        overload_now = int(np.maximum(part_weights - caps[None, :], 0).sum())
+        if overload_now < best_overload:
+            best_overload = overload_now
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= 3:
+                return False
     return state.is_feasible(caps)

@@ -5,13 +5,19 @@ Vertices:
 * one *token-group* vertex per :class:`TokenSlice`, weight
   ``[0, bytes]`` aggregating all of its Q/KV/O head-blocks (this encodes
   the paper's constraint that Q/KV/O of the same tokens co-locate);
-* one vertex per :class:`CompBlock`, weight ``[flops, 0]``.
+* one vertex per computation block, weight ``[flops, 0]``.
 
 Hyperedges: one per *data block* (token slice x head group x tensor
 kind), pinning the block's home vertex together with every computation
 block that reads or writes it; edge weight = the block's bytes.  The
 connectivity-minus-one metric of a partition then equals the placement's
 total communication volume.
+
+Construction is fully vectorized: every computation block contributes
+three integer-encoded (kind, sequence, block, head group) keys, one
+``np.unique`` pass groups them into edges (sorted exactly like the old
+``sorted(users.items())`` loop), and the CSR pin structure is emitted
+with one lexsort — no per-block Python loops.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from ..blocks import BlockKind, BlockSet, CompBlock, DataBlockId, TokenSlice
 from ..hypergraph import Hypergraph
+from .keys import KIND_RANK, RANK_KIND, BlockKeyCodec
 
 __all__ = ["BlockHypergraph", "build_block_hypergraph"]
 
@@ -33,18 +40,30 @@ class BlockHypergraph:
 
     Vertex numbering: token slices occupy ``[0, len(slices))`` in the
     order of ``block_set.token_slices``; computation blocks follow in
-    the order of ``block_set.comp_blocks``.
+    the order of ``block_set.comp_array``.
     """
 
     graph: Hypergraph
     block_set: BlockSet
     slice_vertex: Dict[Tuple[int, int], int]
-    comp_vertex: Dict[CompBlock, int]
     edge_blocks: List[DataBlockId]
 
     @property
     def num_slices(self) -> int:
         return len(self.block_set.token_slices)
+
+    @property
+    def comp_vertex(self) -> Dict[CompBlock, int]:
+        """Computation block -> vertex id (lazy; prefer array offsets)."""
+        cached = self.__dict__.get("_comp_vertex")
+        if cached is None:
+            offset = self.num_slices
+            cached = {
+                comp: offset + index
+                for index, comp in enumerate(self.block_set.comp_blocks)
+            }
+            self.__dict__["_comp_vertex"] = cached
+        return cached
 
     def vertex_of_slice(self, token_slice: TokenSlice) -> int:
         return self.slice_vertex[(token_slice.seq_index, token_slice.block_index)]
@@ -61,58 +80,97 @@ class BlockHypergraph:
         Edges keep only local pins; edges left with fewer than two pins
         are dropped (they cannot contribute connectivity).
         """
+        graph = self.graph
         vertices = np.asarray(sorted(vertices), dtype=np.int64)
-        local_of = {int(v): i for i, v in enumerate(vertices)}
-        weights = self.graph.weights[vertices]
-        pins: List[List[int]] = []
-        edge_weights: List[int] = []
-        for edge_index, pin in enumerate(self.graph.pins):
-            local = [local_of[int(v)] for v in pin if int(v) in local_of]
-            if len(local) >= 2:
-                pins.append(local)
-                edge_weights.append(int(self.graph.edge_weights[edge_index]))
-        return Hypergraph(weights, pins, edge_weights), vertices
+        member = np.zeros(graph.num_vertices, dtype=bool)
+        member[vertices] = True
+        pin_kept = member[graph.edge_pins]
+        kept_sizes = np.bincount(
+            graph.pin_edge_ids[pin_kept], minlength=graph.num_edges
+        )
+        edge_kept = kept_sizes >= 2
+        final = pin_kept & edge_kept[graph.pin_edge_ids]
+        # Pins stay sorted per edge, and the monotone global->local
+        # renumbering preserves that invariant.
+        pins_flat = np.searchsorted(vertices, graph.edge_pins[final])
+        sizes = kept_sizes[edge_kept]
+        indptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        sub = Hypergraph.from_csr(
+            graph.weights[vertices],
+            indptr,
+            pins_flat,
+            graph.edge_weights[edge_kept],
+        )
+        return sub, vertices
 
 
 def build_block_hypergraph(block_set: BlockSet) -> BlockHypergraph:
     """Build the placement hypergraph for one batch."""
     slices = block_set.token_slices
-    comps = block_set.comp_blocks
+    comp = block_set.comp_array
+    attention = block_set.attention
     num_slices = len(slices)
+    num_comps = len(comp)
 
-    weights = np.zeros((num_slices + len(comps), 2), dtype=np.int64)
-    slice_vertex: Dict[Tuple[int, int], int] = {}
-    for index, token_slice in enumerate(slices):
-        slice_vertex[(token_slice.seq_index, token_slice.block_index)] = index
-        weights[index, 1] = block_set.slice_bytes(token_slice)
+    weights = np.zeros((num_slices + num_comps, 2), dtype=np.int64)
+    slice_tokens = block_set.slice_tokens
+    weights[:num_slices, 1] = attention.slice_bytes(slice_tokens)
+    weights[num_slices:, 0] = attention.tile_flops(comp.pairs)
 
-    comp_vertex: Dict[CompBlock, int] = {}
-    for offset, comp in enumerate(comps):
-        vertex = num_slices + offset
-        comp_vertex[comp] = vertex
-        weights[vertex, 0] = block_set.comp_flops(comp)
+    slice_vertex: Dict[Tuple[int, int], int] = {
+        (ts.seq_index, ts.block_index): index
+        for index, ts in enumerate(slices)
+    }
 
-    # Group computation vertices by the data blocks they touch.
-    users: Dict[DataBlockId, List[int]] = {}
-    for comp, vertex in comp_vertex.items():
-        users.setdefault(comp.q_input, []).append(vertex)
-        users.setdefault(comp.kv_input, []).append(vertex)
-        users.setdefault(comp.output, []).append(vertex)
+    # Each computation block touches three data blocks; encode their
+    # (kind, seq, block, head group) identities as scalar keys whose
+    # ascending order equals DataBlockId's lexicographic order.
+    codec = BlockKeyCodec(block_set)
+    entry_keys = np.concatenate(
+        [
+            codec.encode(BlockKind.Q, comp.seq_index, comp.q_block, comp.head_group),
+            codec.encode(BlockKind.KV, comp.seq_index, comp.kv_block, comp.head_group),
+            codec.encode(BlockKind.O, comp.seq_index, comp.q_block, comp.head_group),
+        ]
+    ) if num_comps else np.zeros(0, dtype=np.int64)
+    unique_keys, edge_of_entry = np.unique(entry_keys, return_inverse=True)
+    num_edges = len(unique_keys)
 
-    pins: List[List[int]] = []
-    edge_weights: List[int] = []
-    edge_blocks: List[DataBlockId] = []
-    for block, comp_vertices in sorted(users.items()):
-        home = slice_vertex[(block.seq_index, block.block_index)]
-        pins.append([home] + comp_vertices)
-        edge_weights.append(block_set.block_bytes(block))
-        edge_blocks.append(block)
+    # Decode each edge's data-block identity.
+    rank, seq, block, group = codec.decode(unique_keys)
+    home_vertex = block_set.slice_indices(seq, block)
 
-    graph = Hypergraph(weights, pins, edge_weights)
+    # CSR pins: the home slice vertex plus every computation vertex
+    # touching the block, sorted per edge by one lexsort.
+    comp_vertices = num_slices + np.arange(num_comps, dtype=np.int64)
+    pin_edges = np.concatenate([np.arange(num_edges, dtype=np.int64),
+                                edge_of_entry])
+    pin_vertices = np.concatenate([home_vertex,
+                                   np.tile(comp_vertices, 3)])
+    order = np.lexsort((pin_vertices, pin_edges))
+    edge_pins = pin_vertices[order]
+    sizes = np.bincount(pin_edges, minlength=num_edges)
+    edge_indptr = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(sizes, out=edge_indptr[1:])
+
+    # Edge weights: the data block's bytes by kind.
+    tokens = slice_tokens[home_vertex]
+    q_bytes = attention.q_heads_per_group * tokens * attention.head_dim * attention.dtype_bytes
+    kv_bytes = 2 * tokens * attention.head_dim * attention.dtype_bytes
+    edge_weights = np.where(rank == KIND_RANK[BlockKind.KV], kv_bytes, q_bytes)
+
+    edge_blocks = [
+        DataBlockId(RANK_KIND[r], s, b, g)
+        for r, s, b, g in zip(
+            rank.tolist(), seq.tolist(), block.tolist(), group.tolist()
+        )
+    ]
+
+    graph = Hypergraph.from_csr(weights, edge_indptr, edge_pins, edge_weights)
     return BlockHypergraph(
         graph=graph,
         block_set=block_set,
         slice_vertex=slice_vertex,
-        comp_vertex=comp_vertex,
         edge_blocks=edge_blocks,
     )

@@ -63,23 +63,45 @@ def _finalize(
 
     When ``subset`` is given the output is aligned with
     ``sorted(subset)`` — the vertex order of ``induced_subgraph``.
+    Computation labels are filled in one vectorized lookup over the
+    columnar block arrays.
     """
     num_slices = bhg.num_slices
+    block_set = bhg.block_set
     if subset is None:
-        vertices = list(range(bhg.graph.num_vertices))
+        vertices = np.arange(bhg.graph.num_vertices, dtype=np.int64)
     else:
-        vertices = sorted(int(v) for v in subset)
+        vertices = np.asarray(sorted(int(v) for v in subset), dtype=np.int64)
+
+    # Dense slice-vertex -> label table; -1 marks slices outside the
+    # subset (their machine-local label is unknown here).
+    slice_table = np.full(num_slices, -1, dtype=np.int64)
+    for vertex, label in slice_label.items():
+        slice_table[vertex] = label
+
     labels = np.zeros(len(vertices), dtype=np.int64)
-    for position, vertex in enumerate(vertices):
-        if vertex < num_slices:
-            labels[position] = slice_label[vertex]
-            continue
-        comp = bhg.block_set.comp_blocks[vertex - num_slices]
-        q_vertex = bhg.slice_vertex[(comp.seq_index, comp.q_block)]
-        if q_vertex in slice_label:
-            labels[position] = slice_label[q_vertex]
-        else:  # Q lives on another machine; spread deterministically.
-            labels[position] = (comp.q_block + comp.head_group) % k
+    is_slice = vertices < num_slices
+    slice_labels = slice_table[vertices[is_slice]]
+    if (slice_labels < 0).any():
+        missing = vertices[is_slice][slice_labels < 0]
+        raise KeyError(
+            f"slice vertices {missing.tolist()} have no heuristic label"
+        )
+    labels[is_slice] = slice_labels
+
+    comp_rows = vertices[~is_slice] - num_slices
+    if len(comp_rows):
+        comp = block_set.comp_array
+        seq = comp.seq_index[comp_rows]
+        q_block = comp.q_block[comp_rows]
+        q_vertex = block_set.slice_indices(seq, q_block)
+        comp_labels = slice_table[q_vertex]
+        missing = comp_labels < 0
+        if missing.any():  # Q lives on another machine; spread deterministically.
+            comp_labels[missing] = (
+                q_block[missing] + comp.head_group[comp_rows][missing]
+            ) % k
+        labels[~is_slice] = comp_labels
     return labels
 
 

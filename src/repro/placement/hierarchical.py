@@ -47,6 +47,9 @@ class Placement:
     cluster: ClusterSpec
     slice_device: np.ndarray
     comp_device: np.ndarray
+    #: Size of the placement hypergraph (surfaced in PlanningStats).
+    num_vertices: int = 0
+    num_edges: int = 0
 
     def device_of_slice(self, token_slice: TokenSlice) -> int:
         index = self.block_set.token_slices.index(token_slice)
@@ -58,14 +61,17 @@ class Placement:
 
     def tokens_per_device(self) -> np.ndarray:
         out = np.zeros(self.cluster.num_devices, dtype=np.int64)
-        for token_slice, device in zip(self.block_set.token_slices, self.slice_device):
-            out[int(device)] += token_slice.tokens
+        np.add.at(out, self.slice_device, self.block_set.slice_tokens)
         return out
 
     def flops_per_device(self) -> np.ndarray:
         out = np.zeros(self.cluster.num_devices, dtype=np.int64)
-        for comp, device in zip(self.block_set.comp_blocks, self.comp_device):
-            out[int(device)] += self.block_set.comp_flops(comp)
+        comp = self.block_set.comp_array
+        np.add.at(
+            out,
+            self.comp_device,
+            self.block_set.attention.tile_flops(comp.pairs),
+        )
         return out
 
     def comm_report(self) -> CommReport:
@@ -148,4 +154,6 @@ def place_blocks(
         cluster=cluster,
         slice_device=slice_device.copy(),
         comp_device=comp_device.copy(),
+        num_vertices=bhg.graph.num_vertices,
+        num_edges=bhg.graph.num_edges,
     )

@@ -11,7 +11,9 @@ module computes exactly which data blocks move between which devices:
   block's home device for reduction.
 
 The resulting total equals the hypergraph connectivity metric, which the
-tests assert.
+tests assert.  The (block, device) demand sets are computed with one
+``np.unique`` pass over integer-encoded keys instead of per-block
+Python dictionaries.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import numpy as np
 
 from ..blocks import BlockKind, BlockSet, DataBlockId
 from ..sim.cluster import ClusterSpec
+from .keys import KIND_RANK, RANK_KIND, BlockKeyCodec
 
 __all__ = ["Transfer", "CommReport", "communication_report"]
 
@@ -86,39 +89,82 @@ def communication_report(
     """Enumerate every transfer a placement induces.
 
     ``slice_device`` is indexed like ``block_set.token_slices`` and
-    ``comp_device`` like ``block_set.comp_blocks``.
+    ``comp_device`` like ``block_set.comp_array``.
     """
     if len(slice_device) != len(block_set.token_slices):
         raise ValueError("one device per token slice required")
-    if len(comp_device) != len(block_set.comp_blocks):
+    comp = block_set.comp_array
+    if len(comp_device) != len(comp):
         raise ValueError("one device per computation block required")
 
-    slice_index = {
-        (ts.seq_index, ts.block_index): i
-        for i, ts in enumerate(block_set.token_slices)
-    }
+    slice_device = np.asarray(slice_device, dtype=np.int64)
+    comp_device = np.asarray(comp_device, dtype=np.int64)
+    attention = block_set.attention
+    codec = BlockKeyCodec(block_set)
+    slice_tokens = block_set.slice_tokens
 
-    # data block -> set of devices that need it (excluding home)
-    readers: Dict[DataBlockId, set] = {}
-    writers: Dict[DataBlockId, set] = {}
-    for comp, device in zip(block_set.comp_blocks, comp_device):
-        device = int(device)
-        readers.setdefault(comp.q_input, set()).add(device)
-        readers.setdefault(comp.kv_input, set()).add(device)
-        writers.setdefault(comp.output, set()).add(device)
+    def transfers_for(keys: np.ndarray, to_home: bool) -> List[Transfer]:
+        """Unique (block, device) demands -> transfers, in sorted order."""
+        if len(keys) == 0:
+            return []
+        pairs = np.unique(keys * num_devices + np.tile(comp_device, len(keys) // len(comp)))
+        block_keys = pairs // num_devices
+        devices = pairs % num_devices
+        rank, seq, block, group = codec.decode(block_keys)
+        slice_index = block_set.slice_indices(seq, block)
+        home = slice_device[slice_index]
+        tokens = slice_tokens[slice_index]
+        nbytes = np.where(
+            rank == KIND_RANK[BlockKind.KV],
+            2 * tokens * attention.head_dim * attention.dtype_bytes,
+            attention.q_heads_per_group
+            * tokens
+            * attention.head_dim
+            * attention.dtype_bytes,
+        )
+        out: List[Transfer] = []
+        remote = devices != home
+        for r, s, b, g, device, h, nb in zip(
+            rank[remote].tolist(),
+            seq[remote].tolist(),
+            block[remote].tolist(),
+            group[remote].tolist(),
+            devices[remote].tolist(),
+            home[remote].tolist(),
+            nbytes[remote].tolist(),
+        ):
+            data_block = DataBlockId(RANK_KIND[r], s, b, g)
+            if to_home:
+                out.append(Transfer(data_block, device, h, nb))
+            else:
+                out.append(Transfer(data_block, h, device, nb))
+        return out
 
-    transfers: List[Transfer] = []
-    for block, devices in sorted(readers.items()):
-        home = int(slice_device[slice_index[(block.seq_index, block.block_index)]])
-        nbytes = block_set.block_bytes(block)
-        for device in sorted(devices):
-            if device != home:
-                transfers.append(Transfer(block, home, device, nbytes))
-    for block, devices in sorted(writers.items()):
-        home = int(slice_device[slice_index[(block.seq_index, block.block_index)]])
-        nbytes = block_set.block_bytes(block)
-        for device in sorted(devices):
-            if device != home:
-                transfers.append(Transfer(block, device, home, nbytes))
+    # Readers pull Q and KV blocks from their homes; writers push O
+    # partials back.  Key order reproduces the sorted-dict iteration of
+    # the scalar implementation (blocks ascending, then devices).
+    reader_keys = (
+        np.concatenate(
+            [
+                codec.encode(
+                    BlockKind.Q, comp.seq_index, comp.q_block, comp.head_group
+                ),
+                codec.encode(
+                    BlockKind.KV, comp.seq_index, comp.kv_block, comp.head_group
+                ),
+            ]
+        )
+        if len(comp)
+        else np.zeros(0, dtype=np.int64)
+    )
+    writer_keys = (
+        codec.encode(
+            BlockKind.O, comp.seq_index, comp.q_block, comp.head_group
+        )
+        if len(comp)
+        else np.zeros(0, dtype=np.int64)
+    )
 
+    transfers = transfers_for(reader_keys, to_home=False)
+    transfers.extend(transfers_for(writer_keys, to_home=True))
     return CommReport(transfers=transfers, num_devices=num_devices, cluster=cluster)
