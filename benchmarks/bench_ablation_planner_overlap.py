@@ -7,6 +7,11 @@ with more than 10 CPU cores".  This ablation closes the loop with
 *measured* quantities: per-batch planning times from the real planner,
 per-iteration execution times from the 8B-GPT cost model, replayed
 through the §6.1 look-ahead pipeline at varying core counts.
+
+This ablation replays the *analytic* pipeline model; the real thing —
+background planner workers measured against wall time — lives in
+:mod:`repro.pipeline` and ``bench_overlap_pipeline.py`` (which writes
+``BENCH_overlap.json``).
 """
 
 import math

@@ -47,7 +47,7 @@ def _git_revision() -> Optional[str]:
             timeout=10,
         )
         return out.stdout.strip() or None
-    except OSError:
+    except (OSError, subprocess.SubprocessError):
         return None
 
 

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verify + planner hot-path perf smoke, in one command.
+# Tier-1 verify + perf smokes (planner hot path, planning overlap).
 #
-#   ./benchmarks/run_tier1.sh            # tests + smoke benchmark
-#   ./benchmarks/run_tier1.sh --full     # tests + full benchmark sweep
-#                                        # (rewrites BENCH_planner.json)
+#   ./benchmarks/run_tier1.sh            # tests + smoke benchmarks
+#   ./benchmarks/run_tier1.sh --full     # tests + full benchmark sweeps
+#                                        # (rewrites BENCH_planner.json
+#                                        #  and BENCH_overlap.json)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,4 +22,14 @@ else
     # tracked full-sweep numbers in BENCH_planner.json.
     python benchmarks/bench_planner_hotpath.py --smoke \
         --output "$REPO_ROOT/BENCH_planner.smoke.json"
+fi
+
+echo "== overlap pipeline smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    python benchmarks/bench_overlap_pipeline.py
+else
+    # Gates: exits non-zero if the measured steady-state planning-hidden
+    # fraction regresses below the smoke_floor in BENCH_overlap.json.
+    python benchmarks/bench_overlap_pipeline.py --smoke \
+        --output "$REPO_ROOT/BENCH_overlap.smoke.json"
 fi

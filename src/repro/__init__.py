@@ -10,6 +10,8 @@ Top-level convenience re-exports; see subpackages for the full API:
 * :mod:`repro.hypergraph` — multilevel hypergraph partitioner
 * :mod:`repro.placement` — hierarchical block placement
 * :mod:`repro.scheduling` — divisions, instructions, serialization
+* :mod:`repro.pipeline` — background planning pipeline hiding planner
+  latency behind execution (§6.1, measured)
 * :mod:`repro.runtime` — simulated distributed executor (numerics)
 * :mod:`repro.sim` — cluster spec, timing simulation, model cost,
   memory accounting, timeline/trace export
@@ -28,9 +30,10 @@ from .core import (
     autotune_block_size,
 )
 from .masks import make_mask
+from .pipeline import OverlapPipeline, OverlapStats, PipelineRunner
 from .sim import ClusterSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttentionSpec",
@@ -43,5 +46,8 @@ __all__ = [
     "autotune_block_size",
     "make_mask",
     "ClusterSpec",
+    "OverlapPipeline",
+    "OverlapStats",
+    "PipelineRunner",
     "__version__",
 ]

@@ -1,13 +1,24 @@
-"""LRU plan cache keyed by batch shape.
+"""Thread-safe LRU plan cache keyed by batch shape.
 
 Many training runs see repeated batch signatures (same sequence-length
 multiset and masks), especially with bucketed batching; replanning is
 pure waste since DCP's plan depends only on (lengths, masks, config,
 cluster).  The cache is safe because all of those are immutable.
+
+All bookkeeping is guarded by a lock so the cache can sit in front of
+the overlap pipeline's concurrent planner workers
+(:mod:`repro.pipeline`): lookups, insertions and stats may race freely
+from any number of threads.  Planning itself is *not* serialized — a
+miss releases the lock while the planner runs, so two threads that miss
+on the same signature may both plan it (the second insert wins; both
+plans are valid and identical by construction).  The pipeline avoids
+even that duplicated work by de-duplicating in-flight signatures before
+dispatching a worker.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -31,22 +42,41 @@ class PlanCache:
         self.planner = planner
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
+    def get(self, key: Tuple):
+        """Cached plan under ``key`` or ``None``, counting hit/miss.
+
+        The building block the overlap pipeline consults *before*
+        dispatching a planner worker; a hit refreshes LRU recency.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            return None
+
+    def put(self, key: Tuple, plan) -> None:
+        """Insert ``plan`` under ``key``, evicting the LRU tail."""
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
     def plan_batch(self, batch: BatchSpec):
         key = batch_signature(batch)
-        cached = self._entries.get(key)
+        cached = self.get(key)
         if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
             cached.meta["plan_cache"] = self.stats()
             return cached
-        self.misses += 1
-        plan = self.planner.plan_batch(batch)
-        self._entries[key] = plan
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        plan = self.planner.plan_batch(batch)  # outside the lock: slow
+        self.put(key, plan)
         plan.meta["plan_cache"] = self.stats()
         return plan
 
@@ -56,22 +86,26 @@ class PlanCache:
         Included in every returned plan's ``meta["plan_cache"]`` so the
         planner-overlap and e2e benchmarks can report hit rates.
         """
-        lookups = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,20 +1,23 @@
 """DCP dataloader with look-ahead planning (paper §6.1, Listing 2).
 
 The dataloader pre-fetches sequence-length/mask metadata from the
-dataset and plans upcoming iterations on a background thread pool, so
-planning overlaps with (simulated) model execution.  Iterating yields
+dataset and plans upcoming iterations on background planner workers, so
+planning overlaps with model execution.  Iterating yields
 ``(local_data, execution_plan)`` pairs exactly like the paper's API:
 ``local_data`` maps each device to the token slices it will feed its
 model replica.
+
+Since PR 2 this is a thin wrapper over
+:class:`repro.pipeline.OverlapPipeline`, which owns the prefetch
+window, the worker backends, the plan-cache consult, and the measured
+overlap accounting; :meth:`DCPDataloader.stats` exposes the
+measurement.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..blocks import BatchSpec
 from ..scheduling import ExecutionPlan
@@ -58,6 +61,12 @@ class DCPDataloader:
     max_workers:
         Planning parallelism (the paper parallelizes planning across
         CPU cores).
+    backend:
+        Worker backend: ``"thread"`` (default) or ``"process"``; see
+        :mod:`repro.pipeline.backends`.
+    cache:
+        Optional :class:`~repro.core.cache.PlanCache` consulted before
+        dispatching planner workers.
     """
 
     def __init__(
@@ -66,36 +75,25 @@ class DCPDataloader:
         planner: DCPPlanner,
         lookahead: int = 2,
         max_workers: int = 2,
+        backend: str = "thread",
+        cache=None,
     ) -> None:
+        from ..pipeline import OverlapPipeline
+
         self.planner = planner
         self.lookahead = lookahead
-        self._batches = iter(batches)
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=max_workers) if lookahead > 0 else None
+        self._pipeline = OverlapPipeline(
+            batches,
+            planner,
+            lookahead=lookahead,
+            max_workers=max_workers,
+            backend=backend,
+            cache=cache,
         )
-        self._pending: "queue.Queue[Tuple[BatchSpec, Future]]" = queue.Queue()
-        self._exhausted = False
-
-    def _refill(self) -> None:
-        while not self._exhausted and self._pending.qsize() < self.lookahead + 1:
-            try:
-                batch = next(self._batches)
-            except StopIteration:
-                self._exhausted = True
-                return
-            future = self._pool.submit(self.planner.plan_batch, batch)
-            self._pending.put((batch, future))
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], ExecutionPlan]]:
-        if self._pool is None:
-            for batch in self._batches:
-                plan = self.planner.plan_batch(batch)
-                yield _local_data(plan), plan
-            return
-        self._refill()
-        while not self._pending.empty():
-            _, future = self._pending.get()
-            plan = future.result()
-            self._refill()
-            yield _local_data(plan), plan
-        self._pool.shutdown(wait=False)
+        return iter(self._pipeline)
+
+    def stats(self):
+        """Measured :class:`~repro.pipeline.OverlapStats` of the run."""
+        return self._pipeline.stats()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -80,6 +81,7 @@ class PlannerPool:
             for _ in range(num_machines)
         ]
         self._submitted: Dict[int, Future] = {}
+        self._intervals: Dict[int, Tuple[float, float]] = {}
         self._lock = threading.Lock()
 
     def submit(self, iteration: int, batch: BatchSpec) -> Future:
@@ -88,7 +90,11 @@ class PlannerPool:
         client = self.clients[machine]
 
         def job():
+            start = time.perf_counter()
             plan = self.planner.plan_batch(batch)
+            end = time.perf_counter()
+            with self._lock:
+                self._intervals[iteration] = (start, end)
             client.put(plan_key(iteration), plan)
             return plan
 
@@ -105,6 +111,15 @@ class PlannerPool:
             plan_key(iteration), timeout=timeout
         )
 
+    def plan_interval(self, iteration: int) -> Tuple[float, float]:
+        """(start, end) ``perf_counter`` stamps of a finished plan job."""
+        with self._lock:
+            interval = self._intervals.get(iteration)
+        if interval is None:
+            now = time.perf_counter()
+            return (now, now)
+        return interval
+
     def shutdown(self) -> None:
         for pool in self._pools:
             pool.shutdown(wait=True)
@@ -119,10 +134,12 @@ class PlannerPool:
 class DistributedDataloader:
     """§6.1 dataloader on top of a :class:`PlannerPool`.
 
-    Keeps the planning pipeline ``lookahead`` iterations ahead of
-    execution and yields ``(local_data, plan)`` like
+    A thin wrapper over :class:`repro.pipeline.OverlapPipeline` with the
+    KV backend: the pipeline keeps planning ``lookahead`` iterations
+    ahead of execution and yields ``(local_data, plan)`` like
     :class:`~repro.core.dataloader.DCPDataloader`, but every plan
     travels through the KV store — the full distribution path.
+    Overlap measurements are available as :meth:`stats`.
     """
 
     def __init__(
@@ -131,34 +148,30 @@ class DistributedDataloader:
         pool: PlannerPool,
         lookahead: int = 2,
     ) -> None:
+        from ..pipeline import KVPlannerBackend, OverlapPipeline
+
         if lookahead < 0:
             raise ValueError("lookahead must be non-negative")
         self.pool = pool
-        self.lookahead = lookahead
-        self._batches = iter(batches)
-        self._next_submit = 0
-        self._exhausted = False
-
-    def _fill(self, upto: int) -> None:
-        while not self._exhausted and self._next_submit <= upto:
-            try:
-                batch = next(self._batches)
-            except StopIteration:
-                self._exhausted = True
-                return
-            self.pool.submit(self._next_submit, batch)
-            self._next_submit += 1
+        # lookahead == 0 must still go through the store (the planner
+        # lives on a planning machine, not on the devices), so the
+        # window is pinned to at least one in-flight KV job — matching
+        # the historical loop, which always submitted the next job
+        # before yielding.  The attribute reports the effective kappa.
+        self.lookahead = max(lookahead, 1)
+        self._pipeline = OverlapPipeline(
+            batches,
+            pool.planner,
+            lookahead=self.lookahead,
+            backend=KVPlannerBackend(pool),
+        )
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
-        iteration = 0
-        self._fill(self.lookahead)
-        while True:
-            if self._exhausted and iteration >= self._next_submit:
-                return
-            plan = self.pool.fetch(iteration)
-            self._fill(iteration + 1 + self.lookahead)
-            yield _local_data(plan), plan
-            iteration += 1
+        return iter(self._pipeline)
+
+    def stats(self):
+        """Measured :class:`~repro.pipeline.OverlapStats` of the run."""
+        return self._pipeline.stats()
 
 
 # -- analytic overlap model ---------------------------------------------------

@@ -60,6 +60,16 @@ class RefineCounters:
 #: Module-level counters; the planner resets them per planning run.
 COUNTERS = RefineCounters()
 
+#: Graphs at or below this many vertices/edges take the scalar gain
+#: path: the batched ``reduceat`` machinery has fixed numpy overhead
+#: (index concatenation, segment bookkeeping, 2-D temporaries) that
+#: plain Python loops undercut when the whole gain matrix is tiny.
+#: Coarsened levels of small placement instances hit this constantly,
+#: and FM (re)fills its heap once per move — the scalar path cuts that
+#: churn without changing a single gain value.
+SMALL_GRAPH_VERTICES = 64
+SMALL_GRAPH_EDGES = 256
+
 
 class RefinementState:
     """Incremental bookkeeping for move-based refinement.
@@ -84,6 +94,10 @@ class RefinementState:
         self.part_weights = graph.part_weights(self.labels, k)
         self.counters = COUNTERS if counters is None else counters
         self._vindptr, self._vedges = graph.vertex_csr()
+        self._scalar_gains = (
+            graph.num_vertices <= SMALL_GRAPH_VERTICES
+            and graph.num_edges <= SMALL_GRAPH_EDGES
+        )
 
     def incident_edges(self, vertex: int) -> np.ndarray:
         return self._vedges[self._vindptr[vertex] : self._vindptr[vertex + 1]]
@@ -116,7 +130,7 @@ class RefinementState:
         self.counters.gain_evals += self.k
         return gains
 
-    def batch_gains(self, vertices: np.ndarray):
+    def batch_gains(self, vertices: np.ndarray, mode: Optional[str] = None):
         """Gains and adjacency for a batch of vertices in one pass.
 
         Returns ``(gains, adjacent)`` of shape ``[len(vertices), k]``:
@@ -125,7 +139,18 @@ class RefinementState:
         reachable through incident edges (source part excluded).  One
         segmented reduction replaces ``len(vertices) * k`` scalar gain
         calls; duplicates in ``vertices`` are evaluated independently.
+
+        ``mode`` selects the implementation: ``"batched"`` (segmented
+        numpy reductions), ``"scalar"`` (plain loops — faster below
+        :data:`SMALL_GRAPH_VERTICES`/:data:`SMALL_GRAPH_EDGES`, where
+        numpy's fixed per-call overhead dominates), or ``None`` to
+        dispatch on graph size.  Both paths compute identical integer
+        arrays; the parity tests assert it.
         """
+        if mode is None:
+            mode = "scalar" if self._scalar_gains else "batched"
+        if mode == "scalar":
+            return self._batch_gains_scalar(vertices)
         n, k = len(vertices), self.k
         self.counters.gain_evals += n * k
         edges, lens = _concat_slices(self._vindptr, self._vedges, vertices)
@@ -159,6 +184,49 @@ class RefinementState:
         adjacent = np.zeros((n, k), dtype=bool)
         gains[kept] = dense_gains
         adjacent[kept] = present
+        return gains, adjacent
+
+    def _batch_gains_scalar(self, vertices: np.ndarray):
+        """Scalar mirror of :meth:`batch_gains` for small graphs.
+
+        Same (leave − join, adjacency) arithmetic over the same CSR
+        slices, in plain Python: no index concatenation, no segment
+        starts, no 2-D temporaries.  Exact integer arithmetic keeps the
+        outputs bit-identical to the batched path.
+        """
+        n, k = len(vertices), self.k
+        self.counters.gain_evals += n * k
+        gains = np.zeros((n, k), dtype=np.int64)
+        adjacent = np.zeros((n, k), dtype=bool)
+        indptr = self._vindptr
+        vedges = self._vedges
+        labels = self.labels
+        pin_counts = self.pin_counts
+        edge_weights = self.graph.edge_weights
+        for row, vertex in enumerate(np.asarray(vertices).tolist()):
+            lo, hi = int(indptr[vertex]), int(indptr[vertex + 1])
+            if lo == hi:
+                continue
+            source = int(labels[vertex])
+            leave = 0
+            join = [0] * k
+            present = [False] * k
+            for edge in vedges[lo:hi].tolist():
+                weight = int(edge_weights[edge])
+                counts = pin_counts[edge].tolist()
+                if counts[source] == 1:
+                    leave += weight
+                for part in range(k):
+                    if counts[part] == 0:
+                        join[part] += weight
+                    else:
+                        present[part] = True
+            row_gains = gains[row]
+            for part in range(k):
+                row_gains[part] = leave - join[part]
+            row_gains[source] = 0
+            present[source] = False
+            adjacent[row] = present
         return gains, adjacent
 
     def move(self, vertex: int, target: int) -> None:

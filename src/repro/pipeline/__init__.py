@@ -1,0 +1,49 @@
+"""Overlap pipeline: background planning hidden behind execution (§6.1).
+
+The subsystem that turns the paper's "planning can perfectly overlap
+model execution" claim from an analytic replay
+(:func:`repro.core.pool.simulate_planning_overlap`) into a measurement:
+
+* :class:`OverlapPipeline` — plans batch ``i + kappa`` on background
+  workers while batch ``i`` executes, consulting the thread-safe
+  :class:`~repro.core.cache.PlanCache` before dispatching any worker,
+  and measuring per-iteration hidden vs exposed planning time.
+* :mod:`~repro.pipeline.backends` — thread-pool, process-pool, and
+  KV-store (:class:`~repro.core.pool.PlannerPool`) planner workers.
+* :class:`~repro.pipeline.driver.PipelineRunner` — drains a pipeline
+  through :class:`~repro.runtime.SimExecutor` (or a cost-model stand-in)
+  and reports the measured :class:`OverlapStats` + timeline.
+
+``repro.core.DCPDataloader`` and ``repro.core.DistributedDataloader``
+are thin wrappers over this package.
+"""
+
+from .backends import (
+    KVPlannerBackend,
+    PlanTicket,
+    ProcessPlannerBackend,
+    ThreadPlannerBackend,
+    make_backend,
+)
+from .driver import OverlapReport, PipelineRunner, cost_model_executor
+from .pipeline import (
+    IterationRecord,
+    OverlapPipeline,
+    OverlapStats,
+    plan_fingerprint,
+)
+
+__all__ = [
+    "OverlapPipeline",
+    "OverlapStats",
+    "IterationRecord",
+    "plan_fingerprint",
+    "PlanTicket",
+    "ThreadPlannerBackend",
+    "ProcessPlannerBackend",
+    "KVPlannerBackend",
+    "make_backend",
+    "OverlapReport",
+    "PipelineRunner",
+    "cost_model_executor",
+]

@@ -1,0 +1,163 @@
+"""Planner-worker backends for the overlap pipeline.
+
+A backend turns ``(iteration index, batch)`` into a :class:`PlanTicket`
+whose :meth:`~PlanTicket.result` eventually yields ``(plan, start,
+end)`` — the plan plus the wall-clock interval the planner actually
+spent on it (``time.perf_counter`` stamps; on Linux the monotonic clock
+is shared across processes, so process-worker stamps compose with the
+parent's).  Three implementations:
+
+* :class:`ThreadPlannerBackend` — planner workers on a thread pool in
+  this process.  The planner releases the GIL inside numpy, so real
+  overlap with (simulated) execution is achieved in practice; this is
+  the default.
+* :class:`ProcessPlannerBackend` — planner workers in separate
+  processes, the paper's "parallelized with more than 10 CPU cores"
+  configuration.  The planner and batches must pickle (they do), and
+  every plan pays one pickle round-trip back to the parent.
+* :class:`KVPlannerBackend` — planning through a
+  :class:`~repro.core.pool.PlannerPool`: jobs fan out round-robin
+  across (simulated) machines and plans return via the KV store,
+  the paper's full §6.1 distribution path.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Tuple
+
+__all__ = [
+    "PlanTicket",
+    "ThreadPlannerBackend",
+    "ProcessPlannerBackend",
+    "KVPlannerBackend",
+    "make_backend",
+]
+
+
+class PlanTicket:
+    """Handle for one in-flight planning job."""
+
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    def ready(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> Tuple:
+        """Block for ``(plan, plan_start, plan_end)``."""
+        return self._future.result(timeout=timeout)
+
+
+class CompletedTicket(PlanTicket):
+    """An already-available plan (cache hit): zero planning time."""
+
+    def __init__(self, plan, stamp: float) -> None:
+        self._payload = (plan, stamp, stamp)
+
+    def ready(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Tuple:
+        return self._payload
+
+
+def _timed_plan(planner, batch) -> Tuple:
+    start = time.perf_counter()
+    plan = planner.plan_batch(batch)
+    return plan, start, time.perf_counter()
+
+
+class ThreadPlannerBackend:
+    """Planner workers on an in-process thread pool."""
+
+    name = "thread"
+
+    def __init__(self, planner, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one planner worker")
+        self.planner = planner
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="dcp-plan"
+        )
+
+    def submit(self, index: int, batch) -> PlanTicket:
+        return PlanTicket(self._pool.submit(_timed_plan, self.planner, batch))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ProcessPlannerBackend:
+    """Planner workers in separate processes (no GIL sharing at all).
+
+    The planner object is pickled with every job — megabytes below any
+    plan, and dwarfed by the planning time it buys back.
+    """
+
+    name = "process"
+
+    def __init__(self, planner, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one planner worker")
+        self.planner = planner
+        self.max_workers = max_workers
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def submit(self, index: int, batch) -> PlanTicket:
+        return PlanTicket(self._pool.submit(_timed_plan, self.planner, batch))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class KVPlannerBackend:
+    """Planning via a :class:`~repro.core.pool.PlannerPool` + KV store.
+
+    The pool publishes each plan under ``plan/<iteration>``;
+    :meth:`PlanTicket.result` re-reads it from the store so the yielded
+    plan is the genuine round-tripped article every device would see.
+    """
+
+    name = "kv"
+
+    def __init__(self, pool, own_pool: bool = False) -> None:
+        self.pool = pool
+        self.own_pool = own_pool
+
+    def submit(self, index: int, batch) -> PlanTicket:
+        pool = self.pool
+        inner = pool.submit(index, batch)
+        wrapper: Future = Future()
+
+        def _relay(done: Future) -> None:
+            try:
+                done.result()
+                plan = pool.fetch(index)
+                start, end = pool.plan_interval(index)
+                wrapper.set_result((plan, start, end))
+            except BaseException as exc:  # pragma: no cover - defensive
+                wrapper.set_exception(exc)
+
+        inner.add_done_callback(_relay)
+        return PlanTicket(wrapper)
+
+    def close(self) -> None:
+        if self.own_pool:
+            self.pool.shutdown()
+
+
+def make_backend(backend, planner, max_workers: int = 2):
+    """Resolve a backend spec: a name, a backend object, or ``None``."""
+    if backend is None or not isinstance(backend, str):
+        return backend
+    if backend == "thread":
+        return ThreadPlannerBackend(planner, max_workers=max_workers)
+    if backend == "process":
+        return ProcessPlannerBackend(planner, max_workers=max_workers)
+    raise ValueError(
+        f"unknown backend {backend!r}; use 'thread', 'process', or a "
+        "backend object (e.g. KVPlannerBackend)"
+    )

@@ -1,0 +1,424 @@
+"""Background planning pipeline that hides planner latency (§6.1).
+
+:class:`OverlapPipeline` is the measured counterpart of
+:func:`repro.core.pool.simulate_planning_overlap`: instead of replaying
+an analytic model, it actually plans batch ``i + kappa`` on background
+planner workers while batch ``i`` executes, and records what fraction
+of planning time was genuinely hidden behind execution.
+
+Mechanics
+---------
+A bounded prefetch window of ``lookahead + 1`` planning jobs runs ahead
+of the consumer.  Each iteration the pipeline
+
+1. notes when the consumer comes back for the next batch (everything
+   since the previous yield was *execution* time),
+2. blocks on the head job — any wait here is *exposed* planning (a
+   stall, exactly what §6.1's design must avoid),
+3. refills the window and yields ``(local_data, plan)``.
+
+Before any job is dispatched to a worker, the (thread-safe)
+:class:`~repro.core.cache.PlanCache` is consulted: a hit bypasses the
+worker entirely, and identical in-flight signatures are de-duplicated
+onto one job.  With ``lookahead=0`` no workers run and every plan is
+computed synchronously at request time — the unoverlapped baseline.
+
+Every yielded plan carries ``plan.meta["overlap"]`` (the iteration's
+measured record plus running stats) and :meth:`OverlapPipeline.stats`
+returns the aggregate :class:`OverlapStats`; the per-iteration timeline
+is exposed as a :class:`~repro.core.pool.PlanningTimeline`, the same
+shape the analytic model produces, so measurement and model plot on one
+axis.
+
+Cached plans are shared objects: when the same plan is yielded for
+several iterations (cache hits, deduplicated signatures), its
+``meta["overlap"]`` reflects the *latest* of those iterations — the
+same latest-wins convention ``meta["plan_cache"]`` already follows.
+The authoritative per-iteration history is
+:attr:`OverlapPipeline.records` / :meth:`OverlapPipeline.stats`, which
+record every iteration regardless of plan identity.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.cache import PlanCache, batch_signature
+from ..core.dataloader import LocalData, _local_data
+from ..core.pool import PlanningTimeline
+from .backends import CompletedTicket, PlanTicket, make_backend
+
+__all__ = ["OverlapPipeline", "OverlapStats", "IterationRecord",
+           "plan_fingerprint"]
+
+#: Waits shorter than this (seconds) are queue bookkeeping, not stalls.
+STALL_EPS = 1e-4
+
+
+@dataclass
+class IterationRecord:
+    """Measured timeline of one pipeline iteration (seconds from start)."""
+
+    index: int
+    submit: float
+    plan_start: float
+    plan_end: float
+    exec_start: float
+    exec_end: float
+    stall: float
+    queue_depth: int
+    cache_hit: bool
+
+    @property
+    def plan_s(self) -> float:
+        return self.plan_end - self.plan_start
+
+    @property
+    def exec_s(self) -> float:
+        return self.exec_end - self.exec_start
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "plan_s": self.plan_s,
+            "exec_s": self.exec_s,
+            "stall_s": self.stall,
+            "queue_depth": self.queue_depth,
+            "cache_hit": self.cache_hit,
+        }
+
+
+@dataclass
+class OverlapStats:
+    """Aggregate measurement of one pipeline run.
+
+    ``hidden_fraction`` is the §6.1 headline: the share of total
+    planner-worker time that execution absorbed (1.0 = planning fully
+    hidden).  The ``steady_*`` variants skip the first iteration, which
+    always waits for its own plan from a cold pipeline — the paper's
+    claim is about steady state.
+    """
+
+    iterations: int = 0
+    total_plan_s: float = 0.0
+    total_exec_s: float = 0.0
+    total_stall_s: float = 0.0
+    stall_count: int = 0
+    steady_plan_s: float = 0.0
+    steady_stall_s: float = 0.0
+    steady_stall_count: int = 0
+    queue_depth_mean: float = 0.0
+    queue_depth_max: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+    plan_cache: Optional[dict] = None
+    records: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def hidden_fraction(self) -> float:
+        if self.total_plan_s <= 0.0:
+            return 1.0
+        return max(1.0 - self.total_stall_s / self.total_plan_s, 0.0)
+
+    @property
+    def steady_hidden_fraction(self) -> float:
+        if self.steady_plan_s <= 0.0:
+            return 1.0
+        return max(1.0 - self.steady_stall_s / self.steady_plan_s, 0.0)
+
+    def timeline(self) -> PlanningTimeline:
+        """The measured run in the analytic model's own terms."""
+        return PlanningTimeline(
+            exec_start=[r.exec_start for r in self.records],
+            exec_end=[r.exec_end for r in self.records],
+            plan_start=[r.plan_start for r in self.records],
+            plan_end=[r.plan_end for r in self.records],
+            stalls=[r.stall for r in self.records],
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "total_plan_s": self.total_plan_s,
+            "total_exec_s": self.total_exec_s,
+            "total_stall_s": self.total_stall_s,
+            "stall_count": self.stall_count,
+            "hidden_fraction": self.hidden_fraction,
+            "steady_hidden_fraction": self.steady_hidden_fraction,
+            "steady_stall_count": self.steady_stall_count,
+            "queue_depth_mean": self.queue_depth_mean,
+            "queue_depth_max": self.queue_depth_max,
+            "cache_hits": self.cache_hits,
+            "wall_s": self.wall_s,
+            "plan_cache": self.plan_cache,
+        }
+
+
+@dataclass
+class _Pending:
+    """One batch in the prefetch window."""
+
+    index: int
+    batch: object
+    ticket: Optional[PlanTicket]  # None => plan synchronously on demand
+    submit: float
+    signature: Optional[Tuple]
+    cache_hit: bool
+    #: Joined onto an identical in-flight job (no worker dispatched);
+    #: its planning time is attributed to the originating iteration.
+    joined: bool = False
+
+
+class OverlapPipeline:
+    """Iterate ``(local_data, plan)`` with background look-ahead planning.
+
+    Parameters
+    ----------
+    batches:
+        Iterable of :class:`~repro.blocks.BatchSpec`.
+    planner:
+        Any object with ``plan_batch(batch) -> ExecutionPlan``.
+    lookahead:
+        The paper's ``kappa``: planning jobs kept in flight beyond the
+        executing batch.  0 disables the workers and plans
+        synchronously; values larger than the batch count simply leave
+        the window partially filled.
+    max_workers:
+        Planner parallelism of the ``"thread"``/``"process"`` backends.
+    backend:
+        ``"thread"`` (default), ``"process"``, or a backend object such
+        as :class:`~repro.pipeline.backends.KVPlannerBackend`.
+    cache:
+        Optional :class:`~repro.core.cache.PlanCache` consulted before
+        any worker is dispatched; planned misses are inserted back.
+        The cache's planner is ignored — supply the same planner here.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable,
+        planner,
+        *,
+        lookahead: int = 2,
+        max_workers: int = 2,
+        backend="thread",
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        if lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        self.planner = planner
+        self.lookahead = lookahead
+        self.cache = cache
+        self._batches = iter(batches)
+        self._backend = (
+            make_backend(backend, planner, max_workers=max_workers)
+            if lookahead > 0
+            else None
+        )
+        self._pending: Deque[_Pending] = deque()
+        self._inflight: Dict[Tuple, PlanTicket] = {}
+        self._exhausted = False
+        self._started = False
+        self._closed = False
+        self._origin: Optional[float] = None
+        self.records: List[IterationRecord] = []
+        self._wall_s = 0.0
+
+    # -- submission --------------------------------------------------------
+
+    def _submit(self, index: int, batch) -> _Pending:
+        now = self._now()
+        signature = None
+        if self.cache is not None:
+            signature = batch_signature(batch)
+            cached = self.cache.get(signature)
+            if cached is not None:
+                # Tickets carry absolute perf_counter stamps (workers
+                # can't see the pipeline origin); _resolve rebases them.
+                return _Pending(
+                    index, batch, CompletedTicket(cached, time.perf_counter()),
+                    now, signature, True,
+                )
+            ticket = self._inflight.get(signature)
+            if ticket is not None:
+                return _Pending(
+                    index, batch, ticket, now, signature, False, joined=True
+                )
+        if self._backend is None:
+            return _Pending(index, batch, None, now, signature, False)
+        ticket = self._backend.submit(index, batch)
+        if signature is not None:
+            self._inflight[signature] = ticket
+        return _Pending(index, batch, ticket, now, signature, False)
+
+    def _refill(self) -> None:
+        window = self.lookahead + 1
+        while not self._exhausted and len(self._pending) < window:
+            try:
+                batch = next(self._batches)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self._pending.append(self._submit(self._next_index, batch))
+            self._next_index += 1
+
+    def _resolve(self, item: _Pending) -> Tuple:
+        """Block for the item's plan; returns (plan, start, end) rel. s."""
+        if item.ticket is None:  # synchronous path (lookahead == 0)
+            start = self._now()
+            plan = self.planner.plan_batch(item.batch)
+            end = self._now()
+        else:
+            plan, start, end = item.ticket.result()
+            start -= self._origin
+            end -= self._origin
+            if item.joined:
+                # The worker interval already belongs to the iteration
+                # that dispatched the job; this one got the plan free.
+                start = end
+        if item.signature is not None and not item.cache_hit:
+            self.cache.put(item.signature, plan)
+            self._inflight.pop(item.signature, None)
+        return plan, start, end
+
+    # -- iteration ---------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
+        if self._started:
+            return iter(())  # single-use, like any dataloader iterator
+        self._started = True
+        return self._run()
+
+    def _run(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
+        self._origin = time.perf_counter()
+        self._next_index = 0
+        previous: Optional[IterationRecord] = None
+        try:
+            self._refill()
+            while self._pending:
+                item = self._pending.popleft()
+                requested = self._now()
+                if previous is not None:
+                    previous.exec_end = requested
+                depth = (1 if item.ticket is not None and item.ticket.ready()
+                         else 0)
+                depth += sum(
+                    1
+                    for p in self._pending
+                    if p.ticket is not None and p.ticket.ready()
+                )
+                plan, plan_start, plan_end = self._resolve(item)
+                ready = self._now()
+                record = IterationRecord(
+                    index=item.index,
+                    submit=item.submit,
+                    plan_start=plan_start,
+                    plan_end=plan_end,
+                    exec_start=ready,
+                    exec_end=ready,
+                    stall=max(ready - requested, 0.0),
+                    queue_depth=depth,
+                    cache_hit=item.cache_hit,
+                )
+                self.records.append(record)
+                previous = record
+                self._refill()
+                plan.meta["overlap"] = self._meta(record)
+                yield _local_data(plan), plan
+        finally:
+            end = self._now()
+            if previous is not None and previous.exec_end <= previous.exec_start:
+                previous.exec_end = end
+            self._wall_s = end
+            self.close()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _meta(self, record: IterationRecord) -> dict:
+        summary = self.stats().as_dict()
+        summary.pop("plan_cache", None)
+        return {**record.as_dict(), "running": summary}
+
+    def stats(self) -> OverlapStats:
+        """Aggregate :class:`OverlapStats` over the iterations so far.
+
+        The returned object is a snapshot: records are copied, so a
+        stats object captured mid-run keeps its values when later
+        iterations update the live records (the trailing record's
+        ``exec_end`` is finalized by the *next* request).
+        """
+        records = [replace(record) for record in self.records]
+        stats = OverlapStats(records=records)
+        stats.iterations = len(records)
+        depths = []
+        for record in records:
+            stats.total_plan_s += record.plan_s
+            stats.total_exec_s += record.exec_s
+            stats.total_stall_s += record.stall
+            stalled = record.stall > STALL_EPS
+            stats.stall_count += int(stalled)
+            if record is not records[0]:
+                stats.steady_plan_s += record.plan_s
+                stats.steady_stall_s += record.stall
+                stats.steady_stall_count += int(stalled)
+            stats.cache_hits += int(record.cache_hit)
+            depths.append(record.queue_depth)
+        if depths:
+            stats.queue_depth_mean = sum(depths) / len(depths)
+            stats.queue_depth_max = max(depths)
+        stats.wall_s = self._wall_s or (
+            self._now() if self._origin is not None else 0.0
+        )
+        if self.cache is not None:
+            stats.plan_cache = self.cache.stats()
+        return stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "OverlapPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def plan_fingerprint(plan) -> bytes:
+    """Byte identity of a plan's executable content.
+
+    Pickles everything the executor consumes — per-device instruction
+    streams, buffer sizes, slot maps and local slices — and nothing
+    incidental (``plan.meta`` holds wall-clock stats that differ run to
+    run).  Two plans with equal fingerprints execute identically; the
+    determinism tests use this to prove the pipeline yields exactly the
+    synchronous planner's plans.
+    """
+    import pickle
+
+    payload = [
+        (
+            device,
+            dp.instructions,
+            sorted(dp.buffer_sizes.items()),
+            dp.local_slices,
+            sorted(dp.o_slots.items()),
+            sorted(dp.q_slots.items()),
+            sorted(dp.kv_slots.items()),
+            sorted(dp.acc_slots.items()),
+            sorted(dp.do_slots.items()),
+            sorted(dp.dq_slots.items()),
+            sorted(dp.dkv_slots.items()),
+        )
+        for device, dp in sorted(plan.device_plans.items())
+    ]
+    return pickle.dumps(payload, protocol=4)

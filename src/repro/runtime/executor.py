@@ -15,6 +15,7 @@ and serialization — and powers the paper's loss-curve experiment
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -293,15 +294,21 @@ class SimExecutor:
                     inputs.v[seq_index][head_group, span],
                 )
 
-    def run(self, max_cycles: int = 1_000_000) -> None:
-        """Run all devices to completion; raise on deadlock."""
+    def run(self, max_cycles: int = 1_000_000) -> float:
+        """Run all devices to completion; raise on deadlock.
+
+        Returns the measured wall-clock seconds the execution took, so
+        the overlap pipeline (:mod:`repro.pipeline`) can put measured
+        execution time on the same axis as measured planning time.
+        """
+        start = time.perf_counter()
         runners = [
             _DeviceRunner(device_plan, self)
             for _, device_plan in sorted(self.plan.device_plans.items())
         ]
         for _ in range(max_cycles):
             if all(runner.done for runner in runners):
-                return
+                return time.perf_counter() - start
             progressed = False
             for runner in runners:
                 if not runner.done and runner.step():

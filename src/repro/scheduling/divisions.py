@@ -64,6 +64,59 @@ class Schedule:
         return self.device_schedules[device]
 
 
+class _BlockPool:
+    """Insertion-ordered block set with O(1) removal.
+
+    Replaces the ``list.remove`` scans the scheduler used to run per
+    scheduled block (O(n²) across a device's stream): membership is an
+    ``id()``-keyed index map, removal flips a liveness flag, and
+    iteration walks the original order skipping dead entries — so a
+    full greedy fill is O(blocks) per scan instead of O(blocks²).
+    """
+
+    def __init__(self, blocks: List[CompBlock]) -> None:
+        self._blocks = list(blocks)
+        self._slot = {id(block): i for i, block in enumerate(self._blocks)}
+        self._live = [True] * len(self._blocks)
+        self._count = len(self._blocks)
+
+    def _compact(self) -> None:
+        """Drop dead slots once they outnumber live ones.
+
+        Amortized O(1) per removal; keeps every scan O(live blocks)
+        rather than O(original blocks).  Callers snapshot the pool
+        (``list(pool)``) before removing during iteration, so
+        compacting inside :meth:`remove` is safe.
+        """
+        self._blocks = [
+            block for block, live in zip(self._blocks, self._live) if live
+        ]
+        self._slot = {id(block): i for i, block in enumerate(self._blocks)}
+        self._live = [True] * len(self._blocks)
+
+    def remove(self, block: CompBlock) -> None:
+        slot = self._slot.get(id(block))
+        if slot is None or not self._live[slot]:
+            raise ValueError("block already scheduled")
+        self._live[slot] = False
+        self._count -= 1
+        if self._count * 2 < len(self._blocks):
+            self._compact()
+
+    def __iter__(self):
+        return (
+            block
+            for block, live in zip(self._blocks, self._live)
+            if live
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+
 class _DeviceState:
     """Mutable bookkeeping while Listing 3 runs for one device."""
 
@@ -76,7 +129,7 @@ class _DeviceState:
         num_divisions: int,
     ) -> None:
         self.device = device
-        self.remaining: List[CompBlock] = list(blocks)
+        self.remaining = _BlockPool(blocks)
         self.home_of = home_of
         self.block_bytes = block_bytes
         self.fetched: Set[DataBlockId] = set()

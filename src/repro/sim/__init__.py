@@ -4,10 +4,16 @@ from .cluster import ClusterSpec, E2E_CLUSTER, MICRO_BENCH_CLUSTER
 from .memory import MemoryReport, plan_memory
 from .modelcost import E2EResult, GPT_8B, ModelSpec, e2e_iteration_time
 from .timing import DeviceTiming, TimingResult, simulate_plan
-from .trace import ascii_gantt, to_chrome_trace, write_chrome_trace
+from .trace import (
+    ascii_gantt,
+    overlap_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "ascii_gantt",
+    "overlap_chrome_trace",
     "to_chrome_trace",
     "write_chrome_trace",
     "ClusterSpec",

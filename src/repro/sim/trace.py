@@ -11,6 +11,15 @@ and peers, stalls).  This module renders that stream two ways:
 * **ASCII Gantt chart** (:func:`ascii_gantt`) — a terminal rendering
   where overlap between computation and communication (the quantity
   Fig. 22 decomposes) is directly visible.
+
+It also renders the *planning* pipeline:
+:func:`overlap_chrome_trace` turns a
+:class:`~repro.core.pool.PlanningTimeline` — analytic
+(:func:`~repro.core.pool.simulate_planning_overlap`) or measured
+(:meth:`repro.pipeline.OverlapStats.timeline`) — into the same trace
+format, one lane for execution and one for planning, with stalls
+called out, so the §6.1 overlap claim is inspectable in Perfetto next
+to the execution traces.
 """
 
 from __future__ import annotations
@@ -20,7 +29,12 @@ from typing import Dict, List, Optional
 
 from .timing import TimingResult
 
-__all__ = ["to_chrome_trace", "write_chrome_trace", "ascii_gantt"]
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "ascii_gantt",
+    "overlap_chrome_trace",
+]
 
 _LANES = ("compute", "comm", "stall")
 _LANE_CHAR = {"compute": "#", "comm": "=", "stall": "-"}
@@ -74,6 +88,61 @@ def write_chrome_trace(result: TimingResult, path: str,
     """Write the Chrome trace of ``result`` to ``path`` (JSON)."""
     with open(path, "w") as handle:
         json.dump(to_chrome_trace(result, time_scale=time_scale), handle)
+
+
+def overlap_chrome_trace(timeline, time_scale: float = 1e6) -> Dict:
+    """Chrome trace of a planning/execution overlap timeline.
+
+    ``timeline`` is any object with ``exec_start``/``exec_end``/
+    ``plan_start``/``plan_end``/``stalls`` per-iteration lists (the
+    :class:`~repro.core.pool.PlanningTimeline` shape).  Lane 0 holds
+    execution slices, lane 1 planning slices, lane 2 the stalls —
+    exposed planning the pipeline failed to hide.
+    """
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": "planning pipeline"},
+        }
+    ]
+    lanes = ("execution", "planning", "stall")
+    for tid, lane in enumerate(lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+
+    def slice_event(name, tid, start, end):
+        events.append(
+            {
+                "name": name,
+                "cat": lanes[tid],
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": start * time_scale,
+                "dur": max(end - start, 0.0) * time_scale,
+            }
+        )
+
+    iterations = len(timeline.exec_start)
+    for i in range(iterations):
+        slice_event(f"exec {i}", 0, timeline.exec_start[i], timeline.exec_end[i])
+        slice_event(f"plan {i}", 1, timeline.plan_start[i], timeline.plan_end[i])
+        stall = timeline.stalls[i]
+        if stall > 0.0:
+            slice_event(
+                f"stall {i}", 2, timeline.exec_start[i] - stall,
+                timeline.exec_start[i],
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def _paint(

@@ -1,0 +1,318 @@
+"""Tests for the overlap pipeline (repro.pipeline, §6.1 measured)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    make_mask,
+)
+from repro.core import DCPDataloader, KVStore, PlanCache, PlannerPool
+from repro.pipeline import (
+    KVPlannerBackend,
+    OverlapPipeline,
+    PipelineRunner,
+    cost_model_executor,
+    plan_fingerprint,
+)
+from repro.sim import overlap_chrome_trace
+
+
+def make_planner(devices=2, block_size=16):
+    cluster = ClusterSpec(num_machines=1, devices_per_machine=devices)
+    attention = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+    return DCPPlanner(
+        cluster, attention, DCPConfig(block_size=block_size, restarts=1)
+    )
+
+
+def make_batches(count=4, base=48):
+    mask = make_mask("causal")
+    return [
+        BatchSpec.build([base + 16 * (i % 3), 32], mask) for i in range(count)
+    ]
+
+
+class SlowPlanner:
+    """Planner wrapper injecting a fixed delay per plan."""
+
+    def __init__(self, planner, delay):
+        self.planner = planner
+        self.delay = delay
+        self.calls = 0
+
+    def plan_batch(self, batch):
+        self.calls += 1
+        time.sleep(self.delay)
+        return self.planner.plan_batch(batch)
+
+
+class TestDeterminism:
+    def test_pipeline_plans_byte_identical_to_synchronous(self):
+        """Same batch_signature => same plan: the pipeline's background
+        workers yield exactly what the synchronous path computes."""
+        planner = make_planner()
+        batches = make_batches(5)
+        synchronous = [planner.plan_batch(batch) for batch in batches]
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=2, max_workers=2
+        )
+        overlapped = [plan for _, plan in pipeline]
+        assert len(overlapped) == len(synchronous)
+        for fast, slow in zip(overlapped, synchronous):
+            assert plan_fingerprint(fast) == plan_fingerprint(slow)
+
+    def test_dataloader_wrapper_matches_pipeline(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        loader_plans = [plan for _, plan in DCPDataloader(batches, planner)]
+        direct = [planner.plan_batch(batch) for batch in batches]
+        for a, b in zip(loader_plans, direct):
+            assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_process_backend_plans_byte_identical(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=2, max_workers=2, backend="process"
+        )
+        plans = [plan for _, plan in pipeline]
+        for plan, batch in zip(plans, batches):
+            assert plan_fingerprint(plan) == plan_fingerprint(
+                planner.plan_batch(batch)
+            )
+
+    def test_kv_backend_round_trips_identical_plans(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        with PlannerPool(planner, KVStore(), num_machines=2) as pool:
+            pipeline = OverlapPipeline(
+                batches, planner, lookahead=1,
+                backend=KVPlannerBackend(pool),
+            )
+            plans = [plan for _, plan in pipeline]
+        for plan, batch in zip(plans, batches):
+            assert plan_fingerprint(plan) == plan_fingerprint(
+                planner.plan_batch(batch)
+            )
+
+    def test_fingerprint_distinguishes_different_batches(self):
+        planner = make_planner()
+        mask = make_mask("causal")
+        a = planner.plan_batch(BatchSpec.build([48, 32], mask))
+        b = planner.plan_batch(BatchSpec.build([64, 32], mask))
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+
+class TestLookaheadEdgeCases:
+    def test_zero_lookahead_is_synchronous(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        pipeline = OverlapPipeline(batches, planner, lookahead=0)
+        plans = [plan for _, plan in pipeline]
+        stats = pipeline.stats()
+        assert len(plans) == 3
+        # Every iteration waits out its own full planning time.
+        assert stats.stall_count == 3
+        assert stats.hidden_fraction < 0.2
+        assert stats.total_stall_s >= stats.total_plan_s * 0.8
+
+    def test_lookahead_beyond_stream_length(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        pipeline = OverlapPipeline(batches, planner, lookahead=16)
+        plans = [plan for _, plan in pipeline]
+        assert len(plans) == 3
+        assert [r.index for r in pipeline.stats().records] == [0, 1, 2]
+
+    def test_empty_batch_stream(self):
+        pipeline = OverlapPipeline([], make_planner(), lookahead=2)
+        assert list(pipeline) == []
+        assert pipeline.stats().iterations == 0
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            OverlapPipeline([], make_planner(), lookahead=-1)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            OverlapPipeline([], make_planner(), lookahead=1, backend="gpu")
+
+    def test_iterator_is_single_use(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(2), planner, lookahead=1)
+        assert len(list(pipeline)) == 2
+        assert list(pipeline) == []
+        assert pipeline.stats().iterations == 2
+
+
+class TestOverlapMeasurement:
+    def test_slow_planner_exposes_stalls(self):
+        """A planner slower than execution cannot hide: stalls appear in
+        steady state and the hidden fraction drops below 1."""
+        planner = SlowPlanner(make_planner(), delay=0.08)
+        batches = make_batches(4)
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=1, max_workers=1
+        )
+        for _, _plan in pipeline:
+            pass  # executes instantly: nothing to hide behind
+        stats = pipeline.stats()
+        assert stats.stall_count >= 3
+        assert stats.steady_stall_count >= 2
+        assert stats.hidden_fraction < 0.9
+        assert stats.total_stall_s > 0.0
+
+    def test_slow_execution_hides_planning(self):
+        planner = SlowPlanner(make_planner(), delay=0.02)
+        batches = make_batches(5)
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=2, max_workers=2
+        )
+        for _, _plan in pipeline:
+            time.sleep(0.1)  # execution dominates: planning hides
+        stats = pipeline.stats()
+        assert stats.steady_stall_count == 0
+        assert stats.steady_hidden_fraction > 0.5
+        assert stats.timeline().planning_hidden(tolerance=1e-3)
+
+    def test_meta_carries_overlap_record(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(2), planner, lookahead=1)
+        plans = [plan for _, plan in pipeline]
+        for i, plan in enumerate(plans):
+            overlap = plan.meta["overlap"]
+            assert overlap["index"] == i
+            assert overlap["plan_s"] >= 0.0
+            assert "running" in overlap
+            assert 0.0 <= overlap["running"]["hidden_fraction"] <= 1.0
+
+    def test_timeline_matches_analytic_shape(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(3), planner, lookahead=1)
+        for _, _plan in pipeline:
+            time.sleep(0.01)
+        timeline = pipeline.stats().timeline()
+        assert len(timeline.exec_start) == 3
+        for i in range(1, 3):
+            assert timeline.exec_start[i] >= timeline.exec_end[i - 1] - 1e-9
+            assert timeline.plan_end[i] <= timeline.exec_start[i] + 1e-9
+        trace = overlap_chrome_trace(timeline)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) >= 6  # 3 exec + 3 plan
+
+    def test_queue_depth_reported(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(4), planner, lookahead=3)
+        for _, _plan in pipeline:
+            time.sleep(0.05)
+        stats = pipeline.stats()
+        assert stats.queue_depth_max >= 1
+        assert stats.queue_depth_mean > 0.0
+
+
+class TestCacheIntegration:
+    def test_cache_consulted_before_dispatch(self):
+        planner = SlowPlanner(make_planner(), delay=0.0)
+        cache = PlanCache(planner, capacity=8)
+        mask = make_mask("causal")
+        batches = [BatchSpec.build([48, 32], mask) for _ in range(3)]
+        warm = OverlapPipeline(
+            [batches[0]], planner, lookahead=1, cache=cache
+        )
+        list(warm)
+        assert planner.calls == 1
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=2, cache=cache
+        )
+        plans = [plan for _, plan in pipeline]
+        stats = pipeline.stats()
+        assert planner.calls == 1  # every batch served from the cache
+        assert stats.cache_hits == 3
+        assert stats.total_plan_s == 0.0
+        assert stats.plan_cache["hits"] == 3
+        assert all(p is plans[0] for p in plans)
+
+    def test_inflight_duplicates_deduplicated(self):
+        planner = SlowPlanner(make_planner(), delay=0.02)
+        cache = PlanCache(planner, capacity=8)
+        mask = make_mask("causal")
+        batches = [BatchSpec.build([48, 32], mask) for _ in range(4)]
+        pipeline = OverlapPipeline(
+            batches, planner, lookahead=3, max_workers=2, cache=cache
+        )
+        plans = [plan for _, plan in pipeline]
+        # All four batches share one signature: one planner call total.
+        assert planner.calls == 1
+        assert len({id(p) for p in plans}) == 1
+
+    def test_cache_stats_land_in_stats(self):
+        planner = make_planner()
+        cache = PlanCache(planner, capacity=4)
+        pipeline = OverlapPipeline(
+            make_batches(3), planner, lookahead=1, cache=cache
+        )
+        list(pipeline)
+        stats = pipeline.stats()
+        assert stats.plan_cache is not None
+        assert stats.plan_cache["misses"] >= 1
+
+
+class TestPipelineRunner:
+    def test_sim_executor_outputs_correct(self):
+        """The runner executes pipeline plans on SimExecutor; numerics
+        must match the reference implementation."""
+        from repro.runtime import BatchInputs, SimExecutor
+        from repro.runtime import reference_batch_outputs
+
+        planner = make_planner()
+        batches = make_batches(2)
+        pipeline = OverlapPipeline(batches, planner, lookahead=1)
+        outputs = []
+
+        def execute(local_data, plan):
+            executor = SimExecutor(plan)
+            inputs = BatchInputs.random(plan.block_set, seed=1)
+            executor.load_inputs(inputs)
+            elapsed = executor.run()
+            assert elapsed > 0.0
+            for out, ref in zip(
+                executor.gather_outputs(),
+                reference_batch_outputs(plan.block_set, inputs),
+            ):
+                np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+            outputs.append(True)
+            return {"elapsed": elapsed}
+
+        report = PipelineRunner(pipeline, execute=execute).run()
+        assert len(report.executions) == 2
+        assert len(outputs) == 2
+        assert report.stats.total_exec_s > 0.0
+        assert len(report.timeline.exec_start) == 2
+
+    def test_default_executor_runs(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(2), planner, lookahead=1)
+        report = PipelineRunner(pipeline).run()
+        assert len(report.executions) == 2
+        assert all(e["executor_wall_s"] > 0 for e in report.executions)
+
+    def test_cost_model_executor_occupies_time(self):
+        planner = make_planner()
+        pipeline = OverlapPipeline(make_batches(2), planner, lookahead=1)
+        execute = cost_model_executor(time_scale=0.01)
+        report = PipelineRunner(pipeline, execute=execute).run()
+        assert len(report.executions) == 2
+        for info in report.executions:
+            assert info["simulated_iteration_s"] > 0.0
+            assert info["executed_wall_s"] > 0.0
+
+    def test_cost_model_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            cost_model_executor(time_scale=-1.0)

@@ -97,3 +97,68 @@ class TestPlanCache:
         for out, ref in zip(executor.gather_outputs(),
                             reference_batch_outputs(plan.block_set, inputs)):
             np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+
+
+class TestThreadSafety:
+    """PlanCache is shared by the overlap pipeline's planner workers."""
+
+    def test_concurrent_mixed_access(self):
+        import threading
+
+        cache = make_cache(capacity=4)
+        batches = [batch([16 * (1 + i)]) for i in range(6)]
+        errors = []
+        lookups_per_thread = 30
+
+        def worker(seed):
+            try:
+                for i in range(lookups_per_thread):
+                    plan = cache.plan_batch(batches[(seed + i) % len(batches)])
+                    assert plan.num_devices == 2
+                    if i % 7 == 0:
+                        cache.stats()
+                        len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * lookups_per_thread
+        assert len(cache) <= cache.capacity
+
+    def test_concurrent_get_put_consistency(self):
+        import threading
+
+        from repro.core import batch_signature
+
+        cache = make_cache(capacity=16)
+        spec = batch([48, 32])
+        key = batch_signature(spec)
+        plan = cache.plan_batch(spec)
+        seen = []
+
+        def reader():
+            for _ in range(200):
+                got = cache.get(key)
+                if got is not None:
+                    seen.append(got)
+
+        def writer():
+            for _ in range(200):
+                cache.put(key, plan)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)] + [
+            threading.Thread(target=writer) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen and all(got is plan for got in seen)

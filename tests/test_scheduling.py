@@ -192,3 +192,37 @@ class TestSerialization:
         _, _, schedule = planned(num_divisions=3)
         plan = serialize_schedule(schedule)
         assert plan.meta["num_divisions"] == 3
+
+
+class TestBlockPool:
+    """O(1)-removal block pool backing the division scheduler."""
+
+    def _pool(self, n=5):
+        from repro.scheduling.divisions import _BlockPool
+
+        block_set, _, _ = planned()
+        blocks = list(block_set.comp_blocks)[:n]
+        return _BlockPool(blocks), blocks
+
+    def test_iteration_preserves_order(self):
+        pool, blocks = self._pool()
+        assert list(pool) == blocks
+
+    def test_removal_is_permanent_and_order_stable(self):
+        pool, blocks = self._pool()
+        pool.remove(blocks[2])
+        pool.remove(blocks[0])
+        assert list(pool) == [blocks[1], blocks[3], blocks[4]]
+        assert len(pool) == 3 and bool(pool)
+
+    def test_double_remove_rejected(self):
+        pool, blocks = self._pool()
+        pool.remove(blocks[1])
+        with pytest.raises(ValueError):
+            pool.remove(blocks[1])
+
+    def test_drains_to_empty(self):
+        pool, blocks = self._pool()
+        for block in blocks:
+            pool.remove(block)
+        assert not pool and list(pool) == []
