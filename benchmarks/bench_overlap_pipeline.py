@@ -13,16 +13,29 @@ Each cell also replays the measured per-iteration plan/exec times
 through the analytic model (:func:`simulate_planning_overlap`) so the
 report shows measurement and model side by side.
 
+``--streaming`` measures the online mode instead: the same Fig. 18
+sweep point planned over a *generator* feeding the pipeline as the
+packer emits (:class:`repro.pipeline.StreamingOverlapPipeline`), side
+by side with the fixed-stream cell so the report records hidden
+fraction *parity* between the two; plus a mid-stream device-removal
+cell (measured ``replans``) and a KV-backend pair comparing consumer
+wire bytes with monolithic vs per-device partial plan fetches.  The
+streaming report merges into ``BENCH_overlap.json`` under
+``"streaming"``.
+
 Writes ``BENCH_overlap.json`` at the repo root.  ``--smoke`` runs a
 small configuration and *gates*: it fails (exit 1) if the measured
 steady-state hidden fraction falls below the ``smoke_floor`` recorded
 in the tracked ``BENCH_overlap.json`` — the regression guard wired
-into ``benchmarks/run_tier1.sh``.
+into ``benchmarks/run_tier1.sh``.  ``--streaming --smoke`` gates the
+streaming cell on the same fixed-stream floor.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py           # full
-    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --smoke   # gate
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py              # full
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --smoke      # gate
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --streaming  # online
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --streaming --smoke
 """
 
 from __future__ import annotations
@@ -37,6 +50,9 @@ from typing import Dict, List, Optional, Sequence
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_overlap.json")
 SMOKE_OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_overlap.smoke.json")
+STREAMING_SMOKE_OUTPUT_PATH = os.path.join(
+    REPO_ROOT, "BENCH_overlap.streaming.smoke.json"
+)
 
 #: Steady-state hidden fraction the smoke configuration must clear.
 #: The smoke cell is provisioned so planning hides entirely in steady
@@ -211,6 +227,258 @@ def run_overlap_bench(
     }
 
 
+def _streaming_row(stats, kappa: int, workers: int, mode: str) -> Dict:
+    """Row shape shared by the fixed/streaming/replan cells."""
+    return {
+        "mode": mode,
+        "kappa": kappa,
+        "workers": workers,
+        "iterations": stats.iterations,
+        "hidden_fraction": round(stats.hidden_fraction, 4),
+        "steady_hidden_fraction": round(stats.steady_hidden_fraction, 4),
+        "stall_count": stats.stall_count,
+        "total_stall_s": round(stats.total_stall_s, 4),
+        "mean_plan_s": round(stats.total_plan_s / max(stats.iterations, 1), 4),
+        "mean_exec_s": round(stats.total_exec_s / max(stats.iterations, 1), 4),
+        "cache_hit_rate": round(
+            stats.plan_cache["hit_rate"] if stats.plan_cache else 0.0, 4
+        ),
+        "replans": stats.replans,
+        "cluster_events": stats.cluster_events,
+        "plan_retries": stats.plan_retries,
+        "wall_s": round(stats.wall_s, 3),
+    }
+
+
+def _measure_streaming_cell(
+    scale,
+    batches,
+    kappa: int,
+    workers: int,
+    time_scale: float,
+    mode: str = "streaming",
+    remove_machine_at: Optional[int] = None,
+) -> Dict:
+    """One streaming-pipeline run, fed by a generator (no upfront length).
+
+    ``mode="fixed"`` runs the same config through the fixed-list
+    pipeline for the parity comparison; ``remove_machine_at`` fires a
+    device-removal event after that iteration's execution (the replan
+    cell).
+    """
+    from repro.core import DCPPlanner, PlanCache
+    from repro.pipeline import (
+        OverlapPipeline,
+        PipelineRunner,
+        StreamingOverlapPipeline,
+        cost_model_executor,
+    )
+    from repro.sim import ClusterEventSource
+
+    planner = DCPPlanner(scale.cluster, scale.attention, scale.dcp_config())
+    cache = PlanCache(planner, capacity=64)
+    events = None
+    if mode == "fixed":
+        pipeline = OverlapPipeline(
+            list(batches), planner, lookahead=kappa, max_workers=workers,
+            backend="thread", cache=cache,
+        )
+    else:
+        if remove_machine_at is not None:
+            events = ClusterEventSource(scale.cluster)
+        pipeline = StreamingOverlapPipeline(
+            (batch for batch in batches),  # generator: the online path
+            planner, lookahead=kappa, max_workers=workers,
+            backend="thread", cache=cache, events=events,
+        )
+
+    def fire(index: int, _info: dict) -> None:
+        if events is not None and index == remove_machine_at:
+            events.remove_machines(1)
+
+    runner = PipelineRunner(
+        pipeline,
+        execute=cost_model_executor(time_scale=time_scale),
+        on_iteration=fire if remove_machine_at is not None else None,
+    )
+    stats = runner.run().stats
+    row = _streaming_row(stats, kappa, workers, mode)
+    if remove_machine_at is not None:
+        row["remove_machine_at"] = remove_machine_at
+    print(
+        f"mode={mode:<9} kappa={kappa} workers={workers} "
+        f"hidden={row['hidden_fraction']:.3f} "
+        f"steady={row['steady_hidden_fraction']:.3f} "
+        f"replans={row['replans']} wall={row['wall_s']:.1f}s"
+    )
+    return row
+
+
+def _measure_kv_consumer_bytes(
+    scale, batches, kappa: int, workers: int, time_scale: float,
+    partial: bool,
+) -> Dict:
+    """KV-backend cell: every device pulls its plan from the store.
+
+    With ``partial=False`` each device pulls the monolithic plan; with
+    ``partial=True`` only the shared skeleton plus its own instruction
+    stream — the per-device partial fetch whose wire-byte saving the
+    §6.1 accounting is after.
+    """
+    from repro.core import DCPPlanner, KVStore, PlannerPool
+    from repro.pipeline import (
+        KVPlannerBackend,
+        PipelineRunner,
+        StreamingOverlapPipeline,
+        cost_model_executor,
+    )
+
+    planner = DCPPlanner(scale.cluster, scale.attention, scale.dcp_config())
+    store = KVStore()
+    pool = PlannerPool(
+        planner, store, num_machines=2, cores_per_machine=workers,
+        partial_plans=partial,
+    )
+    backend = KVPlannerBackend(pool, own_pool=True, per_device_fetch=True)
+    pipeline = StreamingOverlapPipeline(
+        (batch for batch in batches), planner, lookahead=kappa,
+        backend=backend,
+    )
+    runner = PipelineRunner(
+        pipeline, execute=cost_model_executor(time_scale=time_scale)
+    )
+    stats = runner.run().stats
+    row = {
+        "mode": "kv_partial" if partial else "kv_full",
+        "kappa": kappa,
+        "iterations": stats.iterations,
+        "steady_hidden_fraction": round(stats.steady_hidden_fraction, 4),
+        "consumer_wire_bytes": backend.consumer_wire_bytes,
+        "consumer_wire_bytes_per_iteration": int(
+            backend.consumer_wire_bytes / max(stats.iterations, 1)
+        ),
+        "store_traffic": store.traffic,
+        "wall_s": round(stats.wall_s, 3),
+    }
+    print(
+        f"mode={row['mode']:<10} kappa={kappa} "
+        f"consumer_bytes={row['consumer_wire_bytes']} "
+        f"wall={row['wall_s']:.1f}s"
+    )
+    return row
+
+
+def run_streaming_bench(
+    token_budget: int = 32768,
+    block_size: int = 512,
+    mask_name: str = "causal",
+    num_batches: int = 8,
+    cycles: int = 2,
+    kappa: int = 2,
+    workers: int = 4,
+    kv_batches: int = 4,
+    time_scale: float = 1.0,
+    batches=None,
+) -> Dict:
+    """Streaming vs fixed parity + replan + KV wire-byte cells.
+
+    The fixed and streaming cells run the identical batch stream and
+    pipeline configuration; the only difference is list vs generator
+    feeding, so ``parity`` isolates the cost of not knowing the stream
+    length upfront (the acceptance bound is 0.05 on the Fig. 18 sweep
+    point).
+    """
+    from repro.bench import BenchScale, PAPER_MASKS, make_batches
+
+    scale = BenchScale.sweep(
+        num_batches=num_batches,
+        token_budget=int(token_budget),
+        max_seqlen=int(token_budget),
+        block_size=int(block_size),
+    )
+    if batches is None:
+        batches = make_batches(
+            "longdatacollections", scale, PAPER_MASKS[mask_name]()
+        )[:num_batches]
+    batches = list(batches) * max(cycles, 1)
+
+    fixed = _measure_streaming_cell(
+        scale, batches, kappa, workers, time_scale, mode="fixed"
+    )
+    streaming = _measure_streaming_cell(
+        scale, batches, kappa, workers, time_scale, mode="streaming"
+    )
+    replan = _measure_streaming_cell(
+        scale, batches, kappa, workers, time_scale, mode="replan",
+        remove_machine_at=len(batches) // 2 - 1,
+    )
+    kv_stream = batches[:kv_batches]
+    kv_full = _measure_kv_consumer_bytes(
+        scale, kv_stream, kappa, workers, time_scale, partial=False
+    )
+    kv_partial = _measure_kv_consumer_bytes(
+        scale, kv_stream, kappa, workers, time_scale, partial=True
+    )
+
+    parity = round(
+        abs(
+            fixed["steady_hidden_fraction"]
+            - streaming["steady_hidden_fraction"]
+        ),
+        4,
+    )
+    wire_ratio = (
+        round(
+            kv_partial["consumer_wire_bytes"]
+            / kv_full["consumer_wire_bytes"],
+            4,
+        )
+        if kv_full["consumer_wire_bytes"]
+        else None
+    )
+    report = {
+        "benchmark": "overlap_pipeline_streaming",
+        "config": {
+            "token_budget": int(token_budget),
+            "block_size": int(block_size),
+            "mask": mask_name,
+            "cluster": "2x4 (sweep)",
+            "num_batches": num_batches,
+            "cycles": cycles,
+            "kappa": kappa,
+            "workers": workers,
+            "time_scale": time_scale,
+        },
+        "git_revision": _git_revision(),
+        "rows": [fixed, streaming, replan, kv_full, kv_partial],
+        "steady_hidden_parity": parity,
+        "replans": replan["replans"],
+        "kv_consumer_wire_ratio": wire_ratio,
+    }
+    print(
+        f"parity={parity:.4f} replans={replan['replans']} "
+        f"kv wire ratio={wire_ratio}"
+    )
+    return report
+
+
+def run_streaming_smoke(time_scale: float = 3.0) -> Dict:
+    """Small, fast streaming comparison for CI gating."""
+    report = run_streaming_bench(
+        token_budget=2048,
+        block_size=256,
+        num_batches=4,
+        cycles=2,
+        kappa=2,
+        workers=2,
+        kv_batches=4,
+        time_scale=time_scale,
+        batches=_smoke_batches(4),
+    )
+    report["benchmark"] = "overlap_pipeline_streaming_smoke"
+    return report
+
+
 def _smoke_batches(num_batches: int = 4):
     """Distinct small batches (~2048 tokens, varied lengths)."""
     from repro.blocks import BatchSpec
@@ -255,6 +523,20 @@ def _smoke_floor() -> float:
         return DEFAULT_SMOKE_FLOOR
 
 
+def _merge_streaming_into_tracked(streaming_report: Dict) -> None:
+    """Attach the streaming section to the tracked BENCH_overlap.json."""
+    try:
+        with open(OUTPUT_PATH) as handle:
+            tracked = json.load(handle)
+    except (OSError, ValueError):
+        tracked = {"benchmark": "overlap_pipeline"}
+    tracked["streaming"] = streaming_report
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(tracked, handle, indent=2)
+        handle.write("\n")
+    print(f"merged streaming section into {OUTPUT_PATH}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -262,6 +544,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="small CI cell; exits 1 if steady hidden fraction is below "
         "the smoke_floor recorded in BENCH_overlap.json",
+    )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="measure the online (generator-fed) pipeline against the "
+        "fixed-stream cell, plus replan and KV wire-byte cells; the "
+        "full run merges into BENCH_overlap.json under 'streaming'",
     )
     parser.add_argument(
         "--output",
@@ -278,7 +567,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.smoke:
+    if args.streaming and args.smoke:
+        report = run_streaming_smoke(
+            time_scale=3.0 if args.time_scale is None else args.time_scale
+        )
+        output = args.output or STREAMING_SMOKE_OUTPUT_PATH
+    elif args.streaming:
+        report = run_streaming_bench(
+            time_scale=1.0 if args.time_scale is None else args.time_scale
+        )
+        output = args.output or OUTPUT_PATH
+    elif args.smoke:
         report = run_smoke(
             time_scale=3.0 if args.time_scale is None else args.time_scale
         )
@@ -289,12 +588,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         output = args.output or OUTPUT_PATH
 
-    with open(output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {output}")
+    if args.streaming and not args.smoke and output == OUTPUT_PATH:
+        _merge_streaming_into_tracked(report)
+    else:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
 
-    if args.smoke:
+    if args.smoke and not args.streaming:
         floor = _smoke_floor()
         measured = report["rows"][0]["steady_hidden_fraction"]
         if measured < floor:
@@ -304,6 +606,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 1
         print(f"ok: steady hidden fraction {measured:.3f} >= floor {floor:.3f}")
+    if args.smoke and args.streaming:
+        # Gate the *streaming* cell on the fixed-stream floor: online
+        # mode must hide planning as well as the fixed mode does.
+        floor = _smoke_floor()
+        fixed = report["rows"][0]["steady_hidden_fraction"]
+        streaming = report["rows"][1]["steady_hidden_fraction"]
+        failed = False
+        if fixed < floor:
+            print(
+                f"FAIL: fixed-stream steady hidden fraction {fixed:.3f} "
+                f"below the floor {floor:.3f}"
+            )
+            failed = True
+        if streaming < floor:
+            print(
+                f"FAIL: streaming steady hidden fraction {streaming:.3f} "
+                f"below the fixed-stream floor {floor:.3f}"
+            )
+            failed = True
+        if report["replans"] < 1:
+            print("FAIL: replan cell measured no re-plans")
+            failed = True
+        if failed:
+            return 1
+        print(
+            f"ok: fixed {fixed:.3f} / streaming {streaming:.3f} >= floor "
+            f"{floor:.3f}, parity {report['steady_hidden_parity']:.3f}, "
+            f"replans {report['replans']}, "
+            f"kv wire ratio {report['kv_consumer_wire_ratio']}"
+        )
     return 0
 
 

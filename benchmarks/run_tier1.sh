@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verify + perf smokes (planner hot path, planning overlap).
+# Tier-1 verify + perf smokes (planner hot path, planning overlap,
+# streaming overlap) + pipeline coverage gate.
 #
 #   ./benchmarks/run_tier1.sh            # tests + smoke benchmarks
 #   ./benchmarks/run_tier1.sh --full     # tests + full benchmark sweeps
@@ -11,8 +12,17 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: pytest -x -q =="
-python -m pytest -x -q
+echo "== tier-1: pytest -x -q (+ pipeline coverage gate >= 85%) =="
+if python -c "import pytest_cov" 2>/dev/null; then
+    # One pass: the full suite doubles as the coverage run.
+    python -m pytest -x -q --cov=repro.pipeline --cov-fail-under=85
+else
+    python -m pytest -x -q
+    # pytest-cov is absent in the container image: same gate through
+    # the dep-free settrace tracer (needs its own traced run).
+    echo "== pipeline coverage gate (settrace fallback) =="
+    python benchmarks/pipeline_coverage.py --fail-under 85
+fi
 
 echo "== planner hot-path smoke =="
 if [[ "${1:-}" == "--full" ]]; then
@@ -32,4 +42,15 @@ else
     # fraction regresses below the smoke_floor in BENCH_overlap.json.
     python benchmarks/bench_overlap_pipeline.py --smoke \
         --output "$REPO_ROOT/BENCH_overlap.smoke.json"
+fi
+
+echo "== streaming overlap smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites the "streaming" section of BENCH_overlap.json.
+    python benchmarks/bench_overlap_pipeline.py --streaming
+else
+    # Gates the online mode on the same fixed-stream hidden-fraction
+    # floor, plus a measured-replan sanity check.
+    python benchmarks/bench_overlap_pipeline.py --streaming --smoke \
+        --output "$REPO_ROOT/BENCH_overlap.streaming.smoke.json"
 fi

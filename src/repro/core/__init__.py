@@ -1,7 +1,7 @@
 """Public DCP API: config, planner, dataloader, distributed planning."""
 
 from .autotune import AutotuneResult, BlockSizeScore, autotune_block_size
-from .cache import PlanCache, batch_signature
+from .cache import PlanAbandoned, PlanCache, batch_signature
 from .config import DCPConfig
 from .dataloader import DCPDataloader, LocalData
 from .groups import GroupedPlan, plan_with_groups, split_batch_by_workload
@@ -28,6 +28,7 @@ __all__ = [
     "plan_with_groups",
     "split_batch_by_workload",
     "PlanCache",
+    "PlanAbandoned",
     "batch_signature",
     "KVStore",
     "KVClient",

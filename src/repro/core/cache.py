@@ -9,23 +9,34 @@ All bookkeeping is guarded by a lock so the cache can sit in front of
 the overlap pipeline's concurrent planner workers
 (:mod:`repro.pipeline`): lookups, insertions and stats may race freely
 from any number of threads.  Planning itself is *not* serialized — a
-miss releases the lock while the planner runs, so two threads that miss
-on the same signature may both plan it (the second insert wins; both
-plans are valid and identical by construction).  The pipeline avoids
-even that duplicated work by de-duplicating in-flight signatures before
-dispatching a worker.
+miss releases the lock while the planner runs.
+
+Duplicated planning work is avoided through *reservations*
+(:meth:`PlanCache.reserve`): under one lock acquisition a caller learns
+whether the signature is cached (``"hit"``), already being planned by
+someone else (``"wait"``, with a future resolving to the plan), or its
+own to plan (``"own"``).  Exactly one caller per signature owns the
+dispatch, no matter how many threads or pipelines race on it; owners
+publish through :meth:`PlanCache.fulfill` or release waiters with
+:meth:`PlanCache.abandon`.  Streaming pipelines additionally
+:meth:`PlanCache.invalidate` entries whose cluster shape went stale.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Tuple
+from concurrent.futures import Future
+from typing import Callable, Optional, Tuple
 
 from ..blocks import BatchSpec
 from .planner import DCPPlanner
 
-__all__ = ["PlanCache", "batch_signature"]
+__all__ = ["PlanCache", "PlanAbandoned", "batch_signature"]
+
+
+class PlanAbandoned(RuntimeError):
+    """Raised to waiters when an in-flight plan reservation is dropped."""
 
 
 def batch_signature(batch: BatchSpec) -> Tuple:
@@ -42,9 +53,18 @@ class PlanCache:
         self.planner = planner
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._inflight: dict = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic invalidation counter; see :meth:`publish`."""
+        with self._lock:
+            return self._epoch
 
     def get(self, key: Tuple):
         """Cached plan under ``key`` or ``None``, counting hit/miss.
@@ -61,13 +81,168 @@ class PlanCache:
             self.misses += 1
             return None
 
+    def _insert(self, key: Tuple, plan) -> None:
+        """Insert + refresh recency + evict the LRU tail (lock held)."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
     def put(self, key: Tuple, plan) -> None:
         """Insert ``plan`` under ``key``, evicting the LRU tail."""
         with self._lock:
-            self._entries[key] = plan
-            self._entries.move_to_end(key)
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._insert(key, plan)
+
+    def reserve(self, key: Tuple) -> Tuple[str, object, int]:
+        """Atomically claim or join planning of ``key``.
+
+        Returns ``(status, payload, epoch)`` where status is one of
+
+        * ``"hit"`` — payload is the cached plan; counts a hit.
+        * ``"wait"`` — someone else is planning it; payload is a future
+          resolving to the plan.  Counts a miss.
+        * ``"own"`` — the caller now owns the dispatch (payload is the
+          reservation future) and must eventually :meth:`fulfill`,
+          :meth:`publish` or :meth:`abandon` it.  Counts a miss.
+
+        ``epoch`` is the invalidation epoch observed under the same
+        lock acquisition — the value later publications/abandons must
+        present.  Reading it separately would race: an invalidation
+        landing between the read and the claim would stamp the
+        reservation newer than the caller's epoch, and the caller's own
+        publish/abandon would then refuse to touch it, stranding it
+        forever.
+
+        The check-cache / check-in-flight / claim sequence happens under
+        one lock acquisition, so N threads reserving the same signature
+        yield exactly one owner.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return ("hit", cached, self._epoch)
+            self.misses += 1
+            reservation = self._inflight.get(key)
+            if reservation is not None:
+                return ("wait", reservation[0], self._epoch)
+            future = Future()
+            # Stamped with the creation epoch so late publications can
+            # tell "my own cohort's reservation" from one re-claimed
+            # after an invalidation (see :meth:`publish`).
+            self._inflight[key] = (future, self._epoch)
+            return ("own", future, self._epoch)
+
+    def fulfill(self, key: Tuple, plan) -> bool:
+        """Publish an owned reservation: insert + wake the waiters.
+
+        Returns False (and inserts nothing) if the reservation was
+        invalidated or abandoned in the meantime — a stale plan must not
+        re-enter the cache behind an invalidation.
+        """
+        with self._lock:
+            reservation = self._inflight.pop(key, None)
+            if reservation is None:
+                return False
+            self._insert(key, plan)
+        future = reservation[0]
+        if not future.done():
+            future.set_result(plan)
+        return True
+
+    def publish(self, key: Tuple, plan, epoch: int) -> bool:
+        """Insert ``plan`` only if no invalidation happened since ``epoch``.
+
+        The retry path's publication primitive: a pipeline captures
+        ``cache.epoch`` before reserving, and a plan computed across a
+        worker respawn may only enter the cache if no
+        :meth:`invalidate`/:meth:`clear` ran in between — otherwise a
+        stale-shape plan would resurrect behind the invalidation.
+
+        One refinement keeps waiters live: if the key's reservation was
+        created at or before ``epoch`` and is *still in flight* despite
+        an epoch bump, the invalidations in between did not target this
+        key (invalidation always pops matching reservations), so the
+        plan is not stale for it and is published anyway — refusing
+        would strand the waiters on a future nobody else will resolve.
+        A reservation created *after* ``epoch`` belongs to a
+        post-invalidation claimant and is never adopted, and an epoch
+        mismatch with no surviving reservation is the genuine stale
+        case; both publish nothing.
+        """
+        with self._lock:
+            reservation = self._inflight.get(key)
+            if reservation is not None:
+                future, created = reservation
+                if created > epoch:
+                    return False  # a newer cohort owns this key now
+                del self._inflight[key]
+            else:
+                future = None
+                if epoch != self._epoch:
+                    return False
+            self._insert(key, plan)
+        if future is not None and not future.done():
+            future.set_result(plan)
+        return True
+
+    def abandon(
+        self,
+        key: Tuple,
+        exc: Optional[BaseException] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        """Drop an owned reservation, releasing waiters with ``exc``.
+
+        With ``epoch`` given, only a reservation created at or before
+        it is dropped — a failed pre-invalidation worker must not shoot
+        down the reservation a post-invalidation claimant now owns.
+        """
+        with self._lock:
+            reservation = self._inflight.get(key)
+            if reservation is None:
+                return
+            future, created = reservation
+            if epoch is not None and created > epoch:
+                return
+            del self._inflight[key]
+        if not future.done():
+            future.set_exception(exc or PlanAbandoned(f"plan {key!r} abandoned"))
+
+    def invalidate(
+        self, predicate: Optional[Callable[[Tuple], bool]] = None
+    ) -> int:
+        """Drop entries (and in-flight reservations) matching ``predicate``.
+
+        ``None`` drops everything.  Waiters on invalidated reservations
+        are released with :class:`PlanAbandoned` so they can re-plan
+        against the new state instead of deadlocking on a plan that will
+        never be published.  Returns the number of cached entries
+        dropped (in-flight drops are not counted: no plan existed yet).
+        """
+        with self._lock:
+            stale_keys = [
+                key for key in self._entries
+                if predicate is None or predicate(key)
+            ]
+            for key in stale_keys:
+                del self._entries[key]
+            stale_inflight = [
+                (key, reservation[0])
+                for key, reservation in self._inflight.items()
+                if predicate is None or predicate(key)
+            ]
+            for key, _future in stale_inflight:
+                del self._inflight[key]
+            self.invalidations += len(stale_keys)
+            self._epoch += 1
+        for key, future in stale_inflight:
+            if not future.done():
+                future.set_exception(
+                    PlanAbandoned(f"plan {key!r} invalidated")
+                )
+        return len(stale_keys)
 
     def plan_batch(self, batch: BatchSpec):
         key = batch_signature(batch)
@@ -94,6 +269,7 @@ class PlanCache:
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "invalidations": self.invalidations,
             }
 
     def __len__(self) -> int:
@@ -107,5 +283,12 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            inflight = list(self._inflight.items())
+            self._inflight.clear()
             self.hits = 0
             self.misses = 0
+            self.invalidations = 0
+            self._epoch += 1
+        for key, (future, _created) in inflight:
+            if not future.done():
+                future.set_exception(PlanAbandoned(f"plan {key!r} cleared"))

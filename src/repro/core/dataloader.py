@@ -7,11 +7,14 @@ planning overlaps with model execution.  Iterating yields
 ``local_data`` maps each device to the token slices it will feed its
 model replica.
 
-Since PR 2 this is a thin wrapper over
-:class:`repro.pipeline.OverlapPipeline`, which owns the prefetch
-window, the worker backends, the plan-cache consult, and the measured
-overlap accounting; :meth:`DCPDataloader.stats` exposes the
-measurement.
+Since PR 2 this is a thin wrapper over the overlap pipeline, which owns
+the prefetch window, the worker backends, the plan-cache consult, and
+the measured overlap accounting; :meth:`DCPDataloader.stats` exposes
+the measurement.  Since PR 3 both materialized batch lists and
+unbounded generators (a packer still emitting) route through
+:class:`repro.pipeline.StreamingOverlapPipeline`, which also re-plans
+online when a :class:`~repro.sim.ClusterEventSource` reports device
+add/remove events mid-stream.
 """
 
 from __future__ import annotations
@@ -51,8 +54,11 @@ class DCPDataloader:
     Parameters
     ----------
     batches:
-        Iterable of :class:`BatchSpec` (a dataset already packed into
-        batches; see :mod:`repro.data.batching`).
+        Iterable of :class:`BatchSpec` — a materialized list (a dataset
+        already packed into batches; see :mod:`repro.data.batching`) or
+        a generator that is still emitting (a streaming packer; see
+        :func:`repro.data.stream_packed_specs`).  Both route through
+        the streaming pipeline, which never needs an upfront length.
     planner:
         A :class:`DCPPlanner` (or any object with ``plan_batch``).
     lookahead:
@@ -67,6 +73,10 @@ class DCPDataloader:
     cache:
         Optional :class:`~repro.core.cache.PlanCache` consulted before
         dispatching planner workers.
+    events:
+        Optional :class:`~repro.sim.ClusterEventSource`; device
+        add/remove events invalidate stale cache entries and re-plan
+        the in-flight prefetch window against the new cluster shape.
     """
 
     def __init__(
@@ -77,18 +87,20 @@ class DCPDataloader:
         max_workers: int = 2,
         backend: str = "thread",
         cache=None,
+        events=None,
     ) -> None:
-        from ..pipeline import OverlapPipeline
+        from ..pipeline import StreamingOverlapPipeline
 
         self.planner = planner
         self.lookahead = lookahead
-        self._pipeline = OverlapPipeline(
+        self._pipeline = StreamingOverlapPipeline(
             batches,
             planner,
             lookahead=lookahead,
             max_workers=max_workers,
             backend=backend,
             cache=cache,
+            events=events,
         )
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], ExecutionPlan]]:

@@ -89,9 +89,23 @@ class KVStore:
         with self._lock:
             return key in self._entries
 
-    def keys(self):
+    def keys(self, prefix: Optional[str] = None):
+        """All keys, or only those under ``prefix`` (partial-plan scans)."""
         with self._lock:
-            return sorted(self._entries)
+            if prefix is None:
+                return sorted(self._entries)
+            return sorted(k for k in self._entries if k.startswith(prefix))
+
+    def entry_bytes(self, key: str) -> Optional[int]:
+        """Serialized payload size of ``key`` (``None`` if absent).
+
+        The §6.1 wire accounting prices consumer fetches by payload
+        size; per-device partial plans expose how the full-plan payload
+        splits into a shared skeleton plus per-device streams.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else len(entry.payload)
 
     def size_bytes(self) -> int:
         """Resident bytes on the host machine."""

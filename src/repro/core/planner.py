@@ -75,15 +75,23 @@ class DCPPlanner:
         self.last_stats: Optional[PlanningStats] = None
         self.last_placement: Optional[Placement] = None
 
-    def plan_batch(self, batch: BatchSpec) -> ExecutionPlan:
-        """Plan from raw (sequence lengths, masks)."""
+    def plan_batch(
+        self, batch: BatchSpec, cluster: Optional[ClusterSpec] = None
+    ) -> ExecutionPlan:
+        """Plan from raw (sequence lengths, masks).
+
+        ``cluster`` targets the plan at a different cluster shape
+        without persisting it — the streaming pipeline re-plans against
+        the shape a mid-stream device add/remove event produced while
+        the planner's configured :attr:`cluster` stays untouched.
+        """
         stats = PlanningStats()
         start = time.perf_counter()
         block_set = generate_blocks(
             batch, attention=self.attention, block_size=self.config.block_size
         )
         stats.block_generation = time.perf_counter() - start
-        return self._plan_blocks(block_set, stats)
+        return self._plan_blocks(block_set, stats, cluster=cluster)
 
     def plan(self, block_set: BlockSet, cluster: Optional[ClusterSpec] = None):
         """Planner-protocol entry point (shared with the baselines).

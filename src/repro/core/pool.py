@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..blocks import BatchSpec
+from ..scheduling import ExecutionPlan
 from .dataloader import LocalData, _local_data
 from .kvstore import KVClient, KVStore
 from .planner import DCPPlanner
@@ -45,6 +46,16 @@ def plan_key(iteration: int) -> str:
     return f"plan/{iteration}"
 
 
+def skeleton_key(iteration: int) -> str:
+    """Shared plan context minus the per-device streams (partial mode)."""
+    return f"plan/{iteration}/skeleton"
+
+
+def device_key(iteration: int, device: int) -> str:
+    """One device's instruction stream (partial mode)."""
+    return f"plan/{iteration}/device/{device}"
+
+
 class PlannerPool:
     """Parallel planning across machines, publishing to a KV store.
 
@@ -59,6 +70,12 @@ class PlannerPool:
         (the paper assigns different iterations to different machines).
     cores_per_machine:
         Parallel planner instances per machine.
+    partial_plans:
+        Publish each plan as a shared skeleton plus one entry per
+        device instead of a single monolithic value, so a consumer can
+        pull only its own instruction stream (§6.1 wire accounting:
+        every device must receive its plan; per-device fetches charge
+        ``skeleton + own stream`` rather than the whole plan).
     """
 
     def __init__(
@@ -67,12 +84,14 @@ class PlannerPool:
         store: KVStore,
         num_machines: int = 1,
         cores_per_machine: int = 2,
+        partial_plans: bool = False,
     ) -> None:
         if num_machines < 1 or cores_per_machine < 1:
             raise ValueError("need at least one machine and one core")
         self.planner = planner
         self.store = store
         self.num_machines = num_machines
+        self.partial_plans = partial_plans
         self.clients = [
             KVClient(store=store, machine=m) for m in range(num_machines)
         ]
@@ -82,34 +101,169 @@ class PlannerPool:
         ]
         self._submitted: Dict[int, Future] = {}
         self._intervals: Dict[int, Tuple[float, float]] = {}
+        self._generations: Dict[int, int] = {}
+        self._publish_locks: Dict[int, threading.Lock] = {}
         self._lock = threading.Lock()
 
-    def submit(self, iteration: int, batch: BatchSpec) -> Future:
-        """Queue planning of ``iteration`` on its assigned machine."""
+    def submit(
+        self,
+        iteration: int,
+        batch: BatchSpec,
+        planner=None,
+        replace: bool = False,
+    ) -> Future:
+        """Queue planning of ``iteration`` on its assigned machine.
+
+        ``planner`` overrides the pool's planner for this job only (the
+        streaming pipeline pins a cluster shape this way); ``replace``
+        drops any memoized job for the iteration and dispatches a fresh
+        one — the respawn path when a planner worker raised or hung.
+        """
         machine = iteration % self.num_machines
         client = self.clients[machine]
+        job_planner = planner if planner is not None else self.planner
 
-        def job():
+        def job(generation):
             start = time.perf_counter()
-            plan = self.planner.plan_batch(batch)
+            plan = job_planner.plan_batch(batch)
             end = time.perf_counter()
             with self._lock:
-                self._intervals[iteration] = (start, end)
-            client.put(plan_key(iteration), plan)
+                if self._generations.get(iteration) != generation:
+                    # Superseded by a replace-resubmission while this
+                    # worker ran: a stale plan must not overwrite the
+                    # replacement's published bytes.
+                    return plan
+                publish_lock = self._publish_locks.setdefault(
+                    iteration, threading.Lock()
+                )
+            # Publishing pickles a multi-megabyte plan — keep it off
+            # the pool-wide lock so machines publish in parallel.  The
+            # per-iteration lock orders this job against any
+            # replacement; re-checking the generation under it makes a
+            # superseded job refuse even if it lost the race above.
+            with publish_lock:
+                with self._lock:
+                    if self._generations.get(iteration) != generation:
+                        return plan
+                    self._intervals[iteration] = (start, end)
+                self._publish(client, iteration, plan)
             return plan
 
         with self._lock:
-            if iteration in self._submitted:
+            if not replace and iteration in self._submitted:
                 return self._submitted[iteration]
-            future = self._pools[machine].submit(job)
+            generation = self._generations.get(iteration, 0) + 1
+            self._generations[iteration] = generation
+            future = self._pools[machine].submit(job, generation)
             self._submitted[iteration] = future
             return future
 
-    def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
-        """A device-side read of the published plan."""
-        return self.clients[machine % self.num_machines].get(
-            plan_key(iteration), timeout=timeout
+    def _publish(self, client: KVClient, iteration: int, plan) -> None:
+        if not self.partial_plans:
+            client.put(plan_key(iteration), plan)
+            return
+        skeleton = ExecutionPlan(
+            block_set=plan.block_set,
+            cluster=plan.cluster,
+            device_plans={},
+            meta={**plan.meta, "devices": sorted(plan.device_plans)},
         )
+        client.put(skeleton_key(iteration), skeleton)
+        for device, device_plan in plan.device_plans.items():
+            client.put(device_key(iteration, device), device_plan)
+
+    def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
+        """A device-side read of the published plan.
+
+        In partial mode the plan is reassembled from the skeleton plus
+        every per-device stream — the full article, for consumers (like
+        the pipeline's executor) that need all devices.
+        """
+        client = self.clients[machine % self.num_machines]
+        if not self.partial_plans:
+            return client.get(plan_key(iteration), timeout=timeout)
+        skeleton = client.get(skeleton_key(iteration), timeout=timeout)
+        device_plans = {
+            device: client.get(device_key(iteration, device), timeout=timeout)
+            for device in skeleton.meta["devices"]
+        }
+        return self._assemble(skeleton, device_plans)
+
+    @staticmethod
+    def _assemble(skeleton, device_plans) -> ExecutionPlan:
+        meta = {k: v for k, v in skeleton.meta.items() if k != "devices"}
+        return ExecutionPlan(
+            block_set=skeleton.block_set,
+            cluster=skeleton.cluster,
+            device_plans=device_plans,
+            meta=meta,
+        )
+
+    def fetch_device(
+        self, iteration: int, device: int, timeout: float = 60.0
+    ):
+        """Only ``device``'s instruction stream (partial mode only)."""
+        if not self.partial_plans:
+            raise ValueError(
+                "per-device fetches need a PlannerPool(partial_plans=True)"
+            )
+        skeleton = self.clients[0].get(skeleton_key(iteration), timeout=timeout)
+        machine = skeleton.cluster.machine_of(device)
+        client = self.clients[machine % self.num_machines]
+        return client.get(device_key(iteration, device), timeout=timeout)
+
+    def device_pull(
+        self, iteration: int, timeout: float = 60.0
+    ) -> Tuple[ExecutionPlan, int]:
+        """Every device pulls its iteration plan; returns (plan, wire bytes).
+
+        Models the §6.1 consumer side: each device, from its own
+        machine, reads what it needs from the store — the whole plan in
+        monolithic mode, or the shared skeleton plus its own stream in
+        partial mode.  Wire bytes follow the :class:`KVClient`
+        convention (host-machine reads are local and free); the plan
+        returned is assembled from exactly the fetched pieces, so it is
+        the genuine round-tripped article.
+        """
+        # Metadata probe (not charged: the consumers below re-read what
+        # they need through accounted per-machine clients).  In partial
+        # mode the skeleton alone carries the device list and cluster,
+        # so the probe does not touch the per-device streams.
+        if self.partial_plans:
+            probe = self.clients[0].get(skeleton_key(iteration),
+                                        timeout=timeout)
+            devices = list(probe.meta["devices"])
+        else:
+            probe = self.fetch(iteration, timeout=timeout)
+            devices = sorted(probe.device_plans)
+        cluster = probe.cluster
+        consumers: Dict[int, KVClient] = {}
+
+        def client_for(device: int) -> KVClient:
+            machine = cluster.machine_of(device)
+            if machine not in consumers:
+                consumers[machine] = KVClient(store=self.store, machine=machine)
+            return consumers[machine]
+
+        if not self.partial_plans:
+            plan = probe
+            for device in devices:
+                plan = client_for(device).get(
+                    plan_key(iteration), timeout=timeout
+                )
+        else:
+            device_plans = {}
+            for device in devices:
+                client = client_for(device)
+                skeleton = client.get(skeleton_key(iteration), timeout=timeout)
+                device_plans[device] = client.get(
+                    device_key(iteration, device), timeout=timeout
+                )
+            plan = self._assemble(
+                skeleton if devices else probe, device_plans
+            )
+        wire_bytes = sum(c.wire_bytes() for c in consumers.values())
+        return plan, wire_bytes
 
     def plan_interval(self, iteration: int) -> Tuple[float, float]:
         """(start, end) ``perf_counter`` stamps of a finished plan job."""
@@ -119,6 +273,22 @@ class PlannerPool:
             now = time.perf_counter()
             return (now, now)
         return interval
+
+    def release(self, iteration: int) -> None:
+        """Drop the per-iteration bookkeeping once the plan is consumed.
+
+        The published plan itself stays in the store; only the futures
+        (which pin whole plans), generation counters, publish locks and
+        interval stamps are pruned, so an unbounded stream of
+        iterations runs in O(1) pool memory.  A superseded worker still
+        racing for this iteration refuses to publish regardless: its
+        generation no longer matches the (now absent) entry.
+        """
+        with self._lock:
+            self._submitted.pop(iteration, None)
+            self._generations.pop(iteration, None)
+            self._publish_locks.pop(iteration, None)
+            self._intervals.pop(iteration, None)
 
     def shutdown(self) -> None:
         for pool in self._pools:
@@ -134,12 +304,17 @@ class PlannerPool:
 class DistributedDataloader:
     """§6.1 dataloader on top of a :class:`PlannerPool`.
 
-    A thin wrapper over :class:`repro.pipeline.OverlapPipeline` with the
-    KV backend: the pipeline keeps planning ``lookahead`` iterations
-    ahead of execution and yields ``(local_data, plan)`` like
+    A thin wrapper over the streaming pipeline
+    (:class:`repro.pipeline.StreamingOverlapPipeline`) with the KV
+    backend: ``batches`` may be a materialized list or an unbounded
+    generator (a packer still emitting); the pipeline keeps planning
+    ``lookahead`` iterations ahead of execution and yields
+    ``(local_data, plan)`` like
     :class:`~repro.core.dataloader.DCPDataloader`, but every plan
-    travels through the KV store — the full distribution path.
-    Overlap measurements are available as :meth:`stats`.
+    travels through the KV store — the full distribution path.  With
+    ``events`` (a :class:`~repro.sim.ClusterEventSource`) mid-stream
+    device add/remove re-plans the prefetch window online.  Overlap
+    measurements are available as :meth:`stats`.
     """
 
     def __init__(
@@ -147,8 +322,10 @@ class DistributedDataloader:
         batches: Iterable[BatchSpec],
         pool: PlannerPool,
         lookahead: int = 2,
+        events=None,
+        per_device_fetch: bool = False,
     ) -> None:
-        from ..pipeline import KVPlannerBackend, OverlapPipeline
+        from ..pipeline import KVPlannerBackend, StreamingOverlapPipeline
 
         if lookahead < 0:
             raise ValueError("lookahead must be non-negative")
@@ -159,11 +336,12 @@ class DistributedDataloader:
         # the historical loop, which always submitted the next job
         # before yielding.  The attribute reports the effective kappa.
         self.lookahead = max(lookahead, 1)
-        self._pipeline = OverlapPipeline(
+        self._pipeline = StreamingOverlapPipeline(
             batches,
             pool.planner,
             lookahead=self.lookahead,
-            backend=KVPlannerBackend(pool),
+            backend=KVPlannerBackend(pool, per_device_fetch=per_device_fetch),
+            events=events,
         )
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:

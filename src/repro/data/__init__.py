@@ -8,6 +8,8 @@ from .packing import (
     pack_sequential,
     pack_workload_balanced,
     packing_stats,
+    stream_pack,
+    stream_packed_specs,
 )
 from .rlhf import RlhfSample, sample_rlhf_batches
 from .datasets import (
@@ -28,6 +30,8 @@ __all__ = [
     "pack_workload_balanced",
     "pack_length_grouped",
     "packing_stats",
+    "stream_pack",
+    "stream_packed_specs",
     "LONGALIGN",
     "LONG_DATA_COLLECTIONS",
     "LengthDistribution",

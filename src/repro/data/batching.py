@@ -8,14 +8,46 @@ allowed sequence length").
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..blocks import BatchSpec
 from ..masks import MaskSpec
 
-__all__ = ["pack_batches", "batches_to_specs"]
+__all__ = ["pack_batches", "stream_pack", "batches_to_specs"]
+
+
+def stream_pack(
+    lengths: Iterable[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> Iterator[List[int]]:
+    """Online packing: yield each batch the moment its budget closes.
+
+    The single authoritative greedy-packing loop — consumes ``lengths``
+    lazily (an unbounded source is fine), so a downstream streaming
+    pipeline can start planning the first batch while the packer is
+    still reading the stream.  :func:`pack_batches` is the materialized
+    form of this generator.
+    """
+    if token_budget < 1:
+        raise ValueError("token budget must be positive")
+    current: List[int] = []
+    used = 0
+    for raw in lengths:
+        length = int(raw)
+        if max_seqlen is not None:
+            length = min(length, max_seqlen)
+        if length < 1:
+            continue
+        if current and used + length > token_budget:
+            yield current
+            current, used = [], 0
+        current.append(min(length, token_budget))
+        used += current[-1]
+    if current:
+        yield current
 
 
 def pack_batches(
@@ -28,25 +60,7 @@ def pack_batches(
     Every batch contains at least one sequence, so a single sequence at
     the cap still forms a (full) batch.
     """
-    if token_budget < 1:
-        raise ValueError("token budget must be positive")
-    batches: List[List[int]] = []
-    current: List[int] = []
-    used = 0
-    for raw in lengths:
-        length = int(raw)
-        if max_seqlen is not None:
-            length = min(length, max_seqlen)
-        if length < 1:
-            continue
-        if current and used + length > token_budget:
-            batches.append(current)
-            current, used = [], 0
-        current.append(min(length, token_budget))
-        used += current[-1]
-    if current:
-        batches.append(current)
-    return batches
+    return list(stream_pack(lengths, token_budget, max_seqlen))
 
 
 def batches_to_specs(

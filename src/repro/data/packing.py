@@ -23,17 +23,19 @@ All packers return ``List[List[int]]`` like
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from .batching import pack_batches
+from .batching import batches_to_specs, pack_batches, stream_pack
 
 __all__ = [
     "pack_sequential",
     "pack_first_fit_decreasing",
     "pack_workload_balanced",
     "pack_length_grouped",
+    "stream_pack",
+    "stream_packed_specs",
     "packing_stats",
     "PACKERS",
 ]
@@ -143,6 +145,25 @@ def pack_length_grouped(
     """
     cleaned = sorted(_clean(lengths, max_seqlen))
     return pack_batches(cleaned, token_budget, max_seqlen)
+
+
+def stream_packed_specs(
+    lengths: Iterable[int],
+    mask,
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+) -> Iterator:
+    """Stream :class:`~repro.blocks.BatchSpec` straight off a packer.
+
+    The generator the streaming overlap pipeline feeds from: each
+    packed batch becomes a spec as it is emitted (``mask`` as in
+    :func:`~repro.data.batching.batches_to_specs` — a shared spec or a
+    ``seqlen -> mask`` callable).
+    """
+    for batch in stream_pack(
+        lengths, token_budget=token_budget, max_seqlen=max_seqlen
+    ):
+        yield batches_to_specs([batch], mask)[0]
 
 
 def packing_stats(batches: List[List[int]]) -> dict:

@@ -6,10 +6,19 @@ model execution" claim from an analytic replay
 
 * :class:`OverlapPipeline` — plans batch ``i + kappa`` on background
   workers while batch ``i`` executes, consulting the thread-safe
-  :class:`~repro.core.cache.PlanCache` before dispatching any worker,
-  and measuring per-iteration hidden vs exposed planning time.
-* :mod:`~repro.pipeline.backends` — thread-pool, process-pool, and
-  KV-store (:class:`~repro.core.pool.PlannerPool`) planner workers.
+  :class:`~repro.core.cache.PlanCache` (through exactly-one-owner
+  reservations) before dispatching any worker, respawning workers that
+  raise or hang, and measuring per-iteration hidden vs exposed
+  planning time.
+* :class:`StreamingOverlapPipeline` — the online variant: plans over
+  an unbounded batch iterator (a packer still emitting) and re-plans
+  the prefetch window when a
+  :class:`~repro.sim.ClusterEventSource` reports device add/remove
+  events mid-stream.
+* :mod:`~repro.pipeline.backends` — thread-pool (with an optional
+  ``max_concurrent_plans`` GIL-contention throttle), process-pool, and
+  KV-store (:class:`~repro.core.pool.PlannerPool`) planner workers;
+  the KV backend optionally accounts per-device partial plan fetches.
 * :class:`~repro.pipeline.driver.PipelineRunner` — drains a pipeline
   through :class:`~repro.runtime.SimExecutor` (or a cost-model stand-in)
   and reports the measured :class:`OverlapStats` + timeline.
@@ -32,9 +41,12 @@ from .pipeline import (
     OverlapStats,
     plan_fingerprint,
 )
+from .streaming import ClusterPinnedPlanner, StreamingOverlapPipeline
 
 __all__ = [
     "OverlapPipeline",
+    "StreamingOverlapPipeline",
+    "ClusterPinnedPlanner",
     "OverlapStats",
     "IterationRecord",
     "plan_fingerprint",

@@ -10,7 +10,10 @@ parent's).  Three implementations:
 * :class:`ThreadPlannerBackend` — planner workers on a thread pool in
   this process.  The planner releases the GIL inside numpy, so real
   overlap with (simulated) execution is achieved in practice; this is
-  the default.
+  the default.  ``max_concurrent_plans`` bounds how many plans run at
+  once: with many workers, pure-Python planner phases contend on the
+  GIL and a plan's wall time can ~2x, so capping concurrency below the
+  worker count trades queueing for per-plan latency.
 * :class:`ProcessPlannerBackend` — planner workers in separate
   processes, the paper's "parallelized with more than 10 CPU cores"
   configuration.  The planner and batches must pickle (they do), and
@@ -18,17 +21,28 @@ parent's).  Three implementations:
 * :class:`KVPlannerBackend` — planning through a
   :class:`~repro.core.pool.PlannerPool`: jobs fan out round-robin
   across (simulated) machines and plans return via the KV store,
-  the paper's full §6.1 distribution path.
+  the paper's full §6.1 distribution path.  With ``per_device_fetch``
+  the consumer side pulls per-device plan slices (skeleton + own
+  instruction stream) instead of re-reading whole plans, and the wire
+  bytes it would move accumulate in ``consumer_wire_bytes``.
+
+All backends accept a per-job ``planner`` override on
+:meth:`submit`/:meth:`resubmit` — the streaming pipeline pins a cluster
+shape onto re-planned jobs this way — and ``resubmit`` is the
+retry/respawn entry point for jobs whose worker raised or hung.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 __all__ = [
     "PlanTicket",
+    "CompletedTicket",
+    "SharedPlanTicket",
     "ThreadPlannerBackend",
     "ProcessPlannerBackend",
     "KVPlannerBackend",
@@ -49,6 +63,10 @@ class PlanTicket:
         """Block for ``(plan, plan_start, plan_end)``."""
         return self._future.result(timeout=timeout)
 
+    def add_done_callback(self, fn: Callable[[Future], None]) -> None:
+        """Run ``fn(future)`` when the job completes (or is cancelled)."""
+        self._future.add_done_callback(fn)
+
 
 class CompletedTicket(PlanTicket):
     """An already-available plan (cache hit): zero planning time."""
@@ -62,6 +80,27 @@ class CompletedTicket(PlanTicket):
     def result(self, timeout: Optional[float] = None) -> Tuple:
         return self._payload
 
+    def add_done_callback(self, fn) -> None:  # already done: nothing owed
+        pass
+
+
+class SharedPlanTicket(PlanTicket):
+    """Joins a plan someone else is computing (an in-flight signature).
+
+    Wraps a :class:`~repro.core.cache.PlanCache` reservation future that
+    resolves to the bare plan; the worker interval belongs to the
+    iteration that dispatched the job, so this ticket reports a
+    zero-width interval at resolution time.
+    """
+
+    def __init__(self, future: Future) -> None:
+        self._future = future
+
+    def result(self, timeout: Optional[float] = None) -> Tuple:
+        plan = self._future.result(timeout=timeout)
+        now = time.perf_counter()
+        return plan, now, now
+
 
 def _timed_plan(planner, batch) -> Tuple:
     start = time.perf_counter()
@@ -70,21 +109,76 @@ def _timed_plan(planner, batch) -> Tuple:
 
 
 class ThreadPlannerBackend:
-    """Planner workers on an in-process thread pool."""
+    """Planner workers on an in-process thread pool.
+
+    ``max_concurrent_plans`` (optional) is a semaphore over the plan
+    bodies: at most that many plans make progress at once even when
+    more workers are available, bounding GIL contention between
+    concurrent planner phases.  ``None`` leaves the historical
+    behavior (every worker plans freely).
+    """
 
     name = "thread"
 
-    def __init__(self, planner, max_workers: int = 2) -> None:
+    def __init__(
+        self,
+        planner,
+        max_workers: int = 2,
+        max_concurrent_plans: Optional[int] = None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one planner worker")
+        if max_concurrent_plans is not None and max_concurrent_plans < 1:
+            raise ValueError("max_concurrent_plans must be positive")
         self.planner = planner
         self.max_workers = max_workers
+        self.max_concurrent_plans = max_concurrent_plans
+        self._throttle = (
+            threading.BoundedSemaphore(max_concurrent_plans)
+            if max_concurrent_plans is not None
+            else None
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="dcp-plan"
         )
 
-    def submit(self, index: int, batch) -> PlanTicket:
-        return PlanTicket(self._pool.submit(_timed_plan, self.planner, batch))
+    def _job(self, planner, batch) -> Tuple:
+        if self._throttle is None:
+            return _timed_plan(planner, batch)
+        with self._throttle:
+            return _timed_plan(planner, batch)
+
+    def submit(self, index: int, batch, planner=None) -> PlanTicket:
+        job_planner = planner if planner is not None else self.planner
+        return PlanTicket(self._pool.submit(self._job, job_planner, batch))
+
+    def resubmit(self, index: int, batch, planner=None) -> PlanTicket:
+        """Respawn a job whose previous worker raised or hung.
+
+        Runs on a dedicated daemon thread rather than the pool: a hung
+        worker cannot be killed, so it permanently occupies its pool
+        thread (and its ``max_concurrent_plans`` slot) — a respawn
+        queued behind it would hang exactly the same way.  The escape
+        thread bypasses both, so recovery works even with every pool
+        worker wedged; the throttle is intentionally not honored here
+        (bounded-contention is a performance preference, recovery is
+        correctness).
+        """
+        job_planner = planner if planner is not None else self.planner
+        future: Future = Future()
+
+        def run() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                future.set_result(_timed_plan(job_planner, batch))
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        threading.Thread(
+            target=run, name="dcp-plan-respawn", daemon=True
+        ).start()
+        return PlanTicket(future)
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
@@ -106,8 +200,13 @@ class ProcessPlannerBackend:
         self.max_workers = max_workers
         self._pool = ProcessPoolExecutor(max_workers=max_workers)
 
-    def submit(self, index: int, batch) -> PlanTicket:
-        return PlanTicket(self._pool.submit(_timed_plan, self.planner, batch))
+    def submit(self, index: int, batch, planner=None) -> PlanTicket:
+        job_planner = planner if planner is not None else self.planner
+        return PlanTicket(self._pool.submit(_timed_plan, job_planner, batch))
+
+    def resubmit(self, index: int, batch, planner=None) -> PlanTicket:
+        """Respawn a job whose previous worker raised or hung."""
+        return self.submit(index, batch, planner=planner)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
@@ -119,42 +218,111 @@ class KVPlannerBackend:
     The pool publishes each plan under ``plan/<iteration>``;
     :meth:`PlanTicket.result` re-reads it from the store so the yielded
     plan is the genuine round-tripped article every device would see.
+
+    With ``per_device_fetch=True`` the consumer side instead simulates
+    every device pulling its own slice (skeleton + instruction stream
+    when the pool publishes partial plans, the whole plan otherwise)
+    and accumulates the §6.1 consumer wire bytes in
+    :attr:`consumer_wire_bytes`.
     """
 
     name = "kv"
 
-    def __init__(self, pool, own_pool: bool = False) -> None:
+    def __init__(
+        self,
+        pool,
+        own_pool: bool = False,
+        per_device_fetch: bool = False,
+    ) -> None:
         self.pool = pool
         self.own_pool = own_pool
+        self.per_device_fetch = per_device_fetch
+        self.consumer_wire_bytes = 0
+        self._latest: dict = {}
+        self._lock = threading.Lock()
 
-    def submit(self, index: int, batch) -> PlanTicket:
+    def _ticket(self, inner: Future, index: int) -> PlanTicket:
         pool = self.pool
-        inner = pool.submit(index, batch)
         wrapper: Future = Future()
+        with self._lock:
+            self._latest[index] = inner
 
         def _relay(done: Future) -> None:
+            with self._lock:
+                superseded = self._latest.get(index) is not inner
+            if superseded:
+                # A resubmission replaced this job; its (orphaned)
+                # wrapper is never consumed, and accounting a consumer
+                # pull for a plan nobody consumes would inflate the
+                # §6.1 wire bytes.
+                wrapper.cancel()
+                return
             try:
                 done.result()
-                plan = pool.fetch(index)
+                if self.per_device_fetch:
+                    plan, wire_bytes = pool.device_pull(index)
+                    with self._lock:
+                        self.consumer_wire_bytes += wire_bytes
+                else:
+                    plan = pool.fetch(index)
                 start, end = pool.plan_interval(index)
+                # Consumed: drop the per-iteration bookkeeping (and the
+                # future pinning the plan) so unbounded streams run in
+                # O(1) backend/pool memory.
+                self._prune(index, inner)
                 wrapper.set_result((plan, start, end))
-            except BaseException as exc:  # pragma: no cover - defensive
+            except BaseException as exc:
+                # Failure path prunes too: a permanently failed job that
+                # ends in the pipeline's inline fallback would otherwise
+                # leak its bookkeeping forever.  A subsequent resubmit
+                # recreates fresh entries (replace starts a new
+                # generation regardless).
+                self._prune(index, inner)
                 wrapper.set_exception(exc)
 
         inner.add_done_callback(_relay)
         return PlanTicket(wrapper)
+
+    def _prune(self, index: int, inner: Future) -> None:
+        with self._lock:
+            if self._latest.get(index) is not inner:
+                # Superseded while this relay ran: the replacement owns
+                # the bookkeeping now and will prune it itself.
+                return
+            del self._latest[index]
+        self.pool.release(index)
+
+    def submit(self, index: int, batch, planner=None) -> PlanTicket:
+        inner = self.pool.submit(index, batch, planner=planner)
+        return self._ticket(inner, index)
+
+    def resubmit(self, index: int, batch, planner=None) -> PlanTicket:
+        """Respawn: replace the pool's memoized job for this iteration."""
+        with self._lock:
+            # Supersede the old job *before* the replacement exists, so
+            # a late relay firing in the submission window cannot pass
+            # the _latest identity checks and release the replacement's
+            # bookkeeping.
+            self._latest[index] = None
+        inner = self.pool.submit(index, batch, planner=planner, replace=True)
+        return self._ticket(inner, index)
 
     def close(self) -> None:
         if self.own_pool:
             self.pool.shutdown()
 
 
-def make_backend(backend, planner, max_workers: int = 2):
+def make_backend(backend, planner, max_workers: int = 2,
+                 max_concurrent_plans: Optional[int] = None):
     """Resolve a backend spec: a name, a backend object, or ``None``."""
     if backend is None or not isinstance(backend, str):
         return backend
     if backend == "thread":
-        return ThreadPlannerBackend(planner, max_workers=max_workers)
+        return ThreadPlannerBackend(
+            planner,
+            max_workers=max_workers,
+            max_concurrent_plans=max_concurrent_plans,
+        )
     if backend == "process":
         return ProcessPlannerBackend(planner, max_workers=max_workers)
     raise ValueError(

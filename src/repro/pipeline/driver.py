@@ -53,6 +53,13 @@ class PipelineRunner:
         interpret every instruction, gather outputs).
     seed:
         Input seed for the default executor.
+    on_iteration:
+        Optional ``on_iteration(index, info)`` callback invoked after
+        each executed iteration — the hook through which streaming
+        scenarios inject mid-run state (e.g. firing a
+        :class:`~repro.sim.ClusterEventSource` device-removal at a
+        chosen iteration, which the pipeline observes before its next
+        yield).
     """
 
     def __init__(
@@ -60,10 +67,12 @@ class PipelineRunner:
         pipeline: OverlapPipeline,
         execute: Optional[Callable] = None,
         seed: int = 0,
+        on_iteration: Optional[Callable[[int, dict], None]] = None,
     ) -> None:
         self.pipeline = pipeline
         self.execute = execute or self._sim_execute
         self.seed = seed
+        self.on_iteration = on_iteration
 
     def _sim_execute(self, local_data, plan) -> dict:
         from ..runtime import BatchInputs, SimExecutor
@@ -84,6 +93,8 @@ class PipelineRunner:
         for local_data, plan in self.pipeline:
             info = self.execute(local_data, plan)
             executions.append(info or {})
+            if self.on_iteration is not None:
+                self.on_iteration(len(executions) - 1, executions[-1])
             if max_iterations is not None and len(executions) >= max_iterations:
                 break
         stats = self.pipeline.stats()

@@ -18,10 +18,18 @@ of the consumer.  Each iteration the pipeline
 3. refills the window and yields ``(local_data, plan)``.
 
 Before any job is dispatched to a worker, the (thread-safe)
-:class:`~repro.core.cache.PlanCache` is consulted: a hit bypasses the
-worker entirely, and identical in-flight signatures are de-duplicated
-onto one job.  With ``lookahead=0`` no workers run and every plan is
+:class:`~repro.core.cache.PlanCache` is consulted through a
+*reservation* (:meth:`~repro.core.cache.PlanCache.reserve`): a hit
+bypasses the worker entirely, identical in-flight signatures — even
+across pipelines and threads — join one job, and exactly one owner
+dispatches.  With ``lookahead=0`` no workers run and every plan is
 computed synchronously at request time — the unoverlapped baseline.
+
+Planner workers are not trusted to succeed: a job whose worker raises
+(or, with ``plan_timeout`` set, hangs past the timeout) is respawned on
+the backend up to ``max_plan_retries`` times and then planned inline as
+a last resort, so a flaky worker costs a stall, never a deadlocked
+prefetch window.  Retries are counted in ``OverlapStats.plan_retries``.
 
 Every yielded plan carries ``plan.meta["overlap"]`` (the iteration's
 measured record plus running stats) and :meth:`OverlapPipeline.stats`
@@ -37,25 +45,36 @@ same latest-wins convention ``meta["plan_cache"]`` already follows.
 The authoritative per-iteration history is
 :attr:`OverlapPipeline.records` / :meth:`OverlapPipeline.stats`, which
 record every iteration regardless of plan identity.
+
+The streaming/online variant (unbounded batch iterators, mid-stream
+cluster-shape changes) lives in
+:class:`~repro.pipeline.streaming.StreamingOverlapPipeline`, which
+specializes the ``_signature`` / ``_plan_inline`` / ``_job_planner`` /
+``_poll_events`` hooks this class defines.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
+from concurrent.futures import CancelledError
 from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.cache import PlanCache, batch_signature
 from ..core.dataloader import LocalData, _local_data
 from ..core.pool import PlanningTimeline
-from .backends import CompletedTicket, PlanTicket, make_backend
+from .backends import CompletedTicket, PlanTicket, SharedPlanTicket, make_backend
 
 __all__ = ["OverlapPipeline", "OverlapStats", "IterationRecord",
            "plan_fingerprint"]
 
 #: Waits shorter than this (seconds) are queue bookkeeping, not stalls.
-STALL_EPS = 1e-4
+#: Overridable for environments whose bookkeeping is artificially slow
+#: (the dep-free coverage gate traces every pipeline line, inflating
+#: queue waits past the default threshold).
+STALL_EPS = float(os.environ.get("REPRO_STALL_EPS", "1e-4"))
 
 
 @dataclass
@@ -71,6 +90,8 @@ class IterationRecord:
     stall: float
     queue_depth: int
     cache_hit: bool
+    #: Re-dispatched after a mid-stream cluster-shape change.
+    replanned: bool = False
 
     @property
     def plan_s(self) -> float:
@@ -88,6 +109,7 @@ class IterationRecord:
             "stall_s": self.stall,
             "queue_depth": self.queue_depth,
             "cache_hit": self.cache_hit,
+            "replanned": self.replanned,
         }
 
 
@@ -100,6 +122,11 @@ class OverlapStats:
     hidden).  The ``steady_*`` variants skip the first iteration, which
     always waits for its own plan from a cold pipeline — the paper's
     claim is about steady state.
+
+    ``replans`` counts prefetch-window jobs re-dispatched because a
+    cluster-shape event invalidated their target shape (streaming
+    mode); ``cluster_events`` counts the events themselves and
+    ``plan_retries`` the worker respawns after failures or hangs.
     """
 
     iterations: int = 0
@@ -114,6 +141,9 @@ class OverlapStats:
     queue_depth_max: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
+    replans: int = 0
+    cluster_events: int = 0
+    plan_retries: int = 0
     plan_cache: Optional[dict] = None
     records: List[IterationRecord] = field(default_factory=list)
 
@@ -153,6 +183,9 @@ class OverlapStats:
             "queue_depth_max": self.queue_depth_max,
             "cache_hits": self.cache_hits,
             "wall_s": self.wall_s,
+            "replans": self.replans,
+            "cluster_events": self.cluster_events,
+            "plan_retries": self.plan_retries,
             "plan_cache": self.plan_cache,
         }
 
@@ -170,6 +203,11 @@ class _Pending:
     #: Joined onto an identical in-flight job (no worker dispatched);
     #: its planning time is attributed to the originating iteration.
     joined: bool = False
+    #: Re-dispatched after a cluster-shape event.
+    replanned: bool = False
+    #: Cache epoch captured before reserving; late publications (the
+    #: retry path) are rejected if an invalidation bumped it since.
+    epoch: int = 0
 
 
 class OverlapPipeline:
@@ -178,7 +216,9 @@ class OverlapPipeline:
     Parameters
     ----------
     batches:
-        Iterable of :class:`~repro.blocks.BatchSpec`.
+        Iterable of :class:`~repro.blocks.BatchSpec` — materialized or
+        a generator; the prefetch window pulls lazily, so an unbounded
+        stream is fine.
     planner:
         Any object with ``plan_batch(batch) -> ExecutionPlan``.
     lookahead:
@@ -195,6 +235,24 @@ class OverlapPipeline:
         Optional :class:`~repro.core.cache.PlanCache` consulted before
         any worker is dispatched; planned misses are inserted back.
         The cache's planner is ignored — supply the same planner here.
+    plan_timeout:
+        Seconds to wait on a single planning attempt before treating
+        the worker as hung and respawning the job (``None``: wait
+        forever, the historical behavior).
+    max_plan_retries:
+        Worker respawns per job before the pipeline gives up on the
+        backend and plans the batch inline.
+    max_concurrent_plans:
+        Thread-backend throttle; see
+        :class:`~repro.pipeline.backends.ThreadPlannerBackend`.
+    records_limit:
+        Keep only the most recent N :class:`IterationRecord` objects
+        (``None``: keep all, the fixed-stream default).  Aggregate
+        statistics stay exact either way — they are maintained
+        incrementally — so an unbounded serving stream can run forever
+        in O(1) memory while :meth:`stats` still reports true totals;
+        only the per-record history (and hence ``stats().timeline()``)
+        is truncated to the retained tail.
     """
 
     def __init__(
@@ -206,53 +264,136 @@ class OverlapPipeline:
         max_workers: int = 2,
         backend="thread",
         cache: Optional[PlanCache] = None,
+        plan_timeout: Optional[float] = None,
+        max_plan_retries: int = 2,
+        max_concurrent_plans: Optional[int] = None,
+        records_limit: Optional[int] = None,
     ) -> None:
         if lookahead < 0:
             raise ValueError("lookahead must be non-negative")
+        if max_plan_retries < 0:
+            raise ValueError("max_plan_retries must be non-negative")
+        if records_limit is not None and records_limit < 1:
+            raise ValueError("records_limit must be positive")
         self.planner = planner
         self.lookahead = lookahead
         self.cache = cache
+        self.plan_timeout = plan_timeout
+        self.max_plan_retries = max_plan_retries
         self._batches = iter(batches)
         self._backend = (
-            make_backend(backend, planner, max_workers=max_workers)
+            make_backend(
+                backend,
+                planner,
+                max_workers=max_workers,
+                max_concurrent_plans=max_concurrent_plans,
+            )
             if lookahead > 0
             else None
         )
         self._pending: Deque[_Pending] = deque()
-        self._inflight: Dict[Tuple, PlanTicket] = {}
         self._exhausted = False
         self._started = False
         self._closed = False
         self._origin: Optional[float] = None
-        self.records: List[IterationRecord] = []
+        self.records_limit = records_limit
+        self.records: Deque[IterationRecord] = deque(maxlen=records_limit)
+        self.replans = 0
+        self.cluster_events = 0
+        self.plan_retries = 0
         self._wall_s = 0.0
+        # Running aggregates, updated as records are created/finalized;
+        # exact regardless of how much record history is retained.
+        self._iterations = 0
+        self._plan_s = 0.0
+        self._exec_s = 0.0
+        self._stall_s = 0.0
+        self._stall_count = 0
+        self._steady_plan_s = 0.0
+        self._steady_stall_s = 0.0
+        self._steady_stall_count = 0
+        self._cache_hits = 0
+        self._depth_sum = 0
+        self._depth_max = 0
+
+    # -- hooks (specialized by the streaming pipeline) ---------------------
+
+    def _signature(self, batch) -> Tuple:
+        """Cache identity of ``batch`` for this pipeline's plans."""
+        return batch_signature(batch)
+
+    def _plan_inline(self, batch):
+        """Synchronous planning in the consumer thread."""
+        return self.planner.plan_batch(batch)
+
+    def _job_planner(self):
+        """Planner override shipped with worker jobs (None: backend's)."""
+        return None
+
+    def _poll_events(self) -> None:
+        """Apply externally observed state changes (streaming mode)."""
 
     # -- submission --------------------------------------------------------
 
-    def _submit(self, index: int, batch) -> _Pending:
+    def _submit(self, index: int, batch, redispatch: bool = False) -> _Pending:
         now = self._now()
         signature = None
+        epoch = 0
         if self.cache is not None:
-            signature = batch_signature(batch)
-            cached = self.cache.get(signature)
-            if cached is not None:
+            signature = self._signature(batch)
+            # The epoch comes from the same lock acquisition as the
+            # claim, so this cohort's publish/abandon always matches.
+            status, payload, epoch = self.cache.reserve(signature)
+            if status == "hit":
                 # Tickets carry absolute perf_counter stamps (workers
                 # can't see the pipeline origin); _resolve rebases them.
                 return _Pending(
-                    index, batch, CompletedTicket(cached, time.perf_counter()),
-                    now, signature, True,
+                    index, batch, CompletedTicket(payload, time.perf_counter()),
+                    now, signature, True, epoch=epoch,
                 )
-            ticket = self._inflight.get(signature)
-            if ticket is not None:
+            if status == "wait":
                 return _Pending(
-                    index, batch, ticket, now, signature, False, joined=True
+                    index, batch, SharedPlanTicket(payload), now, signature,
+                    False, joined=True, epoch=epoch,
                 )
+            # "own": this pipeline dispatches; the reservation is
+            # published (or released) by the ticket's done callback.
         if self._backend is None:
-            return _Pending(index, batch, None, now, signature, False)
-        ticket = self._backend.submit(index, batch)
+            return _Pending(index, batch, None, now, signature, False,
+                            epoch=epoch)
+        # A re-dispatch must *replace* any job the backend memoized for
+        # this index (the KV pool keys jobs by iteration), or the stale
+        # in-flight plan would be served right back.
+        dispatch = (
+            self._backend.resubmit if redispatch else self._backend.submit
+        )
+        ticket = dispatch(index, batch, planner=self._job_planner())
         if signature is not None:
-            self._inflight[signature] = ticket
-        return _Pending(index, batch, ticket, now, signature, False)
+            self._bridge_reservation(ticket, signature, epoch)
+        return _Pending(index, batch, ticket, now, signature, False,
+                        epoch=epoch)
+
+    def _bridge_reservation(
+        self, ticket: PlanTicket, signature: Tuple, epoch: int
+    ) -> None:
+        """Publish the owned cache reservation when the job settles.
+
+        Both directions are epoch-guarded: a worker that settles after
+        an invalidation (and a possible re-claim of the signature by a
+        newer cohort) must neither publish its stale plan nor shoot
+        down the new claimant's reservation.
+        """
+        cache = self.cache
+
+        def _done(future) -> None:
+            try:
+                plan, _start, _end = future.result()
+            except BaseException as exc:
+                cache.abandon(signature, exc, epoch=epoch)
+            else:
+                cache.publish(signature, plan, epoch)
+
+        ticket.add_done_callback(_done)
 
     def _refill(self) -> None:
         window = self.lookahead + 1
@@ -268,20 +409,59 @@ class OverlapPipeline:
     def _resolve(self, item: _Pending) -> Tuple:
         """Block for the item's plan; returns (plan, start, end) rel. s."""
         if item.ticket is None:  # synchronous path (lookahead == 0)
-            start = self._now()
-            plan = self.planner.plan_batch(item.batch)
-            end = self._now()
-        else:
-            plan, start, end = item.ticket.result()
-            start -= self._origin
-            end -= self._origin
-            if item.joined:
-                # The worker interval already belongs to the iteration
-                # that dispatched the job; this one got the plan free.
-                start = end
+            start_abs = time.perf_counter()
+            try:
+                plan = self._plan_inline(item.batch)
+            except BaseException as exc:
+                if item.signature is not None:
+                    self.cache.abandon(item.signature, exc, epoch=item.epoch)
+                raise
+            end_abs = time.perf_counter()
+            if item.signature is not None:
+                self.cache.publish(item.signature, plan, item.epoch)
+            return plan, start_abs - self._origin, end_abs - self._origin
+        attempts = 0
+        while True:
+            try:
+                plan, start, end = item.ticket.result(
+                    timeout=self.plan_timeout
+                )
+                break
+            except (Exception, CancelledError):
+                # The worker raised, was cancelled (CancelledError is a
+                # BaseException: e.g. another pipeline closing shared
+                # infrastructure) — or, with plan_timeout set, hung.
+                attempts += 1
+                self.plan_retries += 1
+                if attempts <= self.max_plan_retries and self._backend is not None:
+                    item.ticket = self._backend.resubmit(
+                        item.index, item.batch, planner=self._job_planner()
+                    )
+                    item.joined = False
+                    continue
+                # Last resort: plan inline.  A failure here is genuine
+                # and propagates — the planner itself is broken.  The
+                # interval below is real blocking work even if the item
+                # had joined someone else's (now failed) job.
+                item.joined = False
+                start = time.perf_counter()
+                plan = self._plan_inline(item.batch)
+                end = time.perf_counter()
+                break
+        start -= self._origin
+        end -= self._origin
+        if item.joined:
+            # The worker interval already belongs to the iteration
+            # that dispatched the job; this one got the plan free.
+            start = end
         if item.signature is not None and not item.cache_hit:
-            self.cache.put(item.signature, plan)
-            self._inflight.pop(item.signature, None)
+            # Normally a no-op (the reservation's done callback already
+            # published); needed after retries, whose fresh tickets are
+            # not bridged to the original reservation.  Epoch-guarded:
+            # waiters blocked on a reservation whose original worker is
+            # still hung wake up now, but a plan that crossed an
+            # invalidation must not resurrect behind it.
+            self.cache.publish(item.signature, plan, item.epoch)
         return plan, start, end
 
     # -- iteration ---------------------------------------------------------
@@ -295,6 +475,26 @@ class OverlapPipeline:
         self._started = True
         return self._run()
 
+    def _account_record(self, record: IterationRecord) -> None:
+        """Fold a fresh record into the running aggregates (exec time
+        is folded separately, once its interval is finalized)."""
+        self._plan_s += record.plan_s
+        self._stall_s += record.stall
+        stalled = record.stall > STALL_EPS
+        self._stall_count += int(stalled)
+        if self._iterations > 0:  # not the first iteration ever
+            self._steady_plan_s += record.plan_s
+            self._steady_stall_s += record.stall
+            self._steady_stall_count += int(stalled)
+        self._iterations += 1
+        self._cache_hits += int(record.cache_hit)
+        self._depth_sum += record.queue_depth
+        self._depth_max = max(self._depth_max, record.queue_depth)
+
+    def _finalize_exec(self, record: IterationRecord, end: float) -> None:
+        record.exec_end = end
+        self._exec_s += record.exec_s
+
     def _run(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
         self._origin = time.perf_counter()
         self._next_index = 0
@@ -302,10 +502,11 @@ class OverlapPipeline:
         try:
             self._refill()
             while self._pending:
+                self._poll_events()
                 item = self._pending.popleft()
                 requested = self._now()
                 if previous is not None:
-                    previous.exec_end = requested
+                    self._finalize_exec(previous, requested)
                 depth = (1 if item.ticket is not None and item.ticket.ready()
                          else 0)
                 depth += sum(
@@ -325,7 +526,9 @@ class OverlapPipeline:
                     stall=max(ready - requested, 0.0),
                     queue_depth=depth,
                     cache_hit=item.cache_hit,
+                    replanned=item.replanned,
                 )
+                self._account_record(record)
                 self.records.append(record)
                 previous = record
                 self._refill()
@@ -334,16 +537,44 @@ class OverlapPipeline:
         finally:
             end = self._now()
             if previous is not None and previous.exec_end <= previous.exec_start:
-                previous.exec_end = end
+                self._finalize_exec(previous, end)
             self._wall_s = end
             self.close()
 
     # -- reporting ---------------------------------------------------------
 
     def _meta(self, record: IterationRecord) -> dict:
-        summary = self.stats().as_dict()
+        summary = self._summary().as_dict()
         summary.pop("plan_cache", None)
         return {**record.as_dict(), "running": summary}
+
+    def _summary(self) -> OverlapStats:
+        """Aggregate stats from the O(1) running counters, no records.
+
+        This is what every iteration's ``meta["overlap"]["running"]``
+        uses, so per-iteration bookkeeping stays constant-time no
+        matter how long the (possibly unbounded) stream has run.
+        """
+        stats = OverlapStats()
+        stats.iterations = self._iterations
+        stats.total_plan_s = self._plan_s
+        stats.total_exec_s = self._exec_s
+        stats.total_stall_s = self._stall_s
+        stats.stall_count = self._stall_count
+        stats.steady_plan_s = self._steady_plan_s
+        stats.steady_stall_s = self._steady_stall_s
+        stats.steady_stall_count = self._steady_stall_count
+        stats.cache_hits = self._cache_hits
+        if self._iterations:
+            stats.queue_depth_mean = self._depth_sum / self._iterations
+            stats.queue_depth_max = self._depth_max
+        stats.wall_s = self._wall_s or (
+            self._now() if self._origin is not None else 0.0
+        )
+        stats.replans = self.replans
+        stats.cluster_events = self.cluster_events
+        stats.plan_retries = self.plan_retries
+        return stats
 
     def stats(self) -> OverlapStats:
         """Aggregate :class:`OverlapStats` over the iterations so far.
@@ -351,30 +582,14 @@ class OverlapPipeline:
         The returned object is a snapshot: records are copied, so a
         stats object captured mid-run keeps its values when later
         iterations update the live records (the trailing record's
-        ``exec_end`` is finalized by the *next* request).
+        ``exec_end`` is finalized by the *next* request).  Totals come
+        from incrementally maintained counters and are exact even when
+        ``records_limit`` bounds the retained history; ``records`` (and
+        the derived :meth:`OverlapStats.timeline`) cover the retained
+        tail.
         """
-        records = [replace(record) for record in self.records]
-        stats = OverlapStats(records=records)
-        stats.iterations = len(records)
-        depths = []
-        for record in records:
-            stats.total_plan_s += record.plan_s
-            stats.total_exec_s += record.exec_s
-            stats.total_stall_s += record.stall
-            stalled = record.stall > STALL_EPS
-            stats.stall_count += int(stalled)
-            if record is not records[0]:
-                stats.steady_plan_s += record.plan_s
-                stats.steady_stall_s += record.stall
-                stats.steady_stall_count += int(stalled)
-            stats.cache_hits += int(record.cache_hit)
-            depths.append(record.queue_depth)
-        if depths:
-            stats.queue_depth_mean = sum(depths) / len(depths)
-            stats.queue_depth_max = max(depths)
-        stats.wall_s = self._wall_s or (
-            self._now() if self._origin is not None else 0.0
-        )
+        stats = self._summary()
+        stats.records = [replace(record) for record in self.records]
         if self.cache is not None:
             stats.plan_cache = self.cache.stats()
         return stats
@@ -383,6 +598,15 @@ class OverlapPipeline:
         if self._closed:
             return
         self._closed = True
+        if self.cache is not None:
+            # Synchronous-path window items own reservations with no
+            # backend ticket bridged to them; if the consumer stopped
+            # early they would otherwise stay in flight forever and
+            # deadlock other pipelines waiting on the shared cache.
+            for item in self._pending:
+                if (item.ticket is None and item.signature is not None
+                        and not item.cache_hit):
+                    self.cache.abandon(item.signature, epoch=item.epoch)
         if self._backend is not None:
             self._backend.close()
 
@@ -399,25 +623,31 @@ def plan_fingerprint(plan) -> bytes:
     Pickles everything the executor consumes — per-device instruction
     streams, buffer sizes, slot maps and local slices — and nothing
     incidental (``plan.meta`` holds wall-clock stats that differ run to
-    run).  Two plans with equal fingerprints execute identically; the
-    determinism tests use this to prove the pipeline yields exactly the
-    synchronous planner's plans.
+    run).  Each device's payload is pickled independently so that the
+    fingerprint does not depend on object sharing *across* device plans
+    — sharing no real wire preserves, and exactly what the KV backend's
+    per-device partial fetches dissolve.  Two plans with equal
+    fingerprints execute identically; the determinism tests use this to
+    prove the pipeline yields exactly the synchronous planner's plans.
     """
     import pickle
 
     payload = [
-        (
-            device,
-            dp.instructions,
-            sorted(dp.buffer_sizes.items()),
-            dp.local_slices,
-            sorted(dp.o_slots.items()),
-            sorted(dp.q_slots.items()),
-            sorted(dp.kv_slots.items()),
-            sorted(dp.acc_slots.items()),
-            sorted(dp.do_slots.items()),
-            sorted(dp.dq_slots.items()),
-            sorted(dp.dkv_slots.items()),
+        pickle.dumps(
+            (
+                device,
+                dp.instructions,
+                sorted(dp.buffer_sizes.items()),
+                dp.local_slices,
+                sorted(dp.o_slots.items()),
+                sorted(dp.q_slots.items()),
+                sorted(dp.kv_slots.items()),
+                sorted(dp.acc_slots.items()),
+                sorted(dp.do_slots.items()),
+                sorted(dp.dq_slots.items()),
+                sorted(dp.dkv_slots.items()),
+            ),
+            protocol=4,
         )
         for device, dp in sorted(plan.device_plans.items())
     ]

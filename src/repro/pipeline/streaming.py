@@ -1,0 +1,168 @@
+"""Streaming/online overlap pipeline: plan over an unbounded batch stream.
+
+:class:`StreamingOverlapPipeline` turns the training-shaped
+:class:`~repro.pipeline.OverlapPipeline` into the serving-shaped
+variant the ROADMAP names: the batch source is an *iterator* with no
+upfront length — typically a packer still emitting
+(:func:`repro.data.stream_packed_specs`) — and the cluster shape is no
+longer an immutable constructor argument but a live feed of device
+add/remove events (:class:`~repro.sim.ClusterEventSource`).
+
+Mechanics on top of the base pipeline:
+
+* The bounded ``lookahead + 1`` prefetch window already pulls lazily,
+  so an unbounded generator is consumed exactly ``kappa + 1`` batches
+  ahead of execution — planning overlaps both execution *and* the
+  packer's own emission.
+* Plan-cache signatures are extended with the cluster shape the plan
+  targets, so a plan for yesterday's cluster can never satisfy today's
+  lookup.
+* Between iterations the pipeline drains the event source.  On a shape
+  change it invalidates every cached entry (and releases every
+  in-flight reservation) for a stale shape, then re-dispatches the
+  whole prefetch window against the new shape: each re-dispatched job
+  counts into ``OverlapStats.replans`` and the yielded plans from then
+  on target the new cluster.  Events are observed at iteration
+  granularity — the §6.1 pipeline only ever consumes plans between
+  iterations, so that is exactly when a shape change can take effect.
+* Worker jobs (and inline fallbacks) ship a
+  :class:`ClusterPinnedPlanner` so a re-planned job targets the event's
+  shape even though the shared planner object keeps its configured
+  cluster.  Re-planning therefore requires a planner whose
+  ``plan_batch`` accepts a ``cluster`` keyword
+  (:class:`~repro.core.planner.DCPPlanner` does); without an event
+  source any ``plan_batch`` object works, as before.
+
+With ``events=None`` the streaming pipeline is behavior-identical to
+the base class — the determinism tests prove the plans are
+byte-identical to the synchronous path either way — which is why the
+dataloaders route both lists and generators through it unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..core.cache import PlanCache, batch_signature
+from ..sim.cluster import ClusterEventSource, ClusterSpec
+from .pipeline import OverlapPipeline, _Pending
+
+__all__ = ["StreamingOverlapPipeline", "ClusterPinnedPlanner"]
+
+
+@dataclass(frozen=True)
+class ClusterPinnedPlanner:
+    """Planner façade that targets one specific cluster shape.
+
+    Shipped with worker jobs (it pickles, so the process backend works)
+    so that plans dispatched after a cluster event target the event's
+    shape while the wrapped planner keeps its own configured cluster.
+    """
+
+    planner: object
+    cluster: ClusterSpec
+
+    def plan_batch(self, batch):
+        return self.planner.plan_batch(batch, cluster=self.cluster)
+
+
+class StreamingOverlapPipeline(OverlapPipeline):
+    """Online :class:`OverlapPipeline` over an unbounded batch stream.
+
+    Parameters (beyond the base class)
+    ----------------------------------
+    events:
+        Optional :class:`~repro.sim.ClusterEventSource`.  When given,
+        the pipeline polls it between iterations; device add/remove
+        events invalidate stale :class:`~repro.core.cache.PlanCache`
+        entries and re-dispatch the in-flight prefetch window against
+        the new shape (counted in ``OverlapStats.replans``).
+    """
+
+    def __init__(
+        self,
+        batches: Iterable,
+        planner,
+        *,
+        events: Optional[ClusterEventSource] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(batches, planner, **kwargs)
+        self.events = events
+        self._cluster: Optional[ClusterSpec] = (
+            events.current if events is not None else None
+        )
+        self._events_seen = events.version if events is not None else 0
+
+    # -- hook specializations ---------------------------------------------
+
+    def _signature(self, batch) -> Tuple:
+        base = batch_signature(batch)
+        if self.events is None or self._cluster is None:
+            # Without an event source the shape cannot change, so keep
+            # the base keyspace — a cache warmed through plan_batch or
+            # shared with a fixed-stream pipeline keeps hitting.
+            return base
+        return (self._cluster, base)
+
+    def _pinned(self) -> Optional[ClusterPinnedPlanner]:
+        if self.events is None or self._cluster is None:
+            return None
+        return ClusterPinnedPlanner(self.planner, self._cluster)
+
+    def _plan_inline(self, batch):
+        pinned = self._pinned()
+        if pinned is not None:
+            return pinned.plan_batch(batch)
+        return self.planner.plan_batch(batch)
+
+    def _job_planner(self):
+        return self._pinned()
+
+    def _poll_events(self) -> None:
+        if self.events is None:
+            return
+        # Observe via the version cursor, not the destructive poll():
+        # several pipelines may share one event source, and each must
+        # see every shape change.
+        version = self.events.version
+        if version == self._events_seen:
+            return
+        self.cluster_events += version - self._events_seen
+        self._events_seen = version
+        current = self.events.current
+        if current == self._cluster:
+            return  # net no-op (e.g. an add immediately undone)
+        self._cluster = current
+        if self.cache is not None:
+            self.cache.invalidate(self._is_stale_key)
+        for item in self._pending:
+            self._redispatch(item)
+
+    # -- re-planning -------------------------------------------------------
+
+    def _is_stale_key(self, key) -> bool:
+        """Cache keys carrying any cluster shape but the current one."""
+        return (
+            isinstance(key, tuple)
+            and len(key) == 2
+            and isinstance(key[0], ClusterSpec)
+            and key[0] != self._cluster
+        )
+
+    def _redispatch(self, item: _Pending) -> None:
+        """Replace a window entry's job with one targeting the new shape.
+
+        The superseded job is left to finish in the background (workers
+        cannot be preempted); its reservation was already released by
+        the invalidation above, so nothing stale is ever published.
+        """
+        self.replans += 1
+        fresh = self._submit(item.index, item.batch, redispatch=True)
+        item.ticket = fresh.ticket
+        item.signature = fresh.signature
+        item.cache_hit = fresh.cache_hit
+        item.joined = fresh.joined
+        item.epoch = fresh.epoch  # post-invalidation: publications valid
+        item.replanned = True

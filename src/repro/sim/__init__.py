@@ -1,6 +1,12 @@
 """Cluster specification, timing simulation and model cost."""
 
-from .cluster import ClusterSpec, E2E_CLUSTER, MICRO_BENCH_CLUSTER
+from .cluster import (
+    ClusterEvent,
+    ClusterEventSource,
+    ClusterSpec,
+    E2E_CLUSTER,
+    MICRO_BENCH_CLUSTER,
+)
 from .memory import MemoryReport, plan_memory
 from .modelcost import E2EResult, GPT_8B, ModelSpec, e2e_iteration_time
 from .timing import DeviceTiming, TimingResult, simulate_plan
@@ -17,6 +23,8 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "ClusterSpec",
+    "ClusterEvent",
+    "ClusterEventSource",
     "E2E_CLUSTER",
     "MICRO_BENCH_CLUSTER",
     "ModelSpec",

@@ -10,9 +10,18 @@ in the same regime as the paper's measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, List
 
-__all__ = ["ClusterSpec", "MICRO_BENCH_CLUSTER", "E2E_CLUSTER"]
+__all__ = [
+    "ClusterSpec",
+    "ClusterEvent",
+    "ClusterEventSource",
+    "MICRO_BENCH_CLUSTER",
+    "E2E_CLUSTER",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,115 @@ class ClusterSpec:
 
     def compute_time(self, flops: float) -> float:
         return flops / self.effective_flops()
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One observed cluster-shape change.
+
+    ``cluster`` is the shape *after* the event; the streaming pipeline
+    compares it against the shape its in-flight plans targeted to decide
+    what to invalidate and re-dispatch.
+    """
+
+    kind: str  # "device_add" | "device_remove" | "resize"
+    cluster: ClusterSpec
+
+
+class ClusterEventSource:
+    """Thread-safe feed of :class:`ClusterEvent` for online re-planning.
+
+    The serving-shaped pipeline cannot assume a fixed cluster: machines
+    join and leave mid-stream.  Whoever observes the change (an operator
+    thread, a health monitor, a test) calls :meth:`add_machines` /
+    :meth:`remove_machines` / :meth:`resize`; the streaming pipeline
+    drains :meth:`poll` between iterations and re-plans its prefetch
+    window against :attr:`current`.
+    """
+
+    #: Retained event history for :meth:`poll`; bounded so an unbounded
+    #: serving stream with periodic events stays O(1) memory (the
+    #: pipelines observe via :attr:`version`/:attr:`current`, which
+    #: never miss a change regardless of this buffer).
+    MAX_BUFFERED_EVENTS = 256
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self._cluster = cluster
+        self._events: Deque[ClusterEvent] = deque(
+            maxlen=self.MAX_BUFFERED_EVENTS
+        )
+        self._version = 0
+        self._lock = threading.Lock()
+
+    @property
+    def current(self) -> ClusterSpec:
+        with self._lock:
+            return self._cluster
+
+    @property
+    def version(self) -> int:
+        """Total events ever emitted — a monotonic observation cursor.
+
+        Consumers that must not race each other (several pipelines
+        sharing one source) observe via ``version``/``current`` rather
+        than the destructive :meth:`poll`: each keeps its own last-seen
+        version, so every consumer sees every shape change.
+        """
+        with self._lock:
+            return self._version
+
+    def _commit(self, cluster: ClusterSpec, kind: str) -> ClusterEvent:
+        """Record a shape change (caller holds the lock).
+
+        Read-modify-commit must happen under one lock acquisition: two
+        observers concurrently removing one machine each from a
+        3-machine cluster must end at 1 machine, not both at 2.
+        """
+        event = ClusterEvent(kind=kind, cluster=cluster)
+        self._cluster = cluster
+        self._events.append(event)
+        self._version += 1
+        return event
+
+    def emit(self, cluster: ClusterSpec, kind: str = "resize") -> ClusterEvent:
+        """Record an externally constructed shape change."""
+        with self._lock:
+            return self._commit(cluster, kind)
+
+    def add_machines(self, count: int = 1) -> ClusterEvent:
+        with self._lock:
+            cluster = replace(
+                self._cluster, num_machines=self._cluster.num_machines + count
+            )
+            return self._commit(cluster, kind="device_add")
+
+    def remove_machines(self, count: int = 1) -> ClusterEvent:
+        with self._lock:
+            remaining = self._cluster.num_machines - count
+            if remaining < 1:
+                raise ValueError("cannot remove the last machine")
+            cluster = replace(self._cluster, num_machines=remaining)
+            return self._commit(cluster, kind="device_remove")
+
+    def resize(self, **changes) -> ClusterEvent:
+        with self._lock:
+            cluster = replace(self._cluster, **changes)
+            return self._commit(cluster, kind="resize")
+
+    def poll(self) -> List[ClusterEvent]:
+        """Drain and return events accumulated since the last poll.
+
+        Destructive and therefore single-consumer; concurrent pipeline
+        consumers use :attr:`version`/:attr:`current` instead.
+        """
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._events)
 
 
 #: The paper's micro-benchmark testbed: 4 p4de nodes, 32 GPUs (§7.1).

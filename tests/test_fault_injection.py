@@ -5,21 +5,36 @@ reproduction; these tests verify they *detect* broken instruction
 streams (lost launches, duplicate messages, missing waits) instead of
 silently producing wrong numbers — the failure modes a real
 distributed attention runtime deadlocks or corrupts on.
+
+The pipeline half of the battery injects faults *upstream* of the
+plans: planner workers that raise or hang mid-plan must be
+retried/respawned on all three backends without deadlocking the
+prefetch window, and a mid-stream device-removal event must produce a
+valid re-plan rather than a stale-cache hit.
 """
 
 import dataclasses
+import multiprocessing
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro import AttentionSpec, BatchSpec, ClusterSpec, generate_blocks
-from repro.core import DCPConfig, DCPPlanner
+from repro.core import DCPConfig, DCPPlanner, KVStore, PlanCache, PlannerPool
 from repro.masks import CausalMask
+from repro.pipeline import (
+    KVPlannerBackend,
+    OverlapPipeline,
+    StreamingOverlapPipeline,
+    plan_fingerprint,
+)
 from repro.runtime import BatchInputs, SimExecutor
 from repro.runtime.fabric import Fabric
 from repro.scheduling import PlanValidationError, validate_plan
 from repro.scheduling.instructions import CommLaunch, CommWait
-from repro.sim import simulate_plan
+from repro.sim import ClusterEventSource, simulate_plan
 
 ATTENTION = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
 CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
@@ -146,6 +161,222 @@ class TestValidatorDetection:
         _strip(plan, device, lambda ins: ins.kind == "comm_wait")
         with pytest.raises(PlanValidationError):
             validate_plan(plan)
+
+
+def _pipeline_planner(cluster=CLUSTER):
+    return DCPPlanner(
+        cluster, attention=ATTENTION,
+        config=DCPConfig(block_size=16, restarts=1),
+    )
+
+
+def _pipeline_batches(count=4):
+    mask = CausalMask()
+    return [
+        BatchSpec.build([48 + 16 * (i % 3), 32], mask) for i in range(count)
+    ]
+
+
+class CrashingPlanner:
+    """Raises for the first ``failures`` plan calls (threads share it)."""
+
+    def __init__(self, planner, failures):
+        self.planner = planner
+        self.failures = failures
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def plan_batch(self, batch):
+        with self._lock:
+            self.calls += 1
+            crash = self.calls <= self.failures
+        if crash:
+            raise RuntimeError("injected planner crash")
+        return self.planner.plan_batch(batch)
+
+
+class WorkerOnlyCrashPlanner:
+    """Raises in worker *processes*, plans fine in the main process.
+
+    Process workers cannot share a call counter with the parent, so the
+    injected fault keys off the process identity instead: every
+    dispatch to the process pool dies, and only the pipeline's inline
+    last-resort path (which runs in the main process) can succeed.
+    """
+
+    def __init__(self, planner):
+        self.planner = planner
+
+    def plan_batch(self, batch):
+        if multiprocessing.current_process().name != "MainProcess":
+            raise RuntimeError("injected worker-process crash")
+        return self.planner.plan_batch(batch)
+
+
+class HangingPlanner:
+    """Sleeps out ``delay`` on the first ``hangs`` calls, then plans."""
+
+    def __init__(self, planner, hangs, delay=0.6):
+        self.planner = planner
+        self.hangs = hangs
+        self.delay = delay
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def plan_batch(self, batch):
+        with self._lock:
+            self.calls += 1
+            hang = self.calls <= self.hangs
+        if hang:
+            time.sleep(self.delay)
+        return self.planner.plan_batch(batch)
+
+
+class TestPlannerWorkerFaults:
+    """Raising/hanging planner workers must not deadlock the window."""
+
+    def _check_all_plans(self, pipeline, batches, reference_planner):
+        plans = [plan for _, plan in pipeline]
+        assert len(plans) == len(batches)
+        for plan, batch in zip(plans, batches):
+            assert plan_fingerprint(plan) == plan_fingerprint(
+                reference_planner.plan_batch(batch)
+            )
+        return pipeline.stats()
+
+    def test_thread_worker_crash_retried(self):
+        reference = _pipeline_planner()
+        flaky = CrashingPlanner(_pipeline_planner(), failures=2)
+        batches = _pipeline_batches(4)
+        pipeline = OverlapPipeline(
+            batches, flaky, lookahead=2, max_workers=2
+        )
+        stats = self._check_all_plans(pipeline, batches, reference)
+        assert stats.plan_retries >= 2
+
+    def test_thread_worker_hang_respawned(self):
+        reference = _pipeline_planner()
+        hangy = HangingPlanner(_pipeline_planner(), hangs=1)
+        batches = _pipeline_batches(4)
+        pipeline = OverlapPipeline(
+            batches, hangy, lookahead=1, max_workers=2, plan_timeout=0.1
+        )
+        stats = self._check_all_plans(pipeline, batches, reference)
+        assert stats.plan_retries >= 1
+
+    def test_hang_recovery_with_saturated_pool_and_throttle(self):
+        """A hung worker permanently owns its pool thread and throttle
+        slot; respawns must escape both (dedicated threads), or one
+        hang would wedge background planning for the rest of the run."""
+        reference = _pipeline_planner()
+        hangy = HangingPlanner(_pipeline_planner(), hangs=1, delay=5.0)
+        batches = _pipeline_batches(4)
+        pipeline = OverlapPipeline(
+            batches, hangy, lookahead=1, max_workers=1,
+            max_concurrent_plans=1, plan_timeout=0.15,
+        )
+        import time as _time
+
+        begin = _time.monotonic()
+        stats = self._check_all_plans(pipeline, batches, reference)
+        elapsed = _time.monotonic() - begin
+        # One escape-thread respawn per affected item, not the
+        # retry-retry-inline spiral (two per item) that re-queueing
+        # into the wedged pool would produce.
+        assert 1 <= stats.plan_retries <= len(batches)
+        # Recovery must not serialize on the 5s hang.  Generous bound:
+        # the claim is "did not wait out the hang", not a latency SLO.
+        assert elapsed < 4.0
+
+    def test_process_worker_crash_falls_back_inline(self):
+        reference = _pipeline_planner()
+        flaky = WorkerOnlyCrashPlanner(_pipeline_planner())
+        batches = _pipeline_batches(3)
+        pipeline = OverlapPipeline(
+            batches, flaky, lookahead=1, max_workers=2,
+            backend="process", max_plan_retries=1,
+        )
+        stats = self._check_all_plans(pipeline, batches, reference)
+        # Every batch: one dispatch + one respawn fail before inline.
+        assert stats.plan_retries >= len(batches)
+
+    def test_kv_worker_crash_respawned(self):
+        reference = _pipeline_planner()
+        flaky = CrashingPlanner(_pipeline_planner(), failures=2)
+        batches = _pipeline_batches(4)
+        with PlannerPool(flaky, KVStore(), num_machines=2) as pool:
+            pipeline = OverlapPipeline(
+                batches, flaky, lookahead=1,
+                backend=KVPlannerBackend(pool),
+            )
+            stats = self._check_all_plans(pipeline, batches, reference)
+        assert stats.plan_retries >= 2
+
+    def test_kv_worker_hang_respawned(self):
+        reference = _pipeline_planner()
+        hangy = HangingPlanner(_pipeline_planner(), hangs=1)
+        batches = _pipeline_batches(3)
+        with PlannerPool(hangy, KVStore(), cores_per_machine=2) as pool:
+            pipeline = OverlapPipeline(
+                batches, hangy, lookahead=1,
+                backend=KVPlannerBackend(pool), plan_timeout=0.15,
+            )
+            stats = self._check_all_plans(pipeline, batches, reference)
+        assert stats.plan_retries >= 1
+
+    def test_crash_with_cache_releases_reservation(self):
+        """A failed owner must not leave waiters stuck on its signature."""
+        flaky = CrashingPlanner(_pipeline_planner(), failures=1)
+        cache = PlanCache(flaky, capacity=8)
+        mask = CausalMask()
+        batches = [BatchSpec.build([48, 32], mask) for _ in range(3)]
+        pipeline = OverlapPipeline(
+            batches, flaky, lookahead=2, max_workers=2, cache=cache
+        )
+        plans = [plan for _, plan in pipeline]
+        assert len(plans) == 3
+        stats = cache.stats()
+        assert stats["size"] >= 1  # the retried plan landed in the cache
+
+
+class TestClusterFaults:
+    def test_device_removal_produces_valid_replan(self):
+        """Removal mid-stream: re-plan validates, no stale-cache hit."""
+        planner = _pipeline_planner()
+        cache = PlanCache(planner, capacity=8)
+        events = ClusterEventSource(CLUSTER)
+        mask = CausalMask()
+        # One signature throughout: the pre-event plan is cached, so a
+        # stale-cache bug would happily serve it after the removal.
+        batches = [BatchSpec.build([64, 32], mask) for _ in range(4)]
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1,
+            cache=cache, events=events,
+        )
+        plans = []
+        for i, (_, plan) in enumerate(pipeline):
+            plans.append(plan)
+            if i == 0:
+                events.remove_machines(1)
+        shrunk = ClusterSpec(num_machines=1, devices_per_machine=2)
+        assert plans[0].cluster == CLUSTER
+        for plan in plans[1:]:
+            assert plan.cluster == shrunk
+            validate_plan(plan)
+        assert pipeline.stats().replans >= 1
+        # The re-planned batches execute correctly on the new shape.
+        from repro.runtime import reference_batch_outputs
+
+        plan = plans[-1]
+        executor = SimExecutor(plan)
+        inputs = BatchInputs.random(plan.block_set, seed=0)
+        executor.load_inputs(inputs)
+        executor.run()
+        for out, ref in zip(
+            executor.gather_outputs(),
+            reference_batch_outputs(plan.block_set, inputs),
+        ):
+            np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
 
 
 class TestFabric:

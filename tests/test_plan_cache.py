@@ -133,6 +133,259 @@ class TestThreadSafety:
         assert stats["hits"] + stats["misses"] == 8 * lookups_per_thread
         assert len(cache) <= cache.capacity
 
+    def test_reserve_exactly_one_dispatch_under_contention(self):
+        """N threads reserving one signature => one planner dispatch.
+
+        Regression for the lock-guarded get/put added in PR 2: the
+        check-cache / check-in-flight / claim sequence must be atomic,
+        or two racing threads both plan the signature.  A counting
+        backend stub stands in for the planner worker.
+        """
+        import threading
+
+        from repro.core import batch_signature
+
+        class CountingBackendStub:
+            def __init__(self, plan):
+                self.plan = plan
+                self.dispatches = 0
+                self._lock = threading.Lock()
+
+            def dispatch(self):
+                with self._lock:
+                    self.dispatches += 1
+                return self.plan
+
+        cache = make_cache(capacity=8)
+        spec = batch([48, 32])
+        key = batch_signature(spec)
+        stub = CountingBackendStub(cache.planner.plan_batch(spec))
+        barrier = threading.Barrier(12)
+        results = []
+        errors = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                barrier.wait()
+                status, payload, _epoch = cache.reserve(key)
+                if status == "own":
+                    plan = stub.dispatch()
+                    cache.fulfill(key, plan)
+                elif status == "wait":
+                    plan = payload.result(timeout=5)
+                else:
+                    plan = payload
+                with lock:
+                    results.append(plan)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert stub.dispatches == 1
+        assert len(results) == 12
+        assert all(plan is stub.plan for plan in results)
+        assert cache.get(key) is stub.plan
+
+    def test_reserve_stress_many_rounds_and_keys(self):
+        """Repeated contention rounds: one dispatch per (round, key)."""
+        import threading
+
+        from repro.core import batch_signature
+
+        cache = make_cache(capacity=32)
+        specs = [batch([16 * (1 + i)]) for i in range(3)]
+        keys = [batch_signature(s) for s in specs]
+        plans = {k: cache.planner.plan_batch(s)
+                 for k, s in zip(keys, specs)}
+        dispatches = {k: 0 for k in keys}
+        lock = threading.Lock()
+        errors = []
+
+        def worker(seed):
+            try:
+                for round_index in range(10):
+                    key = keys[(seed + round_index) % len(keys)]
+                    status, payload, _epoch = cache.reserve(key)
+                    if status == "own":
+                        with lock:
+                            dispatches[key] += 1
+                        cache.fulfill(key, plans[key])
+                    elif status == "wait":
+                        assert payload.result(timeout=5) is plans[key]
+                    else:
+                        assert payload is plans[key]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every key is planned exactly once, ever: after the first
+        # fulfill it is cached, so later rounds are hits.
+        assert all(count == 1 for count in dispatches.values())
+
+    def test_abandoned_reservation_releases_waiters(self):
+        import threading
+
+        from repro.core import PlanAbandoned, batch_signature
+
+        cache = make_cache()
+        key = batch_signature(batch([48, 32]))
+        status, _future, _epoch = cache.reserve(key)
+        assert status == "own"
+        status, future, _epoch = cache.reserve(key)
+        assert status == "wait"
+        released = []
+
+        def waiter():
+            try:
+                future.result(timeout=5)
+            except PlanAbandoned:
+                released.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        cache.abandon(key)
+        thread.join(timeout=5)
+        assert released == [True]
+        # The key is claimable again after the abandon.
+        status, _future, _epoch = cache.reserve(key)
+        assert status == "own"
+        cache.abandon(key)
+
+    def test_invalidate_drops_matching_entries_and_reservations(self):
+        from repro.core import PlanAbandoned, batch_signature
+
+        cache = make_cache(capacity=8)
+        stay, go = batch([16]), batch([32])
+        cache.plan_batch(stay)
+        cache.plan_batch(go)
+        go_key = batch_signature(go)
+        pending = batch([48])
+        pending_key = batch_signature(pending)
+        status, future, _epoch = cache.reserve(pending_key)
+        assert status == "own"
+        dropped = cache.invalidate(
+            lambda key: key in (go_key, pending_key)
+        )
+        assert dropped == 1  # one cached entry; the reservation is extra
+        assert cache.get(batch_signature(stay)) is not None
+        assert batch_signature(go) not in cache
+        with pytest.raises(PlanAbandoned):
+            future.result(timeout=1)
+        assert cache.stats()["invalidations"] == 1
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.plan_batch(batch([16]))
+        cache.plan_batch(batch([32]))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_publish_rejected_after_invalidation_epoch(self):
+        """A plan computed across an invalidation (the pipeline's retry
+        path) must not resurrect the stale entry."""
+        from repro.core import batch_signature
+
+        cache = make_cache()
+        spec = batch([48, 32])
+        key = batch_signature(spec)
+        epoch = cache.epoch
+        status, _future, _epoch = cache.reserve(key)
+        assert status == "own"
+        plan = cache.planner.plan_batch(spec)
+        cache.invalidate()  # bumps the epoch, drops the reservation
+        assert not cache.publish(key, plan, epoch)
+        assert key not in cache
+
+    def test_publish_with_current_epoch_fulfills_waiters(self):
+        from repro.core import batch_signature
+
+        cache = make_cache()
+        spec = batch([48, 32])
+        key = batch_signature(spec)
+        epoch = cache.epoch
+        assert cache.reserve(key)[0] == "own"
+        status, future, _epoch = cache.reserve(key)
+        assert status == "wait"
+        plan = cache.planner.plan_batch(spec)
+        assert cache.publish(key, plan, epoch)
+        assert future.result(timeout=1) is plan
+        assert cache.get(key) is plan
+
+    def test_publish_honors_surviving_reservation_across_epochs(self):
+        """An invalidation that does not target a key must not strand
+        that key's waiters: the surviving reservation is fulfilled even
+        though the global epoch moved."""
+        from repro.core import batch_signature
+
+        cache = make_cache()
+        keep_spec, drop_spec = batch([48, 32]), batch([16])
+        keep_key = batch_signature(keep_spec)
+        drop_key = batch_signature(drop_spec)
+        epoch = cache.epoch
+        assert cache.reserve(keep_key)[0] == "own"
+        status, future, _epoch = cache.reserve(keep_key)
+        assert status == "wait"
+        cache.plan_batch(drop_spec)
+        cache.invalidate(lambda key: key == drop_key)  # bumps the epoch
+        plan = cache.planner.plan_batch(keep_spec)
+        assert cache.publish(keep_key, plan, epoch)  # reservation survived
+        assert future.result(timeout=1) is plan
+
+    def test_publish_never_adopts_post_invalidation_reservation(self):
+        """A stale (pre-invalidation) publication must not fulfill a
+        reservation a *newer* cohort created after the invalidation —
+        invalidate(None) exists exactly to force re-planning for state
+        the key does not capture."""
+        from repro.core import batch_signature
+
+        cache = make_cache()
+        spec = batch([48, 32])
+        key = batch_signature(spec)
+        old_epoch = cache.epoch
+        assert cache.reserve(key)[0] == "own"
+        stale_plan = cache.planner.plan_batch(spec)
+        cache.invalidate()  # pops the old reservation, bumps the epoch
+        assert cache.reserve(key)[0] == "own"  # new cohort claims it
+        status, waiter, _epoch = cache.reserve(key)
+        assert status == "wait"
+        # The old cohort's late publication is refused outright...
+        assert not cache.publish(key, stale_plan, old_epoch)
+        assert key not in cache
+        assert not waiter.done()
+        # ...and its late failure cannot shoot the new claim down.
+        cache.abandon(key, RuntimeError("old crash"), epoch=old_epoch)
+        assert not waiter.done()
+        # The new cohort publishes normally.
+        fresh_plan = cache.planner.plan_batch(spec)
+        assert cache.publish(key, fresh_plan, cache.epoch)
+        assert waiter.result(timeout=1) is fresh_plan
+
+    def test_fulfill_after_invalidate_does_not_resurrect(self):
+        """A worker finishing after invalidation must not re-publish."""
+        from repro.core import batch_signature
+
+        cache = make_cache()
+        key = batch_signature(batch([48, 32]))
+        status, _future, _epoch = cache.reserve(key)
+        assert status == "own"
+        plan = cache.planner.plan_batch(batch([48, 32]))
+        cache.invalidate(lambda k: k == key)
+        assert not cache.fulfill(key, plan)
+        assert key not in cache
+
     def test_concurrent_get_put_consistency(self):
         import threading
 

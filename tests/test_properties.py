@@ -190,3 +190,140 @@ def test_generate_blocks_conserves_tokens_and_pairs(seqlens, block):
     assert sum(ts.tokens for ts in blocks.token_slices) == sum(seqlens)
     expected_pairs = sum(n * (n + 1) // 2 for n in seqlens)
     assert blocks.total_pairs == expected_pairs * spec.head_groups
+
+
+# -- streaming overlap pipeline ---------------------------------------------------
+
+def _pipeline_planner():
+    from repro import ClusterSpec
+    from repro.core import DCPConfig, DCPPlanner
+
+    cluster = ClusterSpec(num_machines=1, devices_per_machine=2)
+    attention = AttentionSpec(num_q_heads=2, num_kv_groups=1, head_dim=8)
+    return DCPPlanner(
+        cluster, attention, DCPConfig(block_size=16, restarts=1)
+    )
+
+
+class _DelayedPlanner:
+    """Injects a fixed delay per plan (threads share the wrapper)."""
+
+    def __init__(self, planner, delay):
+        self.planner = planner
+        self.delay = delay
+
+    def plan_batch(self, batch):
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
+        return self.planner.plan_batch(batch)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    num_batches=st.integers(1, 5),
+    kappa=st.integers(0, 3),
+    workers=st.integers(1, 3),
+    delay=st.sampled_from([0.0, 0.005, 0.02]),
+)
+@settings(max_examples=10, deadline=None)
+def test_streaming_plans_byte_identical_to_synchronous(
+    seed, num_batches, kappa, workers, delay
+):
+    """For random stream lengths, kappa, worker counts and injected
+    planner delays, the streaming pipeline's plans are byte-identical
+    (plan_fingerprint) to the synchronous path."""
+    from repro.pipeline import StreamingOverlapPipeline, plan_fingerprint
+
+    rng = np.random.default_rng(seed)
+    planner = _pipeline_planner()
+    batches = [
+        BatchSpec.build(
+            [int(n) for n in rng.integers(16, 64, rng.integers(1, 3))],
+            CausalMask(),
+        )
+        for _ in range(num_batches)
+    ]
+    synchronous = [plan_fingerprint(planner.plan_batch(b)) for b in batches]
+    delayed = _DelayedPlanner(planner, delay)
+    pipeline = StreamingOverlapPipeline(
+        (b for b in batches),  # generator: no upfront length
+        delayed,
+        lookahead=kappa,
+        max_workers=workers,
+    )
+    streamed = [plan for _, plan in pipeline]
+    assert len(streamed) == num_batches
+    for fast, reference in zip(streamed, synchronous):
+        assert plan_fingerprint(fast) == reference
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    num_batches=st.integers(1, 6),
+    kappa=st.integers(0, 3),
+    workers=st.integers(1, 3),
+    delay=st.sampled_from([0.0, 0.01]),
+    exec_s=st.sampled_from([0.0, 0.01]),
+)
+@settings(max_examples=10, deadline=None)
+def test_overlap_stats_invariants(
+    seed, num_batches, kappa, workers, delay, exec_s
+):
+    """OverlapStats invariants: hidden fractions live in [0, 1], the
+    totals are consistent sums of the records, and stalls + execution
+    intervals tile the measured wall clock."""
+    import time
+
+    from repro.pipeline import StreamingOverlapPipeline
+
+    rng = np.random.default_rng(seed)
+    planner = _pipeline_planner()
+    batches = [
+        BatchSpec.build([int(rng.integers(16, 64)), 16], CausalMask())
+        for _ in range(num_batches)
+    ]
+    pipeline = StreamingOverlapPipeline(
+        iter(batches),
+        _DelayedPlanner(planner, delay),
+        lookahead=kappa,
+        max_workers=workers,
+    )
+    for _, _plan in pipeline:
+        if exec_s:
+            time.sleep(exec_s)
+    stats = pipeline.stats()
+    assert stats.iterations == num_batches
+    assert 0.0 <= stats.hidden_fraction <= 1.0
+    assert 0.0 <= stats.steady_hidden_fraction <= 1.0
+    assert stats.total_plan_s >= 0.0
+    assert stats.total_stall_s >= 0.0
+    assert stats.stall_count <= stats.iterations
+    assert stats.steady_stall_count <= max(stats.iterations - 1, 0)
+    assert stats.replans == 0 and stats.cluster_events == 0
+    # Records tile: each iteration contributes [requested, ready] stall
+    # then [ready, next request] execution, so stalls + exec intervals
+    # cover the wall clock up to the pre-first-request dispatch sliver.
+    covered = stats.total_stall_s + stats.total_exec_s
+    assert covered <= stats.wall_s + 1e-6
+    assert stats.wall_s - covered <= 0.05
+    # Per-record sanity: non-negative intervals, orderly timeline.
+    for record in stats.records:
+        assert record.plan_s >= 0.0
+        assert record.exec_s >= -1e-9
+        assert record.stall >= 0.0
+        assert record.exec_start <= record.exec_end + 1e-9
+
+
+@given(
+    lengths=st.lists(st.integers(0, 4000), min_size=0, max_size=60),
+    budget=st.integers(100, 8000),
+    cap=st.one_of(st.none(), st.integers(50, 4000)),
+)
+def test_stream_pack_matches_pack_batches(lengths, budget, cap):
+    """The online packer is element-for-element the offline packer."""
+    from repro.data import stream_pack
+
+    streamed = list(stream_pack(iter(lengths), budget, cap))
+    assert streamed == pack_batches(lengths, budget, cap)

@@ -1,0 +1,553 @@
+"""Tests for the streaming overlap pipeline (online §6.1).
+
+Covers the serving-shaped behaviors the fixed-stream tests cannot:
+generator-fed batch sources with no upfront length, mid-stream
+cluster-shape events (invalidation + re-dispatch + ``replans``
+accounting), the dataloaders' streaming routing, the streaming packer,
+and the KV backend's per-device partial plan fetches.
+"""
+
+import itertools
+import threading
+import time
+
+import pytest
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    make_mask,
+)
+from repro.core import (
+    DCPDataloader,
+    DistributedDataloader,
+    KVStore,
+    PlanCache,
+    PlannerPool,
+    batch_signature,
+)
+from repro.data import pack_batches, stream_pack, stream_packed_specs
+from repro.pipeline import (
+    KVPlannerBackend,
+    PipelineRunner,
+    StreamingOverlapPipeline,
+    plan_fingerprint,
+)
+from repro.sim import ClusterEvent, ClusterEventSource
+
+CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
+ATTENTION = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+
+
+def make_planner(cluster=CLUSTER, block_size=16):
+    return DCPPlanner(
+        cluster, ATTENTION, DCPConfig(block_size=block_size, restarts=1)
+    )
+
+
+def make_batches(count=4, base=48):
+    mask = make_mask("causal")
+    return [
+        BatchSpec.build([base + 16 * (i % 3), 32], mask) for i in range(count)
+    ]
+
+
+class TestEventSource:
+    def test_add_remove_resize(self):
+        events = ClusterEventSource(CLUSTER)
+        assert events.current == CLUSTER
+        added = events.add_machines(2)
+        assert added.kind == "device_add"
+        assert events.current.num_machines == 4
+        removed = events.remove_machines(3)
+        assert removed.kind == "device_remove"
+        assert events.current.num_machines == 1
+        resized = events.resize(devices_per_machine=4)
+        assert resized.kind == "resize"
+        assert events.current.devices_per_machine == 4
+        assert events.pending() == 3
+        drained = events.poll()
+        assert [e.kind for e in drained] == [
+            "device_add", "device_remove", "resize"
+        ]
+        assert events.poll() == []
+
+    def test_cannot_remove_last_machine(self):
+        events = ClusterEventSource(ClusterSpec(num_machines=1))
+        with pytest.raises(ValueError):
+            events.remove_machines(1)
+        assert events.pending() == 0
+
+    def test_events_are_values(self):
+        event = ClusterEvent(kind="resize", cluster=CLUSTER)
+        assert event.cluster.num_devices == CLUSTER.num_devices
+
+    def test_concurrent_mutations_are_atomic(self):
+        """Read-modify-commit races must not lose updates: N observers
+        each adding one machine must land on exactly initial + N."""
+        events = ClusterEventSource(CLUSTER)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def observer():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    events.add_machines(1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=observer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert events.current.num_machines == CLUSTER.num_machines + 40
+        assert len(events.poll()) == 40
+
+
+class TestGeneratorStream:
+    def test_generator_fed_plans_byte_identical(self):
+        """An unbounded-looking source yields exactly the sync plans."""
+        planner = make_planner()
+        batches = make_batches(5)
+        sync = [planner.plan_batch(b) for b in batches]
+        pipeline = StreamingOverlapPipeline(
+            (b for b in batches), planner, lookahead=2, max_workers=2
+        )
+        streamed = [plan for _, plan in pipeline]
+        assert len(streamed) == len(sync)
+        for fast, slow in zip(streamed, sync):
+            assert plan_fingerprint(fast) == plan_fingerprint(slow)
+
+    def test_window_never_overruns_the_stream(self):
+        """The pipeline pulls at most lookahead+1 batches ahead."""
+        planner = make_planner()
+        batches = make_batches(6)
+        pulled = []
+
+        def source():
+            for batch in batches:
+                pulled.append(len(pulled))
+                yield batch
+
+        pipeline = StreamingOverlapPipeline(
+            source(), planner, lookahead=1, max_workers=1
+        )
+        consumed = 0
+        for _, _plan in pipeline:
+            consumed += 1
+            # Never more than the executing batch + the full window.
+            assert len(pulled) <= consumed + pipeline.lookahead + 1
+        assert consumed == len(batches)
+
+    def test_infinite_stream_truncated_by_consumer(self):
+        planner = make_planner()
+        template = make_batches(3)
+        endless = itertools.cycle(template)
+        pipeline = StreamingOverlapPipeline(
+            endless, planner, lookahead=1, max_workers=1
+        )
+        taken = list(itertools.islice(iter(pipeline), 5))
+        assert len(taken) == 5
+        pipeline.close()
+
+    def test_packer_feeds_pipeline_directly(self):
+        """stream_packed_specs -> pipeline without materializing."""
+        planner = make_planner()
+        mask = make_mask("causal")
+        lengths = [40, 56, 32, 64, 48, 40, 32]
+        stream = stream_packed_specs(
+            iter(lengths), mask, token_budget=96, max_seqlen=64
+        )
+        pipeline = StreamingOverlapPipeline(
+            stream, planner, lookahead=2, max_workers=2
+        )
+        plans = [plan for _, plan in pipeline]
+        packed = pack_batches(lengths, token_budget=96, max_seqlen=64)
+        assert len(plans) == len(packed)
+
+
+class TestStreamPacker:
+    def test_stream_pack_matches_pack_batches(self):
+        lengths = [500, 1200, 90, 3000, 77, 1500, 640, 2048]
+        assert list(stream_pack(lengths, token_budget=2048)) == pack_batches(
+            lengths, token_budget=2048
+        )
+
+    def test_stream_pack_truncates_and_skips(self):
+        got = list(stream_pack([0, 5000, 3, -2], token_budget=1000))
+        assert got == pack_batches([0, 5000, 3, -2], token_budget=1000)
+        assert got == [[1000], [3]]
+
+    def test_stream_pack_is_lazy(self):
+        seen = []
+
+        def source():
+            for n in [600, 600, 600, 600]:
+                seen.append(n)
+                yield n
+
+        stream = stream_pack(source(), token_budget=1000)
+        assert seen == []
+        first = next(stream)
+        assert first == [600]
+        # Emitting batch 1 required reading only one length past it.
+        assert len(seen) == 2
+
+    def test_stream_pack_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            list(stream_pack([1], token_budget=0))
+
+
+class TestClusterEvents:
+    def test_removal_triggers_replan_and_new_shape(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(5)
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=2, max_workers=2, events=events
+        )
+        plans = []
+        for i, (_, plan) in enumerate(pipeline):
+            plans.append(plan)
+            if i == 1:
+                events.remove_machines(1)
+        stats = pipeline.stats()
+        assert stats.cluster_events == 1
+        assert stats.replans >= 1
+        assert plans[0].cluster == CLUSTER
+        shrunk = ClusterSpec(num_machines=1, devices_per_machine=2)
+        assert plans[-1].cluster == shrunk
+        assert plans[-1].num_devices == 2
+        # Post-event plans match a planner configured for the new shape.
+        fresh = make_planner(cluster=shrunk)
+        assert plan_fingerprint(plans[-1]) == plan_fingerprint(
+            fresh.plan_batch(batches[-1])
+        )
+        assert any(r.replanned for r in stats.records)
+
+    def test_addition_also_replans(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(4)
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1, events=events
+        )
+        iterator = iter(pipeline)
+        next(iterator)
+        events.add_machines(1)
+        rest = [plan for _, plan in iterator]
+        assert pipeline.stats().replans >= 1
+        assert rest[-1].cluster.num_machines == 3
+
+    def test_event_invalidates_cache_not_stale_hit(self):
+        """After removal the cached old-shape plan must not be served."""
+        planner = make_planner()
+        cache = PlanCache(planner, capacity=16)
+        events = ClusterEventSource(CLUSTER)
+        mask = make_mask("causal")
+        batches = [BatchSpec.build([48, 32], mask) for _ in range(4)]
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1,
+            cache=cache, events=events,
+        )
+        plans = []
+        for i, (_, plan) in enumerate(pipeline):
+            plans.append(plan)
+            if i == 0:
+                events.remove_machines(1)
+        assert plans[0].cluster == CLUSTER
+        for plan in plans[1:]:
+            assert plan.cluster.num_machines == 1
+            assert plan is not plans[0]
+        assert cache.stats()["invalidations"] >= 1
+
+    def test_shared_event_source_reaches_every_pipeline(self):
+        """Two pipelines on one event source must both observe a shape
+        change — observation is cursor-based, not a destructive drain
+        that only the first poller wins."""
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(4)
+        first = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1, events=events
+        )
+        second = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1, events=events
+        )
+        it_first, it_second = iter(first), iter(second)
+        next(it_first)
+        next(it_second)
+        events.remove_machines(1)
+        last_first = [plan for _, plan in it_first][-1]
+        last_second = [plan for _, plan in it_second][-1]
+        for pipeline, last in ((first, last_first), (second, last_second)):
+            assert pipeline.stats().cluster_events == 1
+            assert pipeline.stats().replans >= 1
+            assert last.cluster.num_machines == 1
+
+    def test_no_op_event_does_not_replan(self):
+        """An add immediately undone nets out: no re-dispatch."""
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(4)
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=1, max_workers=1, events=events
+        )
+        iterator = iter(pipeline)
+        next(iterator)
+        events.add_machines(1)
+        events.remove_machines(1)
+        list(iterator)
+        stats = pipeline.stats()
+        assert stats.cluster_events == 2
+        assert stats.replans == 0
+
+    def test_redispatch_refreshes_epoch(self):
+        """Re-dispatched window items must carry the post-invalidation
+        epoch, or their retry-path publications would all be rejected
+        (stranding the owned reservations)."""
+        planner = make_planner()
+        cache = PlanCache(planner, capacity=16)
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(4)
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), planner, lookahead=2, max_workers=1,
+            cache=cache, events=events,
+        )
+        iterator = iter(pipeline)
+        next(iterator)
+        events.remove_machines(1)
+        next(iterator)  # observes the event, re-dispatches the window
+        assert pipeline.replans >= 1
+        for item in pipeline._pending:
+            assert item.epoch == cache.epoch
+        list(iterator)
+
+    def test_invalid_shapes_rejected_before_commit(self):
+        """ClusterSpec validation runs inside replace(), so a bogus
+        resize raises at the emit site and commits nothing."""
+        events = ClusterEventSource(CLUSTER)
+        with pytest.raises(ValueError):
+            events.resize(num_machines=0)
+        with pytest.raises(ValueError):
+            events.add_machines(-CLUSTER.num_machines - 1)
+        assert events.current == CLUSTER
+        assert events.version == 0
+
+    def test_kv_pool_bookkeeping_pruned_after_consumption(self):
+        """Consumed iterations must not pin plans in pool/backend maps
+        — the KV path's half of the O(1)-memory streaming story."""
+        planner = make_planner()
+        batches = make_batches(4)
+        with PlannerPool(planner, KVStore(), num_machines=2) as pool:
+            backend = KVPlannerBackend(pool)
+            pipeline = StreamingOverlapPipeline(
+                iter(batches), planner, lookahead=1, backend=backend
+            )
+            plans = [plan for _, plan in pipeline]
+            assert len(plans) == 4
+            assert pool._submitted == {}
+            assert pool._generations == {}
+            assert pool._publish_locks == {}
+            assert backend._latest == {}
+
+    def test_event_buffer_is_bounded(self):
+        events = ClusterEventSource(CLUSTER)
+        for _ in range(ClusterEventSource.MAX_BUFFERED_EVENTS + 50):
+            events.add_machines(1)
+        assert events.version == ClusterEventSource.MAX_BUFFERED_EVENTS + 50
+        drained = events.poll()
+        assert len(drained) == ClusterEventSource.MAX_BUFFERED_EVENTS
+
+    def test_signatures_carry_cluster_shape(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        pipeline = StreamingOverlapPipeline(
+            [], planner, lookahead=1, events=events,
+            cache=PlanCache(planner),
+        )
+        batch = make_batches(1)[0]
+        key = pipeline._signature(batch)
+        assert key == (CLUSTER, batch_signature(batch))
+        assert list(pipeline) == []
+
+    def test_no_events_keeps_base_keyspace(self):
+        """Without an event source the shape cannot change, so a cache
+        warmed through plan_batch (base signatures) must keep hitting —
+        the dataloaders route everything through the streaming path."""
+        planner = make_planner()
+        cache = PlanCache(planner, capacity=8)
+        mask = make_mask("causal")
+        batch = BatchSpec.build([48, 32], mask)
+        warm = cache.plan_batch(batch)  # keyed by batch_signature
+        pipeline = StreamingOverlapPipeline(
+            [BatchSpec.build([48, 32], mask)], planner,
+            lookahead=1, cache=cache,
+        )
+        plans = [plan for _, plan in pipeline]
+        assert plans[0] is warm  # served from the warmed entry
+        assert pipeline.stats().cache_hits == 1
+
+
+class TestDataloaderRouting:
+    def test_dcp_dataloader_accepts_generator(self):
+        planner = make_planner()
+        batches = make_batches(3)
+        loader = DCPDataloader((b for b in batches), planner, lookahead=1)
+        plans = [plan for _, plan in loader]
+        sync = [planner.plan_batch(b) for b in batches]
+        assert len(plans) == 3
+        for a, b in zip(plans, sync):
+            assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_dcp_dataloader_events(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        loader = DCPDataloader(
+            make_batches(4), planner, lookahead=1, events=events
+        )
+        plans = []
+        for i, (_, plan) in enumerate(loader):
+            plans.append(plan)
+            if i == 0:
+                events.remove_machines(1)
+        assert loader.stats().replans >= 1
+        assert plans[-1].cluster.num_machines == 1
+
+    def test_distributed_dataloader_accepts_generator_and_events(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        batches = make_batches(4)
+        with PlannerPool(planner, KVStore(), num_machines=2) as pool:
+            loader = DistributedDataloader(
+                (b for b in batches), pool, lookahead=1, events=events
+            )
+            plans = []
+            for i, (_, plan) in enumerate(loader):
+                plans.append(plan)
+                if i == 0:
+                    events.remove_machines(1)
+        assert len(plans) == 4
+        assert loader.stats().replans >= 1
+        assert plans[0].cluster.num_machines == 2
+        # Every plan yielded after the event targets the new shape —
+        # including the in-window jobs the KV pool had already memoized
+        # (a replace-resubmission, not a stale-future re-read).
+        for plan in plans[1:]:
+            assert plan.cluster.num_machines == 1
+
+
+class TestPerDevicePartialFetch:
+    def _round_trip(self, partial):
+        planner = make_planner()
+        batches = make_batches(3)
+        store = KVStore()
+        with PlannerPool(
+            planner, store, num_machines=2, partial_plans=partial
+        ) as pool:
+            backend = KVPlannerBackend(pool, per_device_fetch=True)
+            pipeline = StreamingOverlapPipeline(
+                iter(batches), planner, lookahead=1, backend=backend
+            )
+            plans = [plan for _, plan in pipeline]
+        return planner, batches, store, backend, plans
+
+    def test_partial_fetch_round_trips_identical_plans(self):
+        planner, batches, _store, _backend, plans = self._round_trip(True)
+        for plan, batch in zip(plans, batches):
+            assert plan_fingerprint(plan) == plan_fingerprint(
+                planner.plan_batch(batch)
+            )
+
+    def test_partial_layout_in_store(self):
+        _planner, _batches, store, _backend, plans = self._round_trip(True)
+        assert store.keys("plan/0/skeleton") == ["plan/0/skeleton"]
+        device_keys = store.keys("plan/0/device/")
+        assert len(device_keys) == plans[0].num_devices
+        skeleton_bytes = store.entry_bytes("plan/0/skeleton")
+        assert skeleton_bytes and skeleton_bytes > 0
+        for key in device_keys:
+            assert store.entry_bytes(key) > 0
+        assert store.entry_bytes("plan/0") is None  # no monolithic copy
+
+    def test_partial_fetch_cuts_consumer_wire_bytes(self):
+        *_rest, full_backend, _plans = self._round_trip(False)
+        *_rest, partial_backend, _plans2 = self._round_trip(True)
+        assert full_backend.consumer_wire_bytes > 0
+        assert partial_backend.consumer_wire_bytes > 0
+        assert (
+            partial_backend.consumer_wire_bytes
+            < full_backend.consumer_wire_bytes
+        )
+
+    def test_fetch_device_returns_single_stream(self):
+        planner = make_planner()
+        batches = make_batches(1)
+        with PlannerPool(
+            planner, KVStore(), partial_plans=True
+        ) as pool:
+            pool.submit(0, batches[0]).result()
+            full = pool.fetch(0)
+            stream = pool.fetch_device(0, device=1)
+            assert stream.device == 1
+            assert stream.instructions == full.device_plans[1].instructions
+
+    def test_fetch_device_requires_partial_mode(self):
+        planner = make_planner()
+        with PlannerPool(planner, KVStore()) as pool:
+            with pytest.raises(ValueError):
+                pool.fetch_device(0, device=0)
+
+    def test_legacy_full_fetch_unchanged(self):
+        planner = make_planner()
+        batches = make_batches(2)
+        with PlannerPool(planner, KVStore(), num_machines=2) as pool:
+            backend = KVPlannerBackend(pool)
+            pipeline = StreamingOverlapPipeline(
+                iter(batches), planner, lookahead=1, backend=backend
+            )
+            plans = [plan for _, plan in pipeline]
+        assert backend.consumer_wire_bytes == 0
+        assert len(plans) == 2
+
+
+class TestRunnerIntegration:
+    def test_runner_on_iteration_fires_events(self):
+        planner = make_planner()
+        events = ClusterEventSource(CLUSTER)
+        pipeline = StreamingOverlapPipeline(
+            iter(make_batches(4)), planner, lookahead=1, events=events
+        )
+
+        def fire(index, info):
+            if index == 0:
+                events.remove_machines(1)
+
+        executed = []
+
+        def execute(local_data, plan):
+            executed.append(plan.cluster.num_machines)
+            return {"machines": plan.cluster.num_machines}
+
+        runner = PipelineRunner(pipeline, execute=execute, on_iteration=fire)
+        report = runner.run()
+        assert len(report.executions) == 4
+        assert executed[0] == 2
+        assert executed[-1] == 1
+        assert report.stats.replans >= 1
+
+    def test_streaming_stats_survive_as_dict(self):
+        planner = make_planner()
+        pipeline = StreamingOverlapPipeline(
+            iter(make_batches(2)), planner, lookahead=1
+        )
+        list(pipeline)
+        payload = pipeline.stats().as_dict()
+        for key in ("replans", "cluster_events", "plan_retries"):
+            assert key in payload
