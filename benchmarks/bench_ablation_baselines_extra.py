@@ -12,7 +12,6 @@ placement wins once attention is sparse.
 
 import os
 
-import numpy as np
 from conftest import run_once
 
 from repro.baselines import (

@@ -7,7 +7,6 @@ here because LDC has more short sequences.
 import os
 from collections import defaultdict
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench import BenchScale, fig15_e2e

@@ -7,7 +7,6 @@ slightly with block size (coarser blocks = less placement flexibility).
 import os
 from collections import defaultdict
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench import BenchScale, fig17_comm_vs_blocksize

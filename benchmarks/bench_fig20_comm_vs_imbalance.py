@@ -8,7 +8,6 @@ eps grows.
 import os
 from collections import defaultdict
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench import BenchScale, fig20_comm_vs_imbalance

@@ -17,11 +17,16 @@ report shows measurement and model side by side.
 sweep point planned over a *generator* feeding the pipeline as the
 packer emits (:class:`repro.pipeline.StreamingOverlapPipeline`), side
 by side with the fixed-stream cell so the report records hidden
-fraction *parity* between the two; plus a mid-stream device-removal
-cell (measured ``replans``) and a KV-backend pair comparing consumer
-wire bytes with monolithic vs per-device partial plan fetches.  The
-streaming report merges into ``BENCH_overlap.json`` under
-``"streaming"``.
+fraction *parity* between the two; three mid-stream device-removal
+cells comparing how the prefetch window re-plans (``scratch`` = whole
+window cold, the pre-delta behavior; ``delta`` = only affected jobs,
+warm-started — the report's ``replan_cost_ratio`` and the acceptance
+target ≤0.5; ``window`` = every job through the same warm primitive,
+proven ``plan_fingerprint``-identical to delta); a KV-backend pair
+comparing consumer wire bytes with monolithic vs per-device partial
+plan fetches; and a KV delta-replan cell measuring the conditional
+republish/re-fetch savings (``refetch_saved_bytes``).  The streaming
+report merges into ``BENCH_overlap.json`` under ``"streaming"``.
 
 Writes ``BENCH_overlap.json`` at the repo root.  ``--smoke`` runs a
 small configuration and *gates*: it fails (exit 1) if the measured
@@ -60,6 +65,14 @@ STREAMING_SMOKE_OUTPUT_PATH = os.path.join(
 #: CI scheduling noise while still catching a broken pipeline (a
 #: serialized pipeline measures ~0.0).
 DEFAULT_SMOKE_FLOOR = 0.5
+
+#: Ceiling on (delta replan cost) / (whole-window cold replan cost) the
+#: streaming smoke must stay under.  The full Fig. 18 sweep point
+#: targets <= 0.5; the smoke cells are tiny (planning is milliseconds,
+#: so fixed overheads weigh more) and noisy on shared CI runners, hence
+#: the looser default.  Overridable via the tracked
+#: BENCH_overlap.json["streaming"]["replan_cost_ratio_max"].
+DEFAULT_REPLAN_RATIO_CEILING = 0.8
 
 FULL_KAPPAS = (1, 2, 4)
 FULL_WORKERS = (2, 4)
@@ -246,8 +259,31 @@ def _streaming_row(stats, kappa: int, workers: int, mode: str) -> Dict:
         "replans": stats.replans,
         "cluster_events": stats.cluster_events,
         "plan_retries": stats.plan_retries,
+        "partial_replans": stats.partial_replans,
+        "replan_jobs_reused": stats.replan_jobs_reused,
+        "replan_plan_s": round(stats.replan_plan_s, 4),
         "wall_s": round(stats.wall_s, 3),
     }
+
+
+def _settle_window(pipeline, timeout: float = 30.0) -> None:
+    """Wait for every prefetch-window job to finish planning.
+
+    The replan cells fire their device-removal only after the window
+    settled, so every cell (delta / window / scratch) re-dispatches the
+    same fully-planned window — classification is deterministic and the
+    measured re-plan cost compares like with like.
+    """
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    while _time.monotonic() < deadline:
+        if all(
+            item.ticket is None or item.ticket.ready()
+            for item in pipeline._pending
+        ):
+            return
+        _time.sleep(0.005)
 
 
 def _measure_streaming_cell(
@@ -258,13 +294,22 @@ def _measure_streaming_cell(
     time_scale: float,
     mode: str = "streaming",
     remove_machine_at: Optional[int] = None,
+    replan_mode: str = "scratch",
+    fingerprints: Optional[List] = None,
+    use_cache: bool = True,
 ) -> Dict:
     """One streaming-pipeline run, fed by a generator (no upfront length).
 
     ``mode="fixed"`` runs the same config through the fixed-list
     pipeline for the parity comparison; ``remove_machine_at`` fires a
     device-removal event after that iteration's execution (the replan
-    cell).
+    cells), with ``replan_mode`` selecting how the window responds
+    (``"delta"`` / ``"window"`` / ``"scratch"``).  ``fingerprints``, if
+    given, collects ``plan_fingerprint`` of every yielded plan so the
+    delta and whole-window cells can be proven identical.  The replan
+    cells run cache-less (``use_cache=False``) so every re-dispatched
+    job's planning cost is actually measured and the delta/window
+    comparison is free of cache-policy differences.
     """
     from repro.core import DCPPlanner, PlanCache
     from repro.pipeline import (
@@ -272,11 +317,12 @@ def _measure_streaming_cell(
         PipelineRunner,
         StreamingOverlapPipeline,
         cost_model_executor,
+        plan_fingerprint,
     )
     from repro.sim import ClusterEventSource
 
     planner = DCPPlanner(scale.cluster, scale.attention, scale.dcp_config())
-    cache = PlanCache(planner, capacity=64)
+    cache = PlanCache(planner, capacity=64) if use_cache else None
     events = None
     if mode == "fixed":
         pipeline = OverlapPipeline(
@@ -290,26 +336,37 @@ def _measure_streaming_cell(
             (batch for batch in batches),  # generator: the online path
             planner, lookahead=kappa, max_workers=workers,
             backend="thread", cache=cache, events=events,
+            replan_mode=replan_mode,
         )
 
     def fire(index: int, _info: dict) -> None:
         if events is not None and index == remove_machine_at:
+            _settle_window(pipeline)
             events.remove_machines(1)
+
+    inner_execute = cost_model_executor(time_scale=time_scale)
+
+    def execute(local_data, plan):
+        if fingerprints is not None:
+            fingerprints.append(plan_fingerprint(plan))
+        return inner_execute(local_data, plan)
 
     runner = PipelineRunner(
         pipeline,
-        execute=cost_model_executor(time_scale=time_scale),
+        execute=execute,
         on_iteration=fire if remove_machine_at is not None else None,
     )
     stats = runner.run().stats
     row = _streaming_row(stats, kappa, workers, mode)
     if remove_machine_at is not None:
         row["remove_machine_at"] = remove_machine_at
+        row["replan_mode"] = replan_mode
     print(
-        f"mode={mode:<9} kappa={kappa} workers={workers} "
+        f"mode={mode:<13} kappa={kappa} workers={workers} "
         f"hidden={row['hidden_fraction']:.3f} "
         f"steady={row['steady_hidden_fraction']:.3f} "
-        f"replans={row['replans']} wall={row['wall_s']:.1f}s"
+        f"replans={row['replans']} reused={row['replan_jobs_reused']} "
+        f"replan_s={row['replan_plan_s']:.2f} wall={row['wall_s']:.1f}s"
     )
     return row
 
@@ -368,6 +425,82 @@ def _measure_kv_consumer_bytes(
     return row
 
 
+def _measure_kv_replan_cell(
+    scale, batches, kappa: int, workers: int, time_scale: float,
+    event_at: int,
+) -> Dict:
+    """Delta re-plan through the full KV distribution path.
+
+    A mid-stream link degradation (inter-machine bandwidth halved)
+    re-dispatches the window — the plans are shape-compatible but were
+    optimized under stale link costs, so the conservative delta policy
+    re-plans them warm.  The warm re-plans adopt the previous placement
+    and serialize to byte-identical streams; the pool's conditional
+    per-device writes then republish *nothing* per device and consumers
+    re-fetching with version cursors move only the skeleton — the §6.1
+    wire win of delta re-planning, measured end to end
+    (``refetch_saved_bytes``/``device_entries_unchanged``).  A device
+    removal, by contrast, genuinely changes every stream; its re-plan
+    cost is what the thread-backend replan cells compare.
+    """
+    from repro.core import DCPPlanner, KVStore, PlannerPool
+    from repro.pipeline import (
+        KVPlannerBackend,
+        PipelineRunner,
+        StreamingOverlapPipeline,
+        cost_model_executor,
+    )
+    from repro.sim import ClusterEventSource
+
+    planner = DCPPlanner(scale.cluster, scale.attention, scale.dcp_config())
+    store = KVStore()
+    pool = PlannerPool(
+        planner, store, num_machines=2, cores_per_machine=workers,
+        partial_plans=True,
+    )
+    backend = KVPlannerBackend(pool, own_pool=True, per_device_fetch=True)
+    events = ClusterEventSource(scale.cluster)
+    pipeline = StreamingOverlapPipeline(
+        (batch for batch in batches), planner, lookahead=kappa,
+        backend=backend, events=events, replan_mode="delta",
+    )
+
+    def fire(index: int, _info: dict) -> None:
+        if index == event_at:
+            _settle_window(pipeline)
+            events.resize(
+                inter_bandwidth=scale.cluster.inter_bandwidth / 2
+            )
+
+    runner = PipelineRunner(
+        pipeline,
+        execute=cost_model_executor(time_scale=time_scale),
+        on_iteration=fire,
+    )
+    stats = runner.run().stats
+    row = {
+        "mode": "kv_replan_delta",
+        "kappa": kappa,
+        "iterations": stats.iterations,
+        "replans": stats.replans,
+        "partial_replans": stats.partial_replans,
+        "replan_jobs_reused": stats.replan_jobs_reused,
+        "consumer_wire_bytes": backend.consumer_wire_bytes,
+        "refetch_saved_bytes": pool.refetch_saved_bytes,
+        "device_entries_written": pool.device_entries_written,
+        "device_entries_unchanged": pool.device_entries_unchanged,
+        "event_at": event_at,
+        "wall_s": round(stats.wall_s, 3),
+    }
+    print(
+        f"mode={row['mode']:<14} kappa={kappa} replans={row['replans']} "
+        f"refetch_saved={row['refetch_saved_bytes']} "
+        f"entries_unchanged={row['device_entries_unchanged']} "
+        f"wall={row['wall_s']:.1f}s"
+    )
+    return row
+
+
 def run_streaming_bench(
     token_budget: int = 32768,
     block_size: int = 512,
@@ -408,9 +541,27 @@ def run_streaming_bench(
     streaming = _measure_streaming_cell(
         scale, batches, kappa, workers, time_scale, mode="streaming"
     )
-    replan = _measure_streaming_cell(
+    mid = len(batches) // 2 - 1
+    # Replan cost comparison, one device-removal each, windows settled
+    # before the event so all three cells re-dispatch identical work:
+    # scratch = whole window cold (the pre-delta behavior), delta =
+    # only affected jobs, warm-started, window = every job through the
+    # same warm primitive (the correctness baseline delta must match).
+    replan_scratch = _measure_streaming_cell(
         scale, batches, kappa, workers, time_scale, mode="replan",
-        remove_machine_at=len(batches) // 2 - 1,
+        remove_machine_at=mid, replan_mode="scratch", use_cache=False,
+    )
+    delta_prints: List = []
+    window_prints: List = []
+    replan_delta = _measure_streaming_cell(
+        scale, batches, kappa, workers, time_scale, mode="replan_delta",
+        remove_machine_at=mid, replan_mode="delta",
+        fingerprints=delta_prints, use_cache=False,
+    )
+    replan_window = _measure_streaming_cell(
+        scale, batches, kappa, workers, time_scale, mode="replan_window",
+        remove_machine_at=mid, replan_mode="window",
+        fingerprints=window_prints, use_cache=False,
     )
     kv_stream = batches[:kv_batches]
     kv_full = _measure_kv_consumer_bytes(
@@ -418,6 +569,10 @@ def run_streaming_bench(
     )
     kv_partial = _measure_kv_consumer_bytes(
         scale, kv_stream, kappa, workers, time_scale, partial=True
+    )
+    kv_replan = _measure_kv_replan_cell(
+        scale, kv_stream, kappa, workers, time_scale,
+        event_at=max(len(kv_stream) // 2 - 1, 0),
     )
 
     parity = round(
@@ -436,6 +591,17 @@ def run_streaming_bench(
         if kv_full["consumer_wire_bytes"]
         else None
     )
+    replan_cost_ratio = (
+        round(
+            replan_delta["replan_plan_s"] / replan_scratch["replan_plan_s"],
+            4,
+        )
+        if replan_scratch["replan_plan_s"] > 0
+        else None
+    )
+    fingerprints_identical = bool(
+        delta_prints and delta_prints == window_prints
+    )
     report = {
         "benchmark": "overlap_pipeline_streaming",
         "config": {
@@ -450,13 +616,22 @@ def run_streaming_bench(
             "time_scale": time_scale,
         },
         "git_revision": _git_revision(),
-        "rows": [fixed, streaming, replan, kv_full, kv_partial],
+        "rows": [
+            fixed, streaming, replan_scratch, replan_delta, replan_window,
+            kv_full, kv_partial, kv_replan,
+        ],
         "steady_hidden_parity": parity,
-        "replans": replan["replans"],
+        "replans": replan_scratch["replans"],
+        "replan_cost_ratio": replan_cost_ratio,
+        "replan_cost_ratio_max": DEFAULT_REPLAN_RATIO_CEILING,
+        "delta_window_fingerprints_identical": fingerprints_identical,
         "kv_consumer_wire_ratio": wire_ratio,
+        "kv_refetch_saved_bytes": kv_replan["refetch_saved_bytes"],
     }
     print(
-        f"parity={parity:.4f} replans={replan['replans']} "
+        f"parity={parity:.4f} replans={replan_scratch['replans']} "
+        f"replan cost ratio={replan_cost_ratio} "
+        f"delta==window: {fingerprints_identical} "
         f"kv wire ratio={wire_ratio}"
     )
     return report
@@ -521,6 +696,15 @@ def _smoke_floor() -> float:
             return float(json.load(handle)["smoke_floor"])
     except (OSError, KeyError, ValueError):
         return DEFAULT_SMOKE_FLOOR
+
+
+def _replan_ratio_ceiling() -> float:
+    try:
+        with open(OUTPUT_PATH) as handle:
+            tracked = json.load(handle)
+        return float(tracked["streaming"]["replan_cost_ratio_max"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return DEFAULT_REPLAN_RATIO_CEILING
 
 
 def _merge_streaming_into_tracked(streaming_report: Dict) -> None:
@@ -628,12 +812,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if report["replans"] < 1:
             print("FAIL: replan cell measured no re-plans")
             failed = True
+        ratio = report["replan_cost_ratio"]
+        ceiling = _replan_ratio_ceiling()
+        if ratio is None:
+            print("FAIL: replan cells measured no re-plan cost")
+            failed = True
+        elif ratio > ceiling:
+            print(
+                f"FAIL: delta replan cost ratio {ratio:.3f} above the "
+                f"ceiling {ceiling:.3f} (delta re-planning regressed "
+                f"toward whole-window cost)"
+            )
+            failed = True
+        if not report["delta_window_fingerprints_identical"]:
+            print(
+                "FAIL: delta re-plan plans are not fingerprint-identical "
+                "to the whole-window re-plan"
+            )
+            failed = True
         if failed:
             return 1
         print(
             f"ok: fixed {fixed:.3f} / streaming {streaming:.3f} >= floor "
             f"{floor:.3f}, parity {report['steady_hidden_parity']:.3f}, "
             f"replans {report['replans']}, "
+            f"replan cost ratio {ratio:.3f} <= {ceiling:.3f} "
+            f"(delta==window fingerprints), "
             f"kv wire ratio {report['kv_consumer_wire_ratio']}"
         )
     return 0

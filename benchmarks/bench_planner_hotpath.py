@@ -36,6 +36,13 @@ DEFAULT_BLOCK_SIZES = (512, 1024)
 SMOKE_TOKEN_BUDGETS = (2048,)
 SMOKE_BLOCK_SIZES = (256,)
 
+#: Wall-clock budget for the smoke configuration's total planning time,
+#: recorded in the tracked BENCH_planner.json and enforced by
+#: benchmarks/check_bench_floors.py.  The smoke point measures ~0.13 s
+#: locally; the budget leaves ~5x headroom for shared CI runners while
+#: still catching an order-of-magnitude hot-path regression.
+SMOKE_TOTAL_S_MAX = 0.75
+
 
 def _git_revision() -> Optional[str]:
     try:
@@ -113,6 +120,7 @@ def run_hotpath_bench(
         "git_revision": _git_revision(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "smoke": {"total_s_max": SMOKE_TOTAL_S_MAX},
         "rows": rows,
     }
 

@@ -1,0 +1,178 @@
+"""CI gate: fail if any smoke metric regressed past its recorded floor.
+
+The tier-1 script (``benchmarks/run_tier1.sh``) runs the smoke
+benchmarks, each of which already gates on its own headline metric.
+This checker is the aggregate, CI-facing pass: it re-reads every smoke
+output against the floors recorded in the *tracked* ``BENCH_*.json``
+files, so a PR that silently weakens a bench's self-gate (or forgets to
+run one) still fails the workflow.
+
+Checked metrics:
+
+* planner hot path — smoke ``total_s`` must stay under the budget
+  recorded in ``BENCH_planner.json["smoke"]["total_s_max"]``;
+* overlap pipeline — smoke steady-state hidden fraction must clear
+  ``BENCH_overlap.json["smoke_floor"]``;
+* streaming overlap — fixed and streaming smoke cells clear the same
+  floor, the delta-vs-whole-window replan cost ratio stays under
+  ``streaming.replan_cost_ratio_max``, delta and whole-window re-plans
+  are fingerprint-identical, and the KV per-device partial fetch keeps
+  its wire-byte ratio under ``streaming.kv_wire_ratio_max``.
+
+Usage::
+
+    python benchmarks/check_bench_floors.py            # after run_tier1.sh
+    python benchmarks/check_bench_floors.py --strict   # missing file = fail
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Fallbacks when the tracked files predate a floor field.
+DEFAULT_PLANNER_SMOKE_BUDGET_S = 1.0
+DEFAULT_HIDDEN_FLOOR = 0.5
+DEFAULT_REPLAN_RATIO_MAX = 0.8
+DEFAULT_KV_WIRE_RATIO_MAX = 0.95
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(os.path.join(REPO_ROOT, path)) as handle:
+            return json.load(handle)
+    except OSError:
+        return None
+    except ValueError as exc:
+        raise SystemExit(f"unreadable benchmark file {path}: {exc}")
+
+
+class Gate:
+    def __init__(self) -> None:
+        self.failures: List[str] = []
+        self.checks = 0
+
+    def check(self, ok: bool, message: str) -> None:
+        self.checks += 1
+        status = "ok  " if ok else "FAIL"
+        print(f"{status}  {message}")
+        if not ok:
+            self.failures.append(message)
+
+
+def check_planner(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_planner.json")
+    smoke = _load("BENCH_planner.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "planner smoke output missing")
+        return
+    budget = DEFAULT_PLANNER_SMOKE_BUDGET_S
+    if tracked:
+        budget = float(
+            tracked.get("smoke", {}).get(
+                "total_s_max", DEFAULT_PLANNER_SMOKE_BUDGET_S
+            )
+        )
+    total = max(float(row["total_s"]) for row in smoke["rows"])
+    gate.check(
+        total <= budget,
+        f"planner smoke total {total:.3f}s <= budget {budget:.3f}s",
+    )
+
+
+def check_overlap(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_overlap.json") or {}
+    floor = float(tracked.get("smoke_floor", DEFAULT_HIDDEN_FLOOR))
+    smoke = _load("BENCH_overlap.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "overlap smoke output missing")
+    else:
+        steady = float(smoke["rows"][0]["steady_hidden_fraction"])
+        gate.check(
+            steady >= floor,
+            f"overlap smoke steady hidden {steady:.3f} >= floor {floor:.3f}",
+        )
+
+    streaming = _load("BENCH_overlap.streaming.smoke.json")
+    if streaming is None:
+        gate.check(not strict, "streaming smoke output missing")
+        return
+    tracked_streaming = tracked.get("streaming") or {}
+    rows = {row["mode"]: row for row in streaming["rows"]}
+    for mode in ("fixed", "streaming"):
+        steady = float(rows[mode]["steady_hidden_fraction"])
+        gate.check(
+            steady >= floor,
+            f"streaming smoke [{mode}] steady hidden {steady:.3f} >= "
+            f"floor {floor:.3f}",
+        )
+    gate.check(
+        int(streaming.get("replans", 0)) >= 1,
+        f"streaming smoke measured {streaming.get('replans')} re-plans",
+    )
+
+    ratio = streaming.get("replan_cost_ratio")
+    ratio_max = float(
+        tracked_streaming.get(
+            "replan_cost_ratio_max", DEFAULT_REPLAN_RATIO_MAX
+        )
+    )
+    gate.check(
+        ratio is not None and float(ratio) <= ratio_max,
+        f"delta replan cost ratio {ratio} <= {ratio_max}",
+    )
+    gate.check(
+        bool(streaming.get("delta_window_fingerprints_identical")),
+        "delta re-plans fingerprint-identical to whole-window re-plans",
+    )
+
+    wire_ratio = streaming.get("kv_consumer_wire_ratio")
+    wire_max = float(
+        tracked_streaming.get(
+            "kv_wire_ratio_max", DEFAULT_KV_WIRE_RATIO_MAX
+        )
+    )
+    gate.check(
+        wire_ratio is not None and float(wire_ratio) <= wire_max,
+        f"KV partial-fetch wire ratio {wire_ratio} <= {wire_max}",
+    )
+    gate.check(
+        int(streaming.get("kv_refetch_saved_bytes", 0)) > 0,
+        "KV delta re-fetch saved wire bytes "
+        f"({streaming.get('kv_refetch_saved_bytes')})",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat a missing smoke output as a failure (CI runs the "
+        "smokes first, so absence means a bench silently did not run)",
+    )
+    args = parser.parse_args(argv)
+
+    gate = Gate()
+    check_planner(gate, strict=args.strict)
+    check_overlap(gate, strict=args.strict)
+
+    if gate.failures:
+        print(
+            f"\n{len(gate.failures)}/{gate.checks} smoke floor checks "
+            "FAILED:"
+        )
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {gate.checks} smoke floor checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,16 @@ if [[ "${1:-}" == "--full" ]]; then
     python benchmarks/bench_overlap_pipeline.py --streaming
 else
     # Gates the online mode on the same fixed-stream hidden-fraction
-    # floor, plus a measured-replan sanity check.
+    # floor, plus measured-replan, delta-replan-cost and
+    # fingerprint-identity checks.
     python benchmarks/bench_overlap_pipeline.py --streaming --smoke \
         --output "$REPO_ROOT/BENCH_overlap.streaming.smoke.json"
+fi
+
+if [[ "${1:-}" != "--full" ]]; then
+    echo "== smoke floors vs tracked BENCH_*.json =="
+    # The aggregate regression gate CI runs on every PR: every smoke
+    # metric must clear the floor recorded in the tracked full-sweep
+    # files (strict: a missing smoke output is itself a failure).
+    python benchmarks/check_bench_floors.py --strict
 fi

@@ -29,7 +29,7 @@ table under sparse masks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

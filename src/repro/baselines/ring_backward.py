@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ..blocks import BlockKind, BlockSet, DataBlockId
 from ..scheduling.buffers import BufferManager

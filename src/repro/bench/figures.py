@@ -29,7 +29,7 @@ from ..model import (
     make_distributed_forward,
     train,
 )
-from ..sim import e2e_iteration_time, simulate_plan
+from ..sim import e2e_iteration_time
 from .harness import PAPER_MASKS, BenchScale, Table, attention_times, make_batches
 
 __all__ = [
@@ -267,7 +267,7 @@ def fig17_comm_vs_blocksize(
             )
             for batch in batches:
                 block_set = generate_blocks(batch, scale.attention, block_size)
-                plan = planner.plan(block_set)
+                planner.plan(block_set)
                 report = planner.last_placement.comm_report()
                 dcp_vol.append(report.inter_machine_bytes)
                 mlm_plan = TransformerEnginePlanner().plan(block_set, scale.cluster)

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence
 
 import numpy as np
 
-from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
+from ..blocks import AttentionSpec, BatchSpec, generate_blocks
 from ..core import DCPConfig, DCPPlanner
 from ..data import batches_to_specs, pack_batches, sample_lengths, scale_lengths
 from ..masks import MaskSpec, make_mask

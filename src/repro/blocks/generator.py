@@ -24,7 +24,7 @@ import numpy as np
 
 from ..masks import AttendRanges, MaskSpec, block_bounds, tile_workload_matrix
 from .comp_blocks import CompBlock, CompBlockArray
-from .data_blocks import AttentionSpec, BlockKind, DataBlockId, TokenSlice
+from .data_blocks import AttentionSpec, DataBlockId, TokenSlice
 
 __all__ = ["SequenceSpec", "BatchSpec", "BlockSet", "generate_blocks"]
 

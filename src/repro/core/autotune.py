@@ -13,11 +13,11 @@ time), and return the winner with the full score table.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..blocks import AttentionSpec, BatchSpec, generate_blocks
+from ..blocks import AttentionSpec, BatchSpec
 from ..sim.cluster import ClusterSpec
 from ..sim.timing import simulate_plan
 from .config import DCPConfig

@@ -58,6 +58,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.remapped = 0
         self._epoch = 0
 
     @property
@@ -211,7 +212,9 @@ class PlanCache:
             future.set_exception(exc or PlanAbandoned(f"plan {key!r} abandoned"))
 
     def invalidate(
-        self, predicate: Optional[Callable[[Tuple], bool]] = None
+        self,
+        predicate: Optional[Callable[[Tuple], bool]] = None,
+        remap: Optional[Callable[[Tuple, object], Optional[Tuple]]] = None,
     ) -> int:
         """Drop entries (and in-flight reservations) matching ``predicate``.
 
@@ -220,14 +223,36 @@ class PlanCache:
         against the new state instead of deadlocking on a plan that will
         never be published.  Returns the number of cached entries
         dropped (in-flight drops are not counted: no plan existed yet).
+
+        ``remap`` is the delta re-planner's rescue hook: called as
+        ``remap(key, plan)`` for every matching cached entry, it may
+        return ``(new_key, new_plan)`` to re-key the entry (re-inserted
+        most-recently-used) instead of dropping it — how plans that
+        survive a cluster-shape change keep serving recurring batch
+        signatures.  A ``None`` return drops the entry as usual.  The
+        hook runs under the cache lock and must not call back into the
+        cache.  In-flight reservations are never remapped — no plan
+        exists yet.
         """
         with self._lock:
             stale_keys = [
                 key for key in self._entries
                 if predicate is None or predicate(key)
             ]
+            dropped = 0
             for key in stale_keys:
+                remapped = (
+                    remap(key, self._entries[key])
+                    if remap is not None
+                    else None
+                )
                 del self._entries[key]
+                if remapped is not None:
+                    new_key, new_plan = remapped
+                    self._insert(new_key, new_plan)
+                    self.remapped += 1
+                else:
+                    dropped += 1
             stale_inflight = [
                 (key, reservation[0])
                 for key, reservation in self._inflight.items()
@@ -235,14 +260,14 @@ class PlanCache:
             ]
             for key, _future in stale_inflight:
                 del self._inflight[key]
-            self.invalidations += len(stale_keys)
+            self.invalidations += dropped
             self._epoch += 1
         for key, future in stale_inflight:
             if not future.done():
                 future.set_exception(
                     PlanAbandoned(f"plan {key!r} invalidated")
                 )
-        return len(stale_keys)
+        return dropped
 
     def plan_batch(self, batch: BatchSpec):
         key = batch_signature(batch)
@@ -270,6 +295,7 @@ class PlanCache:
                 "size": len(self._entries),
                 "capacity": self.capacity,
                 "invalidations": self.invalidations,
+                "remapped": self.remapped,
             }
 
     def __len__(self) -> int:
@@ -288,6 +314,7 @@ class PlanCache:
             self.hits = 0
             self.misses = 0
             self.invalidations = 0
+            self.remapped = 0
             self._epoch += 1
         for key, (future, _created) in inflight:
             if not future.done():

@@ -20,7 +20,7 @@ add/remove events mid-stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from ..blocks import BatchSpec
 from ..scheduling import ExecutionPlan
@@ -77,6 +77,11 @@ class DCPDataloader:
         Optional :class:`~repro.sim.ClusterEventSource`; device
         add/remove events invalidate stale cache entries and re-plan
         the in-flight prefetch window against the new cluster shape.
+    replan_mode:
+        How the window responds to a shape change — ``"delta"``
+        (default: re-plan only the affected jobs, warm-started),
+        ``"window"`` or ``"scratch"``; see
+        :class:`~repro.pipeline.StreamingOverlapPipeline`.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class DCPDataloader:
         backend: str = "thread",
         cache=None,
         events=None,
+        replan_mode: str = "delta",
     ) -> None:
         from ..pipeline import StreamingOverlapPipeline
 
@@ -101,6 +107,7 @@ class DCPDataloader:
             backend=backend,
             cache=cache,
             events=events,
+            replan_mode=replan_mode,
         )
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], ExecutionPlan]]:

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import pickle
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["KVStore", "KVClient"]
 
@@ -57,6 +57,27 @@ class KVStore:
             self._changed.notify_all()
             return version
 
+    def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
+        """Store ``value`` unless the current payload is byte-identical.
+
+        Returns ``(version, changed)``.  An unchanged write keeps the
+        existing entry — same version, no bytes moved — which is what
+        lets a re-planned plan republish only the per-device slices the
+        re-plan actually touched: consumers holding the old version
+        cursor see the unchanged slices as still-fresh
+        (:meth:`get_unless`).
+        """
+        payload = pickle.dumps(value)
+        with self._changed:
+            previous = self._entries.get(key)
+            if previous is not None and previous.payload == payload:
+                return previous.version, False
+            version = previous.version + 1 if previous else 1
+            self._entries[key] = _Entry(payload=payload, version=version)
+            self._bytes_in += len(payload)
+            self._changed.notify_all()
+            return version, True
+
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
         """Fetch ``key``, blocking until it exists.
 
@@ -70,6 +91,33 @@ class KVStore:
             entry = self._entries[key]
             self._bytes_out += len(entry.payload)
             return pickle.loads(entry.payload)
+
+    def get_unless(
+        self,
+        key: str,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[Any], int, bool]:
+        """Conditional fetch: ``(value, version, fetched)``.
+
+        Blocks until ``key`` exists (``KeyError`` on timeout), then —
+        if the stored version equals the caller's cursor — returns
+        ``(None, version, False)`` without moving the payload: the
+        caller's copy is still current.  Otherwise returns the value
+        and its version, charging the payload like :meth:`get`.  The
+        version cursor is what a re-fetching consumer sends instead of
+        re-reading a slice that a partial republish left untouched.
+        """
+        with self._changed:
+            if not self._changed.wait_for(
+                lambda: key in self._entries, timeout=timeout
+            ):
+                raise KeyError(key)
+            entry = self._entries[key]
+            if version is not None and entry.version == version:
+                return None, entry.version, False
+            self._bytes_out += len(entry.payload)
+            return pickle.loads(entry.payload), entry.version, True
 
     def try_get(self, key: str) -> Optional[Any]:
         """Fetch ``key`` if present, else ``None`` (non-blocking)."""
@@ -148,6 +196,27 @@ class KVClient:
         if not self.is_local:
             self.bytes_received += len(pickle.dumps(value))
         return value
+
+    def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
+        """Conditional write; only a changed payload moves over the wire."""
+        version, changed = self.store.put_if_changed(key, value)
+        if changed and not self.is_local:
+            self.bytes_sent += len(pickle.dumps(value))
+        return version, changed
+
+    def get_unless(
+        self,
+        key: str,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[Any], int, bool]:
+        """Conditional fetch; an unchanged entry moves no payload."""
+        value, new_version, fetched = self.store.get_unless(
+            key, version=version, timeout=timeout
+        )
+        if fetched and not self.is_local:
+            self.bytes_received += len(pickle.dumps(value))
+        return value, new_version, fetched
 
     def wire_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received

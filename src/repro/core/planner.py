@@ -10,7 +10,7 @@ the per-device instruction streams.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
@@ -76,7 +76,10 @@ class DCPPlanner:
         self.last_placement: Optional[Placement] = None
 
     def plan_batch(
-        self, batch: BatchSpec, cluster: Optional[ClusterSpec] = None
+        self,
+        batch: BatchSpec,
+        cluster: Optional[ClusterSpec] = None,
+        warm=None,
     ) -> ExecutionPlan:
         """Plan from raw (sequence lengths, masks).
 
@@ -84,6 +87,12 @@ class DCPPlanner:
         without persisting it — the streaming pipeline re-plans against
         the shape a mid-stream device add/remove event produced while
         the planner's configured :attr:`cluster` stays untouched.
+        ``warm`` is a previous placement of the same batch —
+        ``(slice_device, comp_device)`` label arrays, typically a prior
+        plan's ``meta["placement"]`` — handed to
+        :func:`~repro.placement.place_blocks` so an event re-plan
+        starts from (or outright adopts) the old placement instead of
+        partitioning from scratch.
         """
         stats = PlanningStats()
         start = time.perf_counter()
@@ -91,28 +100,36 @@ class DCPPlanner:
             batch, attention=self.attention, block_size=self.config.block_size
         )
         stats.block_generation = time.perf_counter() - start
-        return self._plan_blocks(block_set, stats, cluster=cluster)
+        return self._plan_blocks(block_set, stats, cluster=cluster, warm=warm)
 
-    def plan(self, block_set: BlockSet, cluster: Optional[ClusterSpec] = None):
+    def plan(
+        self,
+        block_set: BlockSet,
+        cluster: Optional[ClusterSpec] = None,
+        warm=None,
+    ):
         """Planner-protocol entry point (shared with the baselines).
 
         When ``cluster`` is given, the plan targets it without
         persisting it: a shared planner instance keeps its configured
         :attr:`cluster` untouched across calls.
         """
-        return self._plan_blocks(block_set, PlanningStats(), cluster=cluster)
+        return self._plan_blocks(
+            block_set, PlanningStats(), cluster=cluster, warm=warm
+        )
 
     def _plan_blocks(
         self,
         block_set: BlockSet,
         stats: PlanningStats,
         cluster: Optional[ClusterSpec] = None,
+        warm=None,
     ):
         cluster = self.cluster if cluster is None else cluster
         _REFINE_COUNTERS.reset()
         start = time.perf_counter()
         placement = place_blocks(
-            block_set, cluster, self.config.placement_config()
+            block_set, cluster, self.config.placement_config(), warm=warm
         )
         stats.placement = time.perf_counter() - start
         stats.num_vertices = placement.num_vertices
@@ -131,6 +148,14 @@ class DCPPlanner:
         stats.scheduling = time.perf_counter() - start
 
         plan.meta["planning_stats"] = stats
+        # The placement labels ride with the plan so a later delta
+        # re-plan (after a cluster event) can warm-start from them —
+        # they are a few KB of int64 next to megabytes of instruction
+        # streams, and plan_fingerprint ignores meta entirely.
+        plan.meta["placement"] = (
+            placement.slice_device,
+            placement.comp_device,
+        )
         self.last_stats = stats
         self.last_placement = placement
         return plan

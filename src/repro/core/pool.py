@@ -24,12 +24,12 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..blocks import BatchSpec
 from ..scheduling import ExecutionPlan
-from .dataloader import LocalData, _local_data
+from .dataloader import LocalData
 from .kvstore import KVClient, KVStore
 from .planner import DCPPlanner
 
@@ -104,6 +104,14 @@ class PlannerPool:
         self._generations: Dict[int, int] = {}
         self._publish_locks: Dict[int, threading.Lock] = {}
         self._lock = threading.Lock()
+        #: Partial-mode publication accounting: device entries written
+        #: vs skipped because the republished stream was byte-identical
+        #: (a delta re-plan that left that device's schedule untouched).
+        self.device_entries_written = 0
+        self.device_entries_unchanged = 0
+        #: Consumer-side bytes *not* moved because a re-fetch presented
+        #: a current version cursor for an unchanged per-device slice.
+        self.refetch_saved_bytes = 0
 
     def submit(
         self,
@@ -169,8 +177,20 @@ class PlannerPool:
             meta={**plan.meta, "devices": sorted(plan.device_plans)},
         )
         client.put(skeleton_key(iteration), skeleton)
+        # Conditional per-device writes: a republication (the delta
+        # re-plan path) only moves the streams the re-plan changed;
+        # untouched devices keep their version, so consumers holding a
+        # cursor skip them on re-fetch too.
+        written = unchanged = 0
         for device, device_plan in plan.device_plans.items():
-            client.put(device_key(iteration, device), device_plan)
+            _version, changed = client.put_if_changed(
+                device_key(iteration, device), device_plan
+            )
+            written += int(changed)
+            unchanged += int(not changed)
+        with self._lock:
+            self.device_entries_written += written
+            self.device_entries_unchanged += unchanged
 
     def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
         """A device-side read of the published plan.
@@ -213,9 +233,16 @@ class PlannerPool:
         return client.get(device_key(iteration, device), timeout=timeout)
 
     def device_pull(
-        self, iteration: int, timeout: float = 60.0
-    ) -> Tuple[ExecutionPlan, int]:
-        """Every device pulls its iteration plan; returns (plan, wire bytes).
+        self,
+        iteration: int,
+        timeout: float = 60.0,
+        known: Optional[Dict[int, Tuple[int, object]]] = None,
+    ) -> Tuple[ExecutionPlan, int, Dict[int, Tuple[int, object]]]:
+        """Every device pulls its iteration plan.
+
+        Returns ``(plan, wire_bytes, fetched)`` where ``fetched`` maps
+        each device to its ``(version, device_plan)`` — the cursor a
+        later re-fetch presents as ``known``.
 
         Models the §6.1 consumer side: each device, from its own
         machine, reads what it needs from the store — the whole plan in
@@ -224,6 +251,13 @@ class PlannerPool:
         convention (host-machine reads are local and free); the plan
         returned is assembled from exactly the fetched pieces, so it is
         the genuine round-tripped article.
+
+        ``known`` (partial mode) carries the versions and payloads of a
+        previous pull of the same iteration: devices whose published
+        stream is unchanged — a delta re-plan republished only what it
+        touched — are *not* re-read, their cached payload is reused and
+        the bytes that did not move accumulate in
+        :attr:`refetch_saved_bytes`.
         """
         # Metadata probe (not charged: the consumers below re-read what
         # they need through accounted per-machine clients).  In partial
@@ -245,6 +279,8 @@ class PlannerPool:
                 consumers[machine] = KVClient(store=self.store, machine=machine)
             return consumers[machine]
 
+        fetched: Dict[int, Tuple[int, object]] = {}
+        saved = 0
         if not self.partial_plans:
             plan = probe
             for device in devices:
@@ -256,14 +292,32 @@ class PlannerPool:
             for device in devices:
                 client = client_for(device)
                 skeleton = client.get(skeleton_key(iteration), timeout=timeout)
-                device_plans[device] = client.get(
-                    device_key(iteration, device), timeout=timeout
+                cursor = (known or {}).get(device)
+                value, version, was_fetched = client.get_unless(
+                    device_key(iteration, device),
+                    version=cursor[0] if cursor is not None else None,
+                    timeout=timeout,
                 )
+                if not was_fetched:
+                    # Unchanged since the previous pull: reuse the
+                    # cached payload; count what a full re-read would
+                    # have moved over this consumer's NIC.
+                    value = cursor[1]
+                    if not client.is_local:
+                        entry = self.store.entry_bytes(
+                            device_key(iteration, device)
+                        )
+                        saved += entry or 0
+                device_plans[device] = value
+                fetched[device] = (version, value)
             plan = self._assemble(
                 skeleton if devices else probe, device_plans
             )
+        if saved:
+            with self._lock:
+                self.refetch_saved_bytes += saved
         wire_bytes = sum(c.wire_bytes() for c in consumers.values())
-        return plan, wire_bytes
+        return plan, wire_bytes, fetched
 
     def plan_interval(self, iteration: int) -> Tuple[float, float]:
         """(start, end) ``perf_counter`` stamps of a finished plan job."""
@@ -324,6 +378,7 @@ class DistributedDataloader:
         lookahead: int = 2,
         events=None,
         per_device_fetch: bool = False,
+        replan_mode: str = "delta",
     ) -> None:
         from ..pipeline import KVPlannerBackend, StreamingOverlapPipeline
 
@@ -342,6 +397,7 @@ class DistributedDataloader:
             lookahead=self.lookahead,
             backend=KVPlannerBackend(pool, per_device_fetch=per_device_fetch),
             events=events,
+            replan_mode=replan_mode,
         )
 
     def __iter__(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
-import numpy as np
 
 from ..blocks import BatchSpec
 from ..masks import MaskSpec

@@ -2,7 +2,7 @@
 
 from .coarsen import coarsen, coarsen_once, contract
 from .graph import BalanceConstraint, Hypergraph, PartitionResult
-from .initial import greedy_initial, random_initial
+from .initial import greedy_initial, random_initial, repair_labels
 from .partition import partition_hypergraph
 from .refine import (
     COUNTERS,
@@ -29,6 +29,7 @@ __all__ = [
     "contract",
     "greedy_initial",
     "random_initial",
+    "repair_labels",
     "RefinementState",
     "RefineCounters",
     "COUNTERS",

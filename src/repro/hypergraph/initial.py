@@ -1,4 +1,12 @@
-"""Initial partitioning of the coarsest hypergraph."""
+"""Initial partitioning of the coarsest hypergraph.
+
+Besides the cold constructive assignments, this module owns the *warm
+path* delta re-planning rides on: :func:`repair_labels` turns a label
+vector from a previous placement — possibly referencing parts that no
+longer exist after a cluster-shape change — into a feasible start the
+refinement stack can polish, deterministically and without touching
+vertices whose previous assignment is still valid.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,7 @@ import numpy as np
 
 from .graph import Hypergraph
 
-__all__ = ["greedy_initial", "random_initial"]
+__all__ = ["greedy_initial", "random_initial", "repair_labels"]
 
 
 def random_initial(
@@ -65,4 +73,44 @@ def greedy_initial(
         labels[vertex] = choice
         part_weights[choice] += graph.weights[vertex]
         counts[edges, choice] += 1
+    return labels
+
+
+def repair_labels(
+    graph: Hypergraph, labels: np.ndarray, k: int, caps: np.ndarray
+) -> np.ndarray:
+    """Make a stale warm-start label vector feasible for ``k`` parts.
+
+    Vertices whose label still names an existing part keep it; vertices
+    stranded on vanished parts (label outside ``[0, k)``) are
+    reassigned heaviest-first to the least-loaded part that still fits
+    under ``caps`` (any part if none fits).  Fully deterministic — the
+    delta re-planner relies on a repaired re-plan being reproducible —
+    and O(stranded vertices), so a small shape change repairs cheaply.
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    if labels.shape != (graph.num_vertices,):
+        raise ValueError("warm labels must cover every vertex")
+    stranded = np.nonzero((labels < 0) | (labels >= k))[0]
+    if len(stranded) == 0:
+        return labels
+    part_weights = np.zeros((k, graph.weight_dims), dtype=np.int64)
+    valid = labels[(labels >= 0) & (labels < k)]
+    if len(valid):
+        np.add.at(
+            part_weights, valid, graph.weights[(labels >= 0) & (labels < k)]
+        )
+    totals = np.maximum(graph.total_weight, 1).astype(np.float64)
+    norm = (graph.weights[stranded] / totals[None, :]).sum(axis=1)
+    order = stranded[np.argsort(-norm, kind="stable")]
+    for vertex in order.tolist():
+        weight = graph.weights[vertex]
+        fits = np.all(part_weights + weight[None, :] <= caps[None, :], axis=1)
+        candidates = np.nonzero(fits)[0]
+        if len(candidates) == 0:
+            candidates = np.arange(k)
+        load = (part_weights[candidates] / totals[None, :]).sum(axis=1)
+        choice = int(candidates[np.argmin(load)])
+        labels[vertex] = choice
+        part_weights[choice] += weight
     return labels

@@ -20,7 +20,7 @@ import numpy as np
 
 from .coarsen import coarsen
 from .graph import BalanceConstraint, Hypergraph, PartitionResult
-from .initial import greedy_initial, random_initial
+from .initial import greedy_initial
 from .refine import RefinementState, fm_refine, greedy_refine, rebalance
 
 __all__ = ["partition_hypergraph"]
@@ -106,9 +106,15 @@ def partition_hypergraph(
         ``eps = 0.1`` on computation with near-exact data balance.
     warm_starts:
         Optional label vectors to refine alongside multilevel runs.
+        With ``restarts=0`` the multilevel runs are skipped entirely
+        and only the warm starts are refined — the delta re-planner's
+        fast path, where a previous placement is known to be near the
+        optimum for the new cluster shape.
     """
     if k < 1:
         raise ValueError("k must be positive")
+    if restarts < 1 and not warm_starts:
+        raise ValueError("restarts=0 requires at least one warm start")
     if graph.num_vertices == 0:
         return PartitionResult(
             labels=np.zeros(0, dtype=np.int64),
@@ -131,7 +137,8 @@ def partition_hypergraph(
     caps = balance.caps(graph, k)
     candidates: List[PartitionResult] = []
 
-    for restart in range(max(restarts, 1)):
+    multilevel_runs = restarts if warm_starts else max(restarts, 1)
+    for restart in range(multilevel_runs):
         rng = np.random.default_rng(seed + 7919 * restart)
         candidates.append(_multilevel_run(graph, k, caps, rng, refine_passes))
 

@@ -107,7 +107,7 @@ def scalar_greedy_refine(
     max_passes: int = 8,
 ) -> int:
     """The original greedy pass; see :func:`repro.hypergraph.refine.greedy_refine`."""
-    graph, k = state.graph, state.k
+    graph = state.graph
     incidence = graph.incidence()
     moves = 0
     for _ in range(max_passes):
@@ -151,7 +151,6 @@ def scalar_fm_refine(
 ) -> int:
     """The original FM pass; see :func:`repro.hypergraph.refine.fm_refine`."""
     graph = state.graph
-    k = state.k
     if move_cap is None:
         move_cap = min(graph.num_vertices, 4000)
     incidence = graph.incidence()

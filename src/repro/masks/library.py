@@ -7,7 +7,7 @@ paper uses in its evaluation (§7.1 "Attention Masks").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

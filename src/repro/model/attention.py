@@ -15,7 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
+from ..blocks import AttentionSpec, BatchSpec, generate_blocks
 from ..masks import MaskSpec
 from ..runtime import BatchInputs, SimExecutor
 

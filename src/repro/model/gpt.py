@@ -10,7 +10,7 @@ embeddings, untied LM head.  Used for the loss-curve experiment
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

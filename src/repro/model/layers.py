@@ -8,7 +8,7 @@ batches).  Each ``*_forward`` returns ``(output, cache)``; the matching
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -40,7 +40,6 @@ def layer_norm_backward(
     grad_out: np.ndarray, cache: tuple
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     x_hat, inv_std, gamma = cache
-    d = x_hat.shape[-1]
     dgamma = (grad_out * x_hat).sum(axis=0)
     dbeta = grad_out.sum(axis=0)
     dx_hat = grad_out * gamma

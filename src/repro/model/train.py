@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..masks import CausalMask, MaskSpec
 from .attention import AttentionForward
-from .gpt import GPTConfig, TinyGPT
+from .gpt import TinyGPT
 
 __all__ = ["generate_corpus", "train"]
 

@@ -39,17 +39,26 @@ from .pipeline import (
     IterationRecord,
     OverlapPipeline,
     OverlapStats,
+    device_payload,
+    plan_diff,
     plan_fingerprint,
 )
-from .streaming import ClusterPinnedPlanner, StreamingOverlapPipeline
+from .streaming import (
+    REPLAN_MODES,
+    ClusterPinnedPlanner,
+    StreamingOverlapPipeline,
+)
 
 __all__ = [
     "OverlapPipeline",
     "StreamingOverlapPipeline",
     "ClusterPinnedPlanner",
+    "REPLAN_MODES",
     "OverlapStats",
     "IterationRecord",
     "plan_fingerprint",
+    "plan_diff",
+    "device_payload",
     "PlanTicket",
     "ThreadPlannerBackend",
     "ProcessPlannerBackend",

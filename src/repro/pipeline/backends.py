@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Optional, Tuple
 
@@ -228,6 +229,16 @@ class KVPlannerBackend:
 
     name = "kv"
 
+    #: Per-iteration consumer fetch cursors retained for delta
+    #: re-fetches.  A re-dispatched job re-publishes its iteration and
+    #: the consumer pulls again; with the previous pull's cursors only
+    #: the changed per-device slices move.  Each cursor pins the full
+    #: per-device payloads of its iteration (that is what a cursor hit
+    #: reuses), so the bound is kept tight: re-plans only ever target
+    #: the live prefetch window (``lookahead + 1``, typically 2-5
+    #: iterations), and older cursors can never be re-pulled.
+    MAX_FETCH_CURSORS = 8
+
     def __init__(
         self,
         pool,
@@ -239,6 +250,7 @@ class KVPlannerBackend:
         self.per_device_fetch = per_device_fetch
         self.consumer_wire_bytes = 0
         self._latest: dict = {}
+        self._fetched: "OrderedDict[int, dict]" = OrderedDict()
         self._lock = threading.Lock()
 
     def _ticket(self, inner: Future, index: int) -> PlanTicket:
@@ -260,9 +272,17 @@ class KVPlannerBackend:
             try:
                 done.result()
                 if self.per_device_fetch:
-                    plan, wire_bytes = pool.device_pull(index)
+                    with self._lock:
+                        known = self._fetched.get(index)
+                    plan, wire_bytes, fetched = pool.device_pull(
+                        index, known=known
+                    )
                     with self._lock:
                         self.consumer_wire_bytes += wire_bytes
+                        self._fetched[index] = fetched
+                        self._fetched.move_to_end(index)
+                        while len(self._fetched) > self.MAX_FETCH_CURSORS:
+                            self._fetched.popitem(last=False)
                 else:
                     plan = pool.fetch(index)
                 start, end = pool.plan_interval(index)

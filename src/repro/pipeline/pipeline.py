@@ -68,7 +68,7 @@ from ..core.pool import PlanningTimeline
 from .backends import CompletedTicket, PlanTicket, SharedPlanTicket, make_backend
 
 __all__ = ["OverlapPipeline", "OverlapStats", "IterationRecord",
-           "plan_fingerprint"]
+           "plan_fingerprint", "plan_diff", "device_payload"]
 
 #: Waits shorter than this (seconds) are queue bookkeeping, not stalls.
 #: Overridable for environments whose bookkeeping is artificially slow
@@ -92,6 +92,9 @@ class IterationRecord:
     cache_hit: bool
     #: Re-dispatched after a mid-stream cluster-shape change.
     replanned: bool = False
+    #: Survived a cluster-shape change unchanged: the delta re-planner
+    #: proved the plan compatible and rebound it instead of re-planning.
+    reused: bool = False
 
     @property
     def plan_s(self) -> float:
@@ -110,6 +113,7 @@ class IterationRecord:
             "queue_depth": self.queue_depth,
             "cache_hit": self.cache_hit,
             "replanned": self.replanned,
+            "reused": self.reused,
         }
 
 
@@ -127,6 +131,14 @@ class OverlapStats:
     cluster-shape event invalidated their target shape (streaming
     mode); ``cluster_events`` counts the events themselves and
     ``plan_retries`` the worker respawns after failures or hangs.
+
+    Delta re-planning splits the event response further:
+    ``partial_replans`` counts the re-dispatches the delta re-planner
+    issued (jobs whose plans the shape change actually touched),
+    ``replan_jobs_reused`` the window jobs whose plans survived the
+    event and were rebound without any planner work, and
+    ``replan_plan_s`` the planner seconds spent on re-dispatched jobs —
+    the quantity the delta-vs-whole-window benchmark compares.
     """
 
     iterations: int = 0
@@ -144,6 +156,9 @@ class OverlapStats:
     replans: int = 0
     cluster_events: int = 0
     plan_retries: int = 0
+    partial_replans: int = 0
+    replan_jobs_reused: int = 0
+    replan_plan_s: float = 0.0
     plan_cache: Optional[dict] = None
     records: List[IterationRecord] = field(default_factory=list)
 
@@ -186,6 +201,9 @@ class OverlapStats:
             "replans": self.replans,
             "cluster_events": self.cluster_events,
             "plan_retries": self.plan_retries,
+            "partial_replans": self.partial_replans,
+            "replan_jobs_reused": self.replan_jobs_reused,
+            "replan_plan_s": self.replan_plan_s,
             "plan_cache": self.plan_cache,
         }
 
@@ -205,6 +223,8 @@ class _Pending:
     joined: bool = False
     #: Re-dispatched after a cluster-shape event.
     replanned: bool = False
+    #: Plan survived a cluster-shape event via a delta-re-plan rebind.
+    reused: bool = False
     #: Cache epoch captured before reserving; late publications (the
     #: retry path) are rejected if an invalidation bumped it since.
     epoch: int = 0
@@ -301,6 +321,9 @@ class OverlapPipeline:
         self.replans = 0
         self.cluster_events = 0
         self.plan_retries = 0
+        self.partial_replans = 0
+        self.replan_jobs_reused = 0
+        self._replan_plan_s = 0.0
         self._wall_s = 0.0
         # Running aggregates, updated as records are created/finalized;
         # exact regardless of how much record history is retained.
@@ -335,7 +358,20 @@ class OverlapPipeline:
 
     # -- submission --------------------------------------------------------
 
-    def _submit(self, index: int, batch, redispatch: bool = False) -> _Pending:
+    def _submit(
+        self,
+        index: int,
+        batch,
+        redispatch: bool = False,
+        planner=None,
+    ) -> _Pending:
+        """Reserve/dispatch planning of ``batch`` for window slot ``index``.
+
+        ``planner`` overrides :meth:`_job_planner` for this dispatch
+        only — the delta re-planner ships re-dispatched jobs a
+        cluster-pinned planner carrying the previous placement as a
+        warm start.
+        """
         now = self._now()
         signature = None
         epoch = 0
@@ -367,7 +403,8 @@ class OverlapPipeline:
         dispatch = (
             self._backend.resubmit if redispatch else self._backend.submit
         )
-        ticket = dispatch(index, batch, planner=self._job_planner())
+        job_planner = planner if planner is not None else self._job_planner()
+        ticket = dispatch(index, batch, planner=job_planner)
         if signature is not None:
             self._bridge_reservation(ticket, signature, epoch)
         return _Pending(index, batch, ticket, now, signature, False,
@@ -480,6 +517,8 @@ class OverlapPipeline:
         is folded separately, once its interval is finalized)."""
         self._plan_s += record.plan_s
         self._stall_s += record.stall
+        if record.replanned:
+            self._replan_plan_s += record.plan_s
         stalled = record.stall > STALL_EPS
         self._stall_count += int(stalled)
         if self._iterations > 0:  # not the first iteration ever
@@ -527,6 +566,7 @@ class OverlapPipeline:
                     queue_depth=depth,
                     cache_hit=item.cache_hit,
                     replanned=item.replanned,
+                    reused=item.reused,
                 )
                 self._account_record(record)
                 self.records.append(record)
@@ -574,6 +614,9 @@ class OverlapPipeline:
         stats.replans = self.replans
         stats.cluster_events = self.cluster_events
         stats.plan_retries = self.plan_retries
+        stats.partial_replans = self.partial_replans
+        stats.replan_jobs_reused = self.replan_jobs_reused
+        stats.replan_plan_s = self._replan_plan_s
         return stats
 
     def stats(self) -> OverlapStats:
@@ -617,38 +660,77 @@ class OverlapPipeline:
         self.close()
 
 
+def device_payload(device: int, device_plan) -> bytes:
+    """Canonical byte serialization of one device's executable stream.
+
+    Everything the executor consumes for this device — instructions,
+    buffer sizes, slot maps, local slices — pickled independently of
+    the other devices, so the bytes do not depend on object sharing
+    *across* device plans (sharing no real wire preserves, and exactly
+    what the KV backend's per-device partial fetches dissolve).  The
+    unit of identity for :func:`plan_fingerprint` and :func:`plan_diff`
+    alike.
+    """
+    import pickle
+
+    return pickle.dumps(
+        (
+            device,
+            device_plan.instructions,
+            sorted(device_plan.buffer_sizes.items()),
+            device_plan.local_slices,
+            sorted(device_plan.o_slots.items()),
+            sorted(device_plan.q_slots.items()),
+            sorted(device_plan.kv_slots.items()),
+            sorted(device_plan.acc_slots.items()),
+            sorted(device_plan.do_slots.items()),
+            sorted(device_plan.dq_slots.items()),
+            sorted(device_plan.dkv_slots.items()),
+        ),
+        protocol=4,
+    )
+
+
 def plan_fingerprint(plan) -> bytes:
     """Byte identity of a plan's executable content.
 
     Pickles everything the executor consumes — per-device instruction
     streams, buffer sizes, slot maps and local slices — and nothing
     incidental (``plan.meta`` holds wall-clock stats that differ run to
-    run).  Each device's payload is pickled independently so that the
-    fingerprint does not depend on object sharing *across* device plans
-    — sharing no real wire preserves, and exactly what the KV backend's
-    per-device partial fetches dissolve.  Two plans with equal
-    fingerprints execute identically; the determinism tests use this to
-    prove the pipeline yields exactly the synchronous planner's plans.
+    run).  Two plans with equal fingerprints execute identically; the
+    determinism tests use this to prove the pipeline yields exactly the
+    synchronous planner's plans, and the delta re-planning tests to
+    prove a delta re-plan equals a whole-window re-plan.
     """
     import pickle
 
     payload = [
-        pickle.dumps(
-            (
-                device,
-                dp.instructions,
-                sorted(dp.buffer_sizes.items()),
-                dp.local_slices,
-                sorted(dp.o_slots.items()),
-                sorted(dp.q_slots.items()),
-                sorted(dp.kv_slots.items()),
-                sorted(dp.acc_slots.items()),
-                sorted(dp.do_slots.items()),
-                sorted(dp.dq_slots.items()),
-                sorted(dp.dkv_slots.items()),
-            ),
-            protocol=4,
-        )
+        device_payload(device, dp)
         for device, dp in sorted(plan.device_plans.items())
     ]
     return pickle.dumps(payload, protocol=4)
+
+
+def plan_diff(old_plan, new_plan) -> Tuple[int, ...]:
+    """Devices whose executable content differs between two plans.
+
+    Compares per-device :func:`device_payload` bytes; a device present
+    in only one plan counts as changed.  An empty result means the
+    plans are :func:`plan_fingerprint`-equal.  This is the *observer's*
+    view of delta re-planning — tests and benchmarks use it to assert
+    which devices an event re-plan actually touched; the enforcement on
+    the wire is independent (the KV store's
+    :meth:`~repro.core.kvstore.KVStore.put_if_changed` byte-compares
+    each republished slice against what it already holds), so the two
+    agree by construction on serialized content.
+    """
+    devices = sorted(set(old_plan.device_plans) | set(new_plan.device_plans))
+    changed = []
+    for device in devices:
+        old = old_plan.device_plans.get(device)
+        new = new_plan.device_plans.get(device)
+        if old is None or new is None:
+            changed.append(device)
+        elif device_payload(device, old) != device_payload(device, new):
+            changed.append(device)
+    return tuple(changed)

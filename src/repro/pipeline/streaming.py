@@ -19,10 +19,8 @@ Mechanics on top of the base pipeline:
   lookup.
 * Between iterations the pipeline drains the event source.  On a shape
   change it invalidates every cached entry (and releases every
-  in-flight reservation) for a stale shape, then re-dispatches the
-  whole prefetch window against the new shape: each re-dispatched job
-  counts into ``OverlapStats.replans`` and the yielded plans from then
-  on target the new cluster.  Events are observed at iteration
+  in-flight reservation) for a stale shape and then responds according
+  to ``replan_mode`` (below).  Events are observed at iteration
   granularity — the §6.1 pipeline only ever consumes plans between
   iterations, so that is exactly when a shape change can take effect.
 * Worker jobs (and inline fallbacks) ship a
@@ -33,6 +31,35 @@ Mechanics on top of the base pipeline:
   (:class:`~repro.core.planner.DCPPlanner` does); without an event
   source any ``plan_batch`` object works, as before.
 
+Delta re-planning (``replan_mode``)
+-----------------------------------
+Re-dispatching the *whole* prefetch window on every cluster event — the
+original behavior, kept as ``replan_mode="scratch"`` — breaks the §6.1
+promise exactly when it matters: a device loss causes ``kappa + 1``
+cold plans in a burst.  The default ``"delta"`` mode instead classifies
+every window job against the new shape:
+
+* a job whose plan has already settled and is *compatible* with the
+  new cluster (places nothing on vanished devices; see
+  :func:`~repro.scheduling.plan_compatible`) is **reused**: the plan is
+  rebound onto the new shape in O(devices) dictionary work
+  (:func:`~repro.scheduling.rebind_plan`), its cache entry survives
+  under the new-shape signature, and no planner runs at all
+  (``OverlapStats.replan_jobs_reused``);
+* an affected job is re-dispatched **warm**: the previous placement
+  labels ride along (``plan.meta["placement"]``) and the placement
+  stage repairs + refines them instead of partitioning from scratch
+  (``OverlapStats.partial_replans``);
+* a job still in flight (no settled plan to classify or warm-start
+  from) is re-dispatched cold, as before.
+
+``replan_mode="window"`` re-dispatches every window job through the
+same warm primitive — the brute-force baseline that the delta property
+tests compare against: delta and window runs must yield
+fingerprint-identical plans, proving the reuse shortcut sound.
+``"scratch"`` re-plans everything cold (pre-delta semantics; also the
+cost baseline the delta-vs-whole-window benchmark measures against).
+
 With ``events=None`` the streaming pipeline is behavior-identical to
 the base class — the determinism tests prove the plans are
 byte-identical to the synchronous path either way — which is why the
@@ -41,14 +68,19 @@ dataloaders route both lists and generators through it unconditionally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
-from ..core.cache import PlanCache, batch_signature
+from ..core.cache import batch_signature
+from ..scheduling import plan_compatible, rebind_plan
 from ..sim.cluster import ClusterEventSource, ClusterSpec
+from .backends import CompletedTicket
 from .pipeline import OverlapPipeline, _Pending
 
-__all__ = ["StreamingOverlapPipeline", "ClusterPinnedPlanner"]
+__all__ = ["StreamingOverlapPipeline", "ClusterPinnedPlanner", "REPLAN_MODES"]
+
+REPLAN_MODES = ("delta", "window", "scratch")
 
 
 @dataclass(frozen=True)
@@ -58,12 +90,21 @@ class ClusterPinnedPlanner:
     Shipped with worker jobs (it pickles, so the process backend works)
     so that plans dispatched after a cluster event target the event's
     shape while the wrapped planner keeps its own configured cluster.
+    ``warm`` optionally carries the previous placement's
+    ``(slice_device, comp_device)`` labels: re-planned jobs start from
+    the placement they had before the event instead of partitioning
+    from scratch.
     """
 
     planner: object
     cluster: ClusterSpec
+    warm: Optional[Tuple] = field(default=None, compare=False)
 
     def plan_batch(self, batch):
+        if self.warm is not None:
+            return self.planner.plan_batch(
+                batch, cluster=self.cluster, warm=self.warm
+            )
         return self.planner.plan_batch(batch, cluster=self.cluster)
 
 
@@ -76,8 +117,17 @@ class StreamingOverlapPipeline(OverlapPipeline):
         Optional :class:`~repro.sim.ClusterEventSource`.  When given,
         the pipeline polls it between iterations; device add/remove
         events invalidate stale :class:`~repro.core.cache.PlanCache`
-        entries and re-dispatch the in-flight prefetch window against
-        the new shape (counted in ``OverlapStats.replans``).
+        entries and re-plan the in-flight prefetch window against the
+        new shape.
+    replan_mode:
+        How the prefetch window responds to a shape change:
+        ``"delta"`` (default) re-dispatches only the jobs the event
+        actually affects, reusing compatible plans and warm-starting
+        the rest from their previous placement; ``"window"``
+        re-dispatches every window job through the same warm primitive
+        (the brute-force baseline delta must match fingerprint for
+        fingerprint); ``"scratch"`` re-plans the whole window cold (the
+        pre-delta behavior).
     """
 
     def __init__(
@@ -86,10 +136,17 @@ class StreamingOverlapPipeline(OverlapPipeline):
         planner,
         *,
         events: Optional[ClusterEventSource] = None,
+        replan_mode: str = "delta",
         **kwargs,
     ) -> None:
+        if replan_mode not in REPLAN_MODES:
+            raise ValueError(
+                f"unknown replan_mode {replan_mode!r}; use one of "
+                f"{REPLAN_MODES}"
+            )
         super().__init__(batches, planner, **kwargs)
         self.events = events
+        self.replan_mode = replan_mode
         self._cluster: Optional[ClusterSpec] = (
             events.current if events is not None else None
         )
@@ -106,10 +163,10 @@ class StreamingOverlapPipeline(OverlapPipeline):
             return base
         return (self._cluster, base)
 
-    def _pinned(self) -> Optional[ClusterPinnedPlanner]:
+    def _pinned(self, warm=None) -> Optional[ClusterPinnedPlanner]:
         if self.events is None or self._cluster is None:
             return None
-        return ClusterPinnedPlanner(self.planner, self._cluster)
+        return ClusterPinnedPlanner(self.planner, self._cluster, warm=warm)
 
     def _plan_inline(self, batch):
         pinned = self._pinned()
@@ -136,9 +193,26 @@ class StreamingOverlapPipeline(OverlapPipeline):
             return  # net no-op (e.g. an add immediately undone)
         self._cluster = current
         if self.cache is not None:
-            self.cache.invalidate(self._is_stale_key)
+            remap = (
+                self._remap_cache_entry
+                if self.replan_mode == "delta"
+                else None
+            )
+            self.cache.invalidate(self._is_stale_key, remap=remap)
         for item in self._pending:
-            self._redispatch(item)
+            plan = (
+                None
+                if self.replan_mode == "scratch"
+                else self._settled_plan(item)
+            )
+            if (
+                self.replan_mode == "delta"
+                and plan is not None
+                and plan_compatible(plan, current)
+            ):
+                self._reuse(item, plan)
+            else:
+                self._redispatch(item, warm=self._warm_labels(plan))
 
     # -- re-planning -------------------------------------------------------
 
@@ -151,18 +225,98 @@ class StreamingOverlapPipeline(OverlapPipeline):
             and key[0] != self._cluster
         )
 
-    def _redispatch(self, item: _Pending) -> None:
+    def _remap_cache_entry(self, key, plan):
+        """Rescue a stale-shape cache entry whose plan survives the event.
+
+        Recurring batch signatures are the cache's whole value; delta
+        re-planning extends the same reasoning to invalidation — an
+        entry compatible with the new shape is rebound and re-keyed
+        instead of dropped, so post-event repeats still hit.
+        """
+        if not self._is_stale_key(key):
+            return None
+        if not plan_compatible(plan, self._cluster):
+            return None
+        return (self._cluster, key[1]), rebind_plan(plan, self._cluster)
+
+    def _settled_plan(self, item: _Pending):
+        """The item's plan if its job already finished, else ``None``.
+
+        Classification never blocks: an unfinished (or failed) job has
+        nothing to classify or warm-start from and is re-dispatched
+        cold, exactly as the whole-window mode would.
+        """
+        ticket = item.ticket
+        if ticket is None or not ticket.ready():
+            return None
+        try:
+            plan, _start, _end = ticket.result(timeout=0)
+        except BaseException:
+            return None
+        return plan
+
+    def _warm_labels(self, plan) -> Optional[Tuple]:
+        """Previous placement labels to warm-start a re-plan from.
+
+        Labels are device ids, and their meaning depends on the
+        device -> machine map: after a ``devices_per_machine`` change
+        every device is remapped (``ClusterSpec.affected_devices``
+        names them all), so the old placement is not a valid start —
+        adopting it verbatim would pin a layout optimized for the
+        wrong topology.  Those re-plans go cold instead.
+        """
+        if plan is None:
+            return None
+        if (
+            plan.cluster.devices_per_machine
+            != self._cluster.devices_per_machine
+        ):
+            return None
+        return plan.meta.get("placement")
+
+    def _reuse(self, item: _Pending, plan) -> None:
+        """Keep a window job's plan across the event: rebind, no planner.
+
+        The rebound plan is handed back through a
+        :class:`~repro.pipeline.backends.CompletedTicket` (zero-width
+        planning interval — no planner ran) and published under the
+        new-shape signature via the normal resolve path, so concurrent
+        pipelines sharing the cache see it immediately.
+        """
+        self.replan_jobs_reused += 1
+        rebound = rebind_plan(plan, self._cluster)
+        item.ticket = CompletedTicket(rebound, time.perf_counter())
+        item.joined = False
+        item.cache_hit = False
+        item.replanned = False
+        item.reused = True
+        if self.cache is not None:
+            item.signature = self._signature(item.batch)
+            item.epoch = self.cache.epoch
+
+    def _redispatch(self, item: _Pending, warm=None) -> None:
         """Replace a window entry's job with one targeting the new shape.
 
         The superseded job is left to finish in the background (workers
         cannot be preempted); its reservation was already released by
         the invalidation above, so nothing stale is ever published.
+        ``warm`` carries the previous placement labels when the old
+        plan had settled — the re-plan then repairs that placement for
+        the new shape instead of partitioning from scratch.
         """
         self.replans += 1
-        fresh = self._submit(item.index, item.batch, redispatch=True)
+        if self.replan_mode == "delta":
+            self.partial_replans += 1
+        fresh = self._submit(
+            item.index,
+            item.batch,
+            redispatch=True,
+            planner=self._pinned(warm=warm),
+        )
         item.ticket = fresh.ticket
         item.signature = fresh.signature
         item.cache_hit = fresh.cache_hit
         item.joined = fresh.joined
         item.epoch = fresh.epoch  # post-invalidation: publications valid
         item.replanned = True
+        item.reused = False

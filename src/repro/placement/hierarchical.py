@@ -11,13 +11,13 @@ would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..blocks import BlockSet, CompBlock, TokenSlice
-from ..hypergraph import BalanceConstraint, partition_hypergraph
+from ..hypergraph import BalanceConstraint, partition_hypergraph, repair_labels
 from ..sim.cluster import ClusterSpec
 from .build import BlockHypergraph, build_block_hypergraph
 from .heuristics import dp_pack_labels, zigzag_labels
@@ -92,31 +92,104 @@ def _warm_starts(
     return [zigzag_labels(bhg, k, subset), dp_pack_labels(bhg, k, subset)]
 
 
+def _warm_vector(
+    block_set: BlockSet, warm: Optional[Tuple[np.ndarray, np.ndarray]]
+) -> Optional[np.ndarray]:
+    """Validate a previous placement's labels against this block set.
+
+    Returns the concatenated per-vertex device labels (slices first,
+    then computation blocks — the hypergraph's vertex order), or
+    ``None`` if the shapes do not line up (a different block
+    decomposition: the warm start is useless and planning falls back to
+    the cold path).
+    """
+    if warm is None:
+        return None
+    slice_prev, comp_prev = (np.asarray(w, dtype=np.int64) for w in warm)
+    if slice_prev.shape != (len(block_set.token_slices),):
+        return None
+    if comp_prev.shape != (len(block_set.comp_blocks),):
+        return None
+    return np.concatenate([slice_prev, comp_prev])
+
+
 def place_blocks(
     block_set: BlockSet,
     cluster: ClusterSpec,
     config: Optional[PlacementConfig] = None,
+    warm: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> Placement:
-    """Optimize block placement hierarchically for one batch."""
+    """Optimize block placement hierarchically for one batch.
+
+    ``warm`` is a previous placement of the *same* block set —
+    ``(slice_device, comp_device)`` label arrays, e.g. recovered from
+    ``plan.meta["placement"]`` — targeting a cluster with the same
+    ``devices_per_machine`` but possibly a different machine count.
+    The labels are global device ids, so their machine assignment is
+    only meaningful under an unchanged device -> machine map; callers
+    re-planning across a ``devices_per_machine`` change must plan cold
+    (the streaming delta re-planner does).  Two warm regimes, both
+    deterministic:
+
+    * every previous label names a device that still exists: the
+      placement is adopted verbatim (the delta re-planner's reuse
+      guarantee — a re-plan of an unaffected batch reproduces its plan
+      byte-for-byte);
+    * some labels reference vanished devices: the stranded vertices are
+      repaired onto surviving devices (:func:`repair_labels`) and the
+      result refined warm-only (``restarts=0``) at both hierarchy
+      levels — no multilevel runs, no heuristic warm starts, which is
+      what makes an event re-plan several times cheaper than planning
+      from scratch.
+    """
     config = config or PlacementConfig()
-    bhg = build_block_hypergraph(block_set)
     num_machines = cluster.num_machines
     devices_per_machine = cluster.devices_per_machine
+
+    warm_labels = _warm_vector(block_set, warm)
+    if warm_labels is not None and len(warm_labels) and np.all(
+        (warm_labels >= 0) & (warm_labels < cluster.num_devices)
+    ):
+        # Previous placement is feasible on this shape: adopt it.
+        num_slices = len(block_set.token_slices)
+        return Placement(
+            block_set=block_set,
+            cluster=cluster,
+            slice_device=warm_labels[:num_slices].copy(),
+            comp_device=warm_labels[num_slices:].copy(),
+            num_vertices=len(warm_labels),
+            num_edges=0,
+        )
+
+    bhg = build_block_hypergraph(block_set)
     num_vertices = bhg.graph.num_vertices
+    warm_only = warm_labels is not None
 
     # -- level 1: machines ------------------------------------------------
     if num_machines == 1:
         machine_labels = np.zeros(num_vertices, dtype=np.int64)
     else:
+        balance = BalanceConstraint((config.eps_inter, config.eps_data))
+        if warm_only:
+            warm_machines = repair_labels(
+                bhg.graph,
+                warm_labels // devices_per_machine,
+                num_machines,
+                balance.caps(bhg.graph, num_machines),
+            )
+            level1_warm, restarts = [warm_machines], 0
+        else:
+            level1_warm = _warm_starts(
+                bhg, num_machines, enabled=config.use_warm_starts
+            )
+            restarts = config.restarts
         result = partition_hypergraph(
             bhg.graph,
             num_machines,
-            BalanceConstraint((config.eps_inter, config.eps_data)),
+            balance,
             seed=config.seed,
-            restarts=config.restarts,
-            warm_starts=_warm_starts(
-                bhg, num_machines, enabled=config.use_warm_starts
-            ),
+            restarts=restarts,
+            warm_starts=level1_warm,
             refine_passes=config.refine_passes,
         )
         machine_labels = result.labels
@@ -132,18 +205,28 @@ def place_blocks(
             device_labels[members] = first_device
             continue
         subgraph, original_ids = bhg.induced_subgraph(members)
+        if warm_only:
+            # The previous intra-machine offset is a meaningful start
+            # for vertices that stayed on their machine and an
+            # arbitrary-but-valid one for migrants; refinement sorts
+            # both out.  Always in range, so no repair needed.
+            level2_warm = [warm_labels[original_ids] % devices_per_machine]
+            restarts = 0
+        else:
+            level2_warm = _warm_starts(
+                bhg,
+                devices_per_machine,
+                subset=original_ids,
+                enabled=config.use_warm_starts,
+            )
+            restarts = config.restarts
         result = partition_hypergraph(
             subgraph,
             devices_per_machine,
             BalanceConstraint((config.eps_intra, config.eps_data)),
             seed=config.seed + machine + 1,
-            restarts=config.restarts,
-            warm_starts=_warm_starts(
-                bhg,
-                devices_per_machine,
-                subset=original_ids,
-                enabled=config.use_warm_starts,
-            ),
+            restarts=restarts,
+            warm_starts=level2_warm,
             refine_passes=config.refine_passes,
         )
         device_labels[original_ids] = first_device + result.labels

@@ -19,7 +19,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from .baselines import (
     FlexSPPlanner,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -35,13 +35,7 @@ from ..scheduling.instructions import (
 )
 from .device import DeviceBuffers
 from .fabric import Fabric
-from .kernels import (
-    AttnPartial,
-    finalize,
-    merge_partials,
-    tile_attention,
-    tile_backward,
-)
+from .kernels import finalize, merge_partials, tile_attention, tile_backward
 
 __all__ = ["SimExecutor", "BatchInputs"]
 

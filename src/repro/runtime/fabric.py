@@ -7,7 +7,7 @@ per-link, intra- vs inter-machine) which tests and benchmarks read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..sim.cluster import ClusterSpec

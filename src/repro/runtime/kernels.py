@@ -14,7 +14,6 @@ identical to FlashAttention's online softmax.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -18,7 +18,12 @@ from .instructions import (
     Tile,
 )
 from .backward import serialize_backward_schedule
-from .serialize import serialize_schedule
+from .serialize import (
+    empty_device_plan,
+    plan_compatible,
+    rebind_plan,
+    serialize_schedule,
+)
 from .validate import PlanValidationError, validate_plan
 
 __all__ = [
@@ -40,6 +45,9 @@ __all__ = [
     "SendArg",
     "Tile",
     "serialize_schedule",
+    "empty_device_plan",
+    "plan_compatible",
+    "rebind_plan",
     "serialize_backward_schedule",
     "PlanValidationError",
     "validate_plan",

@@ -19,7 +19,7 @@ and ``dkv`` accumulators, with the same transient-slot reuse scheme.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..blocks import BlockKind, BlockSet, DataBlockId
 from .buffers import BufferManager

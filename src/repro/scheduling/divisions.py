@@ -19,10 +19,9 @@ scheduled; later users on the same device reuse the fetched copy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
-import numpy as np
 
 from ..blocks import BlockSet, CompBlock, DataBlockId
 

@@ -21,7 +21,7 @@ and timing), independent of the simulator's float32 storage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = [
     "Tile",

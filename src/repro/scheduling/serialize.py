@@ -17,8 +17,8 @@ executed (the paper's buffer-reuse design).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from dataclasses import replace
+from typing import Dict, List, Tuple
 
 from ..blocks import BlockKind, BlockSet, DataBlockId
 from .buffers import BufferManager
@@ -37,7 +37,12 @@ from .instructions import (
     Tile,
 )
 
-__all__ = ["serialize_schedule"]
+__all__ = [
+    "serialize_schedule",
+    "empty_device_plan",
+    "plan_compatible",
+    "rebind_plan",
+]
 
 _INPUT_BUFFER = {BlockKind.Q: "q", BlockKind.KV: "kv"}
 
@@ -346,4 +351,76 @@ def serialize_schedule(schedule: Schedule) -> ExecutionPlan:
         cluster=cluster,
         device_plans=device_plans,
         meta={"num_divisions": num_divisions, "planner": "dcp"},
+    )
+
+
+def empty_device_plan(device: int) -> DevicePlan:
+    """The plan an idle device gets: exactly what serialization emits
+    for a device that holds no slices and computes no blocks.
+
+    ``rebind_plan`` uses this to extend a plan onto devices added after
+    it was planned; constructing it here (next to the serializer) keeps
+    the two byte-identical — the delta-re-planning property tests
+    compare a rebind against a genuine re-serialization by fingerprint.
+    """
+    return DevicePlan(
+        device=device,
+        instructions=[],
+        buffer_sizes=BufferManager().sizes(),
+        local_slices=[],
+    )
+
+
+def _device_plan_idle(device_plan: DevicePlan) -> bool:
+    return not device_plan.instructions and not device_plan.local_slices
+
+
+def plan_compatible(plan: ExecutionPlan, cluster) -> bool:
+    """True if ``plan`` executes unchanged on ``cluster``.
+
+    A plan survives a cluster-shape change when
+
+    * the new shape differs from the plan's target only in trailing
+      machines (same ``devices_per_machine``, same link/compute
+      parameters — anything else shifts the device -> machine map or
+      the cost model the schedule was optimized under), and
+    * the plan is idle — no instructions, no local token slices — on
+      every device the change affects
+      (``ClusterSpec.affected_devices``: the removed or added trailing
+      devices).  Serialization pairs every send with a receive, so an
+      idle device is also never named as a peer by a surviving one;
+      added devices are not in the plan at all, so growth is always
+      compatible.
+    """
+    old = plan.cluster
+    if replace(old, num_machines=cluster.num_machines) != cluster:
+        return False
+    return all(
+        _device_plan_idle(plan.device_plans[device])
+        for device in old.affected_devices(cluster)
+        if device in plan.device_plans
+    )
+
+
+def rebind_plan(plan: ExecutionPlan, cluster) -> ExecutionPlan:
+    """Retarget a compatible plan at ``cluster`` without re-planning.
+
+    O(devices) dictionary work: surviving devices keep their streams
+    (shared, not copied — plans are immutable once yielded), devices
+    beyond the new shape are dropped (they must be idle — checked), and
+    devices the new shape adds get :func:`empty_device_plan`.  The
+    result is fingerprint-identical to re-planning the batch with the
+    old placement adopted warm — the delta re-planner's reuse path.
+    """
+    if not plan_compatible(plan, cluster):
+        raise ValueError("plan is not compatible with the target cluster")
+    device_plans = {
+        device: plan.device_plans.get(device) or empty_device_plan(device)
+        for device in range(cluster.num_devices)
+    }
+    return ExecutionPlan(
+        block_set=plan.block_set,
+        cluster=cluster,
+        device_plans=device_plans,
+        meta=dict(plan.meta),
     )

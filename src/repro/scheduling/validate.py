@@ -8,7 +8,7 @@ batch.  Used by the test suite and available to planner authors.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Set, Tuple
 
 from .instructions import (
     BlockwiseAttention,
@@ -36,7 +36,6 @@ def _check(condition: bool, message: str) -> None:
 def validate_plan(plan: ExecutionPlan) -> None:
     """Raise :class:`PlanValidationError` on any structural violation."""
     block_set = plan.block_set
-    num_tiles = 0
     sends: Set[Tuple[int, int, Tuple]] = set()
     recvs: Set[Tuple[int, int, Tuple]] = set()
 
@@ -90,7 +89,6 @@ def validate_plan(plan: ExecutionPlan) -> None:
                 waited.add(instruction.op_id)
             elif isinstance(instruction, BlockwiseAttention):
                 for tile in instruction.tiles:
-                    num_tiles += 1
                     _check(
                         slot_ok("q", tile.q_slot)
                         and slot_ok("kv", tile.kv_slot)
@@ -109,7 +107,6 @@ def validate_plan(plan: ExecutionPlan) -> None:
                     )
             elif isinstance(instruction, BlockwiseAttentionBackward):
                 for tile in instruction.tiles:
-                    num_tiles += 1
                     _check(
                         slot_ok("q", tile.q_slot)
                         and slot_ok("kv", tile.kv_slot)

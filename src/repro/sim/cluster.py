@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass, replace
-from typing import Deque, List
+from dataclasses import dataclass, field, replace
+from typing import Deque, List, Optional, Tuple
 
 __all__ = [
     "ClusterSpec",
@@ -85,6 +85,23 @@ class ClusterSpec:
     def compute_time(self, flops: float) -> float:
         return flops / self.effective_flops()
 
+    def affected_devices(self, other: "ClusterSpec") -> Tuple[int, ...]:
+        """Devices whose existence or machine assignment differs vs ``other``.
+
+        The delta re-planner's blast radius: a plan that touches none of
+        these devices stays valid across the shape change.  With equal
+        ``devices_per_machine`` only the trailing added/removed devices
+        are affected (global device numbering keeps every surviving
+        device on its machine); a ``devices_per_machine`` change
+        rewrites the device -> machine map wholesale, so every device of
+        either shape is affected.
+        """
+        if self.devices_per_machine != other.devices_per_machine:
+            return tuple(range(max(self.num_devices, other.num_devices)))
+        low = min(self.num_devices, other.num_devices)
+        high = max(self.num_devices, other.num_devices)
+        return tuple(range(low, high))
+
 
 @dataclass(frozen=True)
 class ClusterEvent:
@@ -92,11 +109,17 @@ class ClusterEvent:
 
     ``cluster`` is the shape *after* the event; the streaming pipeline
     compares it against the shape its in-flight plans targeted to decide
-    what to invalidate and re-dispatch.
+    what to invalidate and re-dispatch.  ``previous`` is the shape
+    before the event and ``affected_devices`` the devices the change
+    touches (removed, added, or remapped onto a different machine) —
+    the metadata delta re-planning keys its blast radius off: plans
+    that place nothing on an affected device survive the event.
     """
 
     kind: str  # "device_add" | "device_remove" | "resize"
     cluster: ClusterSpec
+    previous: Optional[ClusterSpec] = None
+    affected_devices: Tuple[int, ...] = field(default=())
 
 
 class ClusterEventSource:
@@ -148,7 +171,12 @@ class ClusterEventSource:
         observers concurrently removing one machine each from a
         3-machine cluster must end at 1 machine, not both at 2.
         """
-        event = ClusterEvent(kind=kind, cluster=cluster)
+        event = ClusterEvent(
+            kind=kind,
+            cluster=cluster,
+            previous=self._cluster,
+            affected_devices=self._cluster.affected_devices(cluster),
+        )
         self._cluster = cluster
         self._events.append(event)
         self._version += 1

@@ -11,7 +11,7 @@ from repro.baselines import (
     pad_batch,
     zigzag_slice_assignment,
 )
-from repro.blocks import AttentionSpec, BatchSpec, BlockKind, generate_blocks
+from repro.blocks import AttentionSpec, BatchSpec, generate_blocks
 from repro.masks import CausalMask, LambdaMask, SharedQuestionMask
 from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
 from repro.sim import ClusterSpec, simulate_plan
@@ -84,10 +84,6 @@ class TestRingProperties:
         """Each KV block travels R-1 hops around the ring."""
         block_set = build(seqlens=(64,), block_size=16)
         plan = RingAttentionPlanner().plan(block_set, CLUSTER)
-        kv_bytes = sum(
-            block_set.block_bytes(comp.kv_input)
-            for comp in []
-        )
         spec = block_set.attention
         total_kv = 4 * spec.head_groups * spec.kv_block_bytes(16)
         expected = total_kv * (CLUSTER.num_devices - 1)

@@ -1,6 +1,5 @@
 """Smoke tests for the figure drivers (tiny problem sizes)."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -1,6 +1,5 @@
 """Tests for block generation (paper §4.1)."""
 
-import numpy as np
 import pytest
 
 from repro.blocks import (
@@ -9,7 +8,6 @@ from repro.blocks import (
     BlockKind,
     CompBlock,
     DataBlockId,
-    SequenceSpec,
     TokenSlice,
     generate_blocks,
 )

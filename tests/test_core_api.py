@@ -10,7 +10,6 @@ from repro import (
     DCPConfig,
     DCPDataloader,
     DCPPlanner,
-    generate_blocks,
     make_mask,
 )
 from repro.core import LocalData

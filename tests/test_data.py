@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.blocks import BatchSpec
 from repro.data import (
     LONGALIGN,
     LONG_DATA_COLLECTIONS,
@@ -13,7 +12,7 @@ from repro.data import (
     sample_lengths,
     scale_lengths,
 )
-from repro.masks import CausalMask, SharedQuestionMask, make_mask
+from repro.masks import CausalMask, SharedQuestionMask
 
 
 class TestDistributions:

@@ -33,7 +33,6 @@ from repro.pipeline import (
 from repro.runtime import BatchInputs, SimExecutor
 from repro.runtime.fabric import Fabric
 from repro.scheduling import PlanValidationError, validate_plan
-from repro.scheduling.instructions import CommLaunch, CommWait
 from repro.sim import ClusterEventSource, simulate_plan
 
 ATTENTION = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
@@ -363,7 +362,8 @@ class TestClusterFaults:
         for plan in plans[1:]:
             assert plan.cluster == shrunk
             validate_plan(plan)
-        assert pipeline.stats().replans >= 1
+        stats = pipeline.stats()
+        assert stats.replans + stats.replan_jobs_reused >= 1
         # The re-planned batches execute correctly on the new shape.
         from repro.runtime import reference_batch_outputs
 
@@ -377,6 +377,65 @@ class TestClusterFaults:
             reference_batch_outputs(plan.block_set, inputs),
         ):
             np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-5)
+
+    def test_affected_replan_crash_respawned(self):
+        """A delta re-plan (warm-started dispatch for an affected job)
+        that crashes must be respawned like any worker failure — the
+        respawn plans cold against the new shape and the stream keeps
+        yielding valid plans."""
+
+        class WarmReplanCrashPlanner:
+            """Crashes the first ``failures`` warm re-plan dispatches."""
+
+            def __init__(self, planner, failures):
+                self.planner = planner
+                self.failures = failures
+                self.warm_calls = 0
+                self._lock = threading.Lock()
+
+            def plan_batch(self, batch, cluster=None, warm=None):
+                if warm is not None:
+                    with self._lock:
+                        self.warm_calls += 1
+                        crash = self.warm_calls <= self.failures
+                    if crash:
+                        raise RuntimeError("injected re-plan crash")
+                if cluster is not None:
+                    return self.planner.plan_batch(
+                        batch, cluster=cluster, warm=warm
+                    )
+                return self.planner.plan_batch(batch)
+
+        flaky = WarmReplanCrashPlanner(_pipeline_planner(), failures=1)
+        events = ClusterEventSource(CLUSTER)
+        batches = _pipeline_batches(5)
+        pipeline = StreamingOverlapPipeline(
+            iter(batches), flaky, lookahead=2, max_workers=2, events=events
+        )
+        shrunk = ClusterSpec(num_machines=1, devices_per_machine=2)
+        plans = []
+        for i, (_, plan) in enumerate(pipeline):
+            plans.append(plan)
+            if i == 0:
+                # Let the window settle so the event classifies (and
+                # warm re-dispatches) real plans deterministically.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if all(
+                        item.ticket is not None and item.ticket.ready()
+                        for item in pipeline._pending
+                    ):
+                        break
+                    time.sleep(0.005)
+                events.remove_machines(1)
+        stats = pipeline.stats()
+        assert len(plans) == len(batches)
+        assert flaky.warm_calls >= 1  # the injected crash actually fired
+        assert stats.plan_retries >= 1
+        assert stats.partial_replans >= 1
+        for plan in plans[1:]:
+            assert plan.cluster == shrunk
+            validate_plan(plan)
 
 
 class TestFabric:

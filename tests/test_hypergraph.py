@@ -11,8 +11,6 @@ from repro.hypergraph import (
     coarsen_once,
     contract,
     fm_refine,
-    greedy_initial,
-    greedy_refine,
     partition_hypergraph,
     rebalance,
 )
@@ -119,7 +117,6 @@ class TestCoarsen:
 class TestRefinement:
     def test_gain_matches_recomputed_cost(self):
         g = simple_graph()
-        rng = np.random.default_rng(1)
         labels = np.array([0, 1, 0, 1, 0, 1])
         state = RefinementState(g, labels, 2)
         for vertex in range(6):

@@ -8,7 +8,6 @@ from repro.model import (
     GPTConfig,
     TinyGPT,
     attention_forward_backward,
-    dense_attention_forward,
     generate_corpus,
     make_distributed_forward,
     train,

@@ -1,6 +1,5 @@
 """Tests for the packing-strategy module (repro.data.packing)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

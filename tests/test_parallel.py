@@ -1,6 +1,5 @@
 """Tests for repro.parallel: topology, TP sharding, 1F1B, hybrid."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -78,6 +78,36 @@ class TestKVStore:
         store.put("arr", array)
         np.testing.assert_array_equal(store.get("arr"), array)
 
+    def test_put_if_changed_skips_identical_payload(self):
+        store = KVStore()
+        version, changed = store.put_if_changed("k", [1, 2, 3])
+        assert (version, changed) == (1, True)
+        before = store.traffic["in"]
+        version, changed = store.put_if_changed("k", [1, 2, 3])
+        assert (version, changed) == (1, False)
+        assert store.traffic["in"] == before  # no bytes moved
+        version, changed = store.put_if_changed("k", [1, 2, 4])
+        assert (version, changed) == (2, True)
+
+    def test_get_unless_honours_version_cursor(self):
+        store = KVStore()
+        store.put("k", "payload")
+        value, version, fetched = store.get_unless("k")
+        assert (value, version, fetched) == ("payload", 1, True)
+        before = store.traffic["out"]
+        value, version, fetched = store.get_unless("k", version=1)
+        assert (value, fetched) == (None, False)
+        assert version == 1
+        assert store.traffic["out"] == before  # cursor hit: free
+        store.put("k", "fresh")
+        value, version, fetched = store.get_unless("k", version=1)
+        assert (value, version, fetched) == ("fresh", 2, True)
+
+    def test_get_unless_times_out_like_get(self):
+        store = KVStore()
+        with pytest.raises(KeyError):
+            store.get_unless("missing", timeout=0.01)
+
 
 class TestKVClient:
     def test_local_client_free(self):
@@ -94,6 +124,22 @@ class TestKVClient:
         assert client.bytes_sent > 0
         client.get("k")
         assert client.bytes_received > 0
+
+    def test_conditional_ops_charge_only_moved_payloads(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        _version, changed = client.put_if_changed("k", [1] * 100)
+        assert changed
+        sent = client.bytes_sent
+        _version, changed = client.put_if_changed("k", [1] * 100)
+        assert not changed
+        assert client.bytes_sent == sent
+        _value, version, fetched = client.get_unless("k")
+        assert fetched
+        received = client.bytes_received
+        value, _version, fetched = client.get_unless("k", version=version)
+        assert not fetched and value is None
+        assert client.bytes_received == received
 
 
 # -- PlannerPool / DistributedDataloader --------------------------------------
@@ -133,6 +179,41 @@ class TestPlannerPool:
     def test_rejects_zero_machines(self):
         with pytest.raises(ValueError):
             PlannerPool(_planner(), KVStore(), num_machines=0)
+
+    def test_partial_republish_skips_unchanged_device_slices(self):
+        """Re-publishing an identical plan (a re-plan that changed
+        nothing for a device) writes no per-device bytes, and a
+        consumer re-fetch presenting its version cursors moves only the
+        skeleton."""
+        store = KVStore()
+        batch = _batches(1)[0]
+        # Two machines so one consumer is remote from the store host —
+        # the saved re-fetch bytes are NIC bytes, not local reads.
+        cluster = ClusterSpec(num_machines=2, devices_per_machine=1)
+        spec = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+        planner = DCPPlanner(cluster, spec, DCPConfig(block_size=32,
+                                                      restarts=1))
+        with PlannerPool(planner, store, partial_plans=True) as pool:
+            pool.submit(0, batch).result(timeout=30.0)
+            plan, _wire, fetched = pool.device_pull(0)
+            assert sorted(fetched) == sorted(plan.device_plans)
+            written = pool.device_entries_written
+            assert written == plan.num_devices
+            assert pool.device_entries_unchanged == 0
+            # Replace-resubmit the same batch: the fresh worker plans an
+            # identical plan and republishes — every device entry is
+            # byte-identical, so nothing is rewritten.
+            pool.submit(0, batch, replace=True).result(timeout=30.0)
+            assert pool.device_entries_written == written
+            assert pool.device_entries_unchanged == plan.num_devices
+            # Consumer re-fetch with cursors: unchanged slices are free.
+            replan, _wire2, refetched = pool.device_pull(0, known=fetched)
+            assert pool.refetch_saved_bytes > 0
+            for device, (version, _payload) in refetched.items():
+                assert version == fetched[device][0]  # nothing re-versioned
+            from repro.pipeline import plan_fingerprint
+
+            assert plan_fingerprint(replan) == plan_fingerprint(plan)
 
     def test_plans_survive_pickling(self):
         """Plans cross the store as pickles; instruction streams survive."""

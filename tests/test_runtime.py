@@ -187,7 +187,6 @@ class TestExecutor:
             },
         )
         executor = SimExecutor(bad)
-        runner_cls = type(executor).__mro__[0]
         # CommWait with unknown op: pending_recvs empty -> completes; build
         # a real deadlock instead with a recv that is never sent.
         from repro.scheduling.instructions import CommLaunch, RecvArg

@@ -1,10 +1,9 @@
 """Tests for division scheduling, buffers and plan serialization."""
 
-import numpy as np
 import pytest
 
 from repro.blocks import AttentionSpec, BatchSpec, generate_blocks
-from repro.masks import CausalMask, LambdaMask
+from repro.masks import CausalMask
 from repro.placement import PlacementConfig, place_blocks
 from repro.scheduling import (
     BlockwiseAttention,

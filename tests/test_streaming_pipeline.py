@@ -9,7 +9,6 @@ and the KV backend's per-device partial plan fetches.
 
 import itertools
 import threading
-import time
 
 import pytest
 
@@ -206,11 +205,15 @@ class TestStreamPacker:
 
 class TestClusterEvents:
     def test_removal_triggers_replan_and_new_shape(self):
+        """Whole-window cold mode: every re-plan is byte-identical to a
+        fresh planner targeting the new shape (delta's warm/reuse paths
+        have their own oracle in test_delta_replan.py)."""
         planner = make_planner()
         events = ClusterEventSource(CLUSTER)
         batches = make_batches(5)
         pipeline = StreamingOverlapPipeline(
-            iter(batches), planner, lookahead=2, max_workers=2, events=events
+            iter(batches), planner, lookahead=2, max_workers=2,
+            events=events, replan_mode="scratch",
         )
         plans = []
         for i, (_, plan) in enumerate(pipeline):
@@ -231,7 +234,10 @@ class TestClusterEvents:
         )
         assert any(r.replanned for r in stats.records)
 
-    def test_addition_also_replans(self):
+    def test_addition_retargets_window(self):
+        """On a device add the window responds — by re-planning jobs
+        still in flight or by reusing settled plans (delta) — and every
+        plan yielded after the event targets the grown shape."""
         planner = make_planner()
         events = ClusterEventSource(CLUSTER)
         batches = make_batches(4)
@@ -242,8 +248,10 @@ class TestClusterEvents:
         next(iterator)
         events.add_machines(1)
         rest = [plan for _, plan in iterator]
-        assert pipeline.stats().replans >= 1
-        assert rest[-1].cluster.num_machines == 3
+        stats = pipeline.stats()
+        assert stats.replans + stats.replan_jobs_reused >= 1
+        for plan in rest:
+            assert plan.cluster.num_machines == 3
 
     def test_event_invalidates_cache_not_stale_hit(self):
         """After removal the cached old-shape plan must not be served."""
@@ -265,7 +273,11 @@ class TestClusterEvents:
         for plan in plans[1:]:
             assert plan.cluster.num_machines == 1
             assert plan is not plans[0]
-        assert cache.stats()["invalidations"] >= 1
+        stats = cache.stats()
+        # The old-shape entry was either dropped (affected by the
+        # removal) or rescued onto the new-shape key (delta remap) —
+        # never served stale.
+        assert stats["invalidations"] + stats["remapped"] >= 1
 
     def test_shared_event_source_reaches_every_pipeline(self):
         """Two pipelines on one event source must both observe a shape
@@ -287,8 +299,9 @@ class TestClusterEvents:
         last_first = [plan for _, plan in it_first][-1]
         last_second = [plan for _, plan in it_second][-1]
         for pipeline, last in ((first, last_first), (second, last_second)):
-            assert pipeline.stats().cluster_events == 1
-            assert pipeline.stats().replans >= 1
+            stats = pipeline.stats()
+            assert stats.cluster_events == 1
+            assert stats.replans + stats.replan_jobs_reused >= 1
             assert last.cluster.num_machines == 1
 
     def test_no_op_event_does_not_replan(self):
@@ -324,7 +337,7 @@ class TestClusterEvents:
         next(iterator)
         events.remove_machines(1)
         next(iterator)  # observes the event, re-dispatches the window
-        assert pipeline.replans >= 1
+        assert pipeline.replans + pipeline.replan_jobs_reused >= 1
         for item in pipeline._pending:
             assert item.epoch == cache.epoch
         list(iterator)
@@ -417,7 +430,8 @@ class TestDataloaderRouting:
             plans.append(plan)
             if i == 0:
                 events.remove_machines(1)
-        assert loader.stats().replans >= 1
+        stats = loader.stats()
+        assert stats.replans + stats.replan_jobs_reused >= 1
         assert plans[-1].cluster.num_machines == 1
 
     def test_distributed_dataloader_accepts_generator_and_events(self):
@@ -434,7 +448,8 @@ class TestDataloaderRouting:
                 if i == 0:
                     events.remove_machines(1)
         assert len(plans) == 4
-        assert loader.stats().replans >= 1
+        stats = loader.stats()
+        assert stats.replans + stats.replan_jobs_reused >= 1
         assert plans[0].cluster.num_machines == 2
         # Every plan yielded after the event targets the new shape —
         # including the in-window jobs the KV pool had already memoized
@@ -540,7 +555,8 @@ class TestRunnerIntegration:
         assert len(report.executions) == 4
         assert executed[0] == 2
         assert executed[-1] == 1
-        assert report.stats.replans >= 1
+        stats = report.stats
+        assert stats.replans + stats.replan_jobs_reused >= 1
 
     def test_streaming_stats_survive_as_dict(self):
         planner = make_planner()

@@ -13,7 +13,7 @@ from repro import (
     make_mask,
 )
 from repro.baselines import RingAttentionPlanner, TransformerEnginePlanner
-from repro.core import GroupedPlan, plan_with_groups, split_batch_by_workload
+from repro.core import plan_with_groups, split_batch_by_workload
 from repro.runtime import BatchInputs, SimExecutor, reference_batch_outputs
 from repro.scheduling import PlanValidationError, validate_plan
 from repro.scheduling.instructions import CommWait

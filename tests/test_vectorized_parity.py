@@ -354,10 +354,7 @@ class TestScalarFastPath:
         assert np.array_equal(scalar[1], batched[1])
 
     def test_small_graphs_auto_dispatch_to_scalar(self):
-        from repro.hypergraph.refine import (
-            SMALL_GRAPH_EDGES,
-            SMALL_GRAPH_VERTICES,
-        )
+        from repro.hypergraph.refine import SMALL_GRAPH_VERTICES
 
         rng = np.random.default_rng(3)
         small = random_hypergraph(rng, 20, 40)
