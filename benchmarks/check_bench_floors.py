@@ -17,7 +17,12 @@ Checked metrics:
   floor, the delta-vs-whole-window replan cost ratio stays under
   ``streaming.replan_cost_ratio_max``, delta and whole-window re-plans
   are fingerprint-identical, and the KV per-device partial fetch keeps
-  its wire-byte ratio under ``streaming.kv_wire_ratio_max``.
+  its wire-byte ratio under ``streaming.kv_wire_ratio_max``;
+* plan transport — plans are fingerprint-identical across the pickle /
+  columnar-wire / shared-memory transports, the shm cell actually moved
+  plans through shared memory, and its (encode + move + decode) /
+  plan-time overhead stays under
+  ``transport.smoke_overhead_ratio_max``.
 
 Usage::
 
@@ -40,6 +45,7 @@ DEFAULT_PLANNER_SMOKE_BUDGET_S = 1.0
 DEFAULT_HIDDEN_FLOOR = 0.5
 DEFAULT_REPLAN_RATIO_MAX = 0.8
 DEFAULT_KV_WIRE_RATIO_MAX = 0.95
+DEFAULT_TRANSPORT_SMOKE_RATIO_MAX = 0.15
 
 
 def _load(path: str) -> Optional[dict]:
@@ -148,6 +154,37 @@ def check_overlap(gate: Gate, strict: bool) -> None:
     )
 
 
+def check_transport(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_overlap.json") or {}
+    smoke = _load("BENCH_overlap.transport.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "transport smoke output missing")
+        return
+    tracked_transport = tracked.get("transport") or {}
+
+    gate.check(
+        bool(smoke.get("fingerprints_identical")),
+        "plans fingerprint-identical across transports",
+    )
+    rows = {row["transport"]: row for row in smoke["rows"]}
+    shm_row = rows.get("shm", {})
+    gate.check(
+        int(shm_row.get("shm_plans", 0)) >= 1,
+        f"shm transport cell moved {shm_row.get('shm_plans')} plans "
+        "through shared memory",
+    )
+    ratio = smoke.get("overhead_ratio")
+    ratio_max = float(
+        tracked_transport.get(
+            "smoke_overhead_ratio_max", DEFAULT_TRANSPORT_SMOKE_RATIO_MAX
+        )
+    )
+    gate.check(
+        ratio is not None and float(ratio) <= ratio_max,
+        f"shm transport overhead ratio {ratio} <= {ratio_max}",
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -161,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     gate = Gate()
     check_planner(gate, strict=args.strict)
     check_overlap(gate, strict=args.strict)
+    check_transport(gate, strict=args.strict)
 
     if gate.failures:
         print(

@@ -56,6 +56,17 @@ else
         --output "$REPO_ROOT/BENCH_overlap.streaming.smoke.json"
 fi
 
+echo "== plan transport smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites the "transport" section of BENCH_overlap.json.
+    python benchmarks/bench_overlap_pipeline.py --transport
+else
+    # Gates cross-transport plan identity, real shared-memory use, and
+    # the (encode + move + decode) / plan-time overhead ceiling.
+    python benchmarks/bench_overlap_pipeline.py --transport --smoke \
+        --output "$REPO_ROOT/BENCH_overlap.transport.smoke.json"
+fi
+
 if [[ "${1:-}" != "--full" ]]; then
     echo "== smoke floors vs tracked BENCH_*.json =="
     # The aggregate regression gate CI runs on every PR: every smoke

@@ -7,6 +7,14 @@ from .dataloader import DCPDataloader, LocalData
 from .groups import GroupedPlan, plan_with_groups, split_batch_by_workload
 from .kvstore import KVClient, KVStore
 from .planner import DCPPlanner, PlanningStats
+from .planwire import (
+    PlanWire,
+    PlanWireError,
+    decode_device_payload,
+    decode_plan,
+    encode_device_payload,
+    encode_plan,
+)
 from .pool import (
     DistributedDataloader,
     PlannerPool,
@@ -32,6 +40,12 @@ __all__ = [
     "batch_signature",
     "KVStore",
     "KVClient",
+    "PlanWire",
+    "PlanWireError",
+    "encode_plan",
+    "decode_plan",
+    "encode_device_payload",
+    "decode_device_payload",
     "PlannerPool",
     "DistributedDataloader",
     "PlanningTimeline",

@@ -10,6 +10,16 @@ bytes each machine would move to/from the store's host.
 The accounting matters for the planner-overlap analysis: serialized
 plans are megabytes, and shipping them must not erase the benefit of
 parallel planning.
+
+Values are encoded once, on ``put``: arbitrary objects are pickled —
+exactly what crossing a process boundary would require, so stored
+plans are true snapshots, not shared mutable objects — while
+bytes-like values (e.g. columnar plan payloads from
+:mod:`repro.core.planwire`) are stored raw and come back as ``bytes``,
+paying no pickle framing.  The stored payload is the single source of
+truth for all byte accounting: :class:`KVClient` counters and
+:meth:`KVStore.entry_bytes` price exactly the bytes the store holds,
+never a re-serialization.
 """
 
 from __future__ import annotations
@@ -26,15 +36,21 @@ __all__ = ["KVStore", "KVClient"]
 class _Entry:
     payload: bytes
     version: int
+    raw: bool = False
+
+    def value(self) -> Any:
+        return self.payload if self.raw else pickle.loads(self.payload)
+
+
+def _encode(value: Any) -> Tuple[bytes, bool]:
+    """``(payload, raw)`` — bytes-like values skip the pickle framing."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value), True
+    return pickle.dumps(value), False
 
 
 class KVStore:
-    """Thread-safe blocking key-value store with versioned writes.
-
-    Values are pickled on ``put`` — exactly what crossing a process
-    boundary would require — so stored plans are true snapshots, not
-    shared mutable objects.
-    """
+    """Thread-safe blocking key-value store with versioned writes."""
 
     def __init__(self, host_machine: int = 0) -> None:
         self.host_machine = host_machine
@@ -45,41 +61,60 @@ class KVStore:
         self._bytes_out = 0
 
     # -- primitives -----------------------------------------------------
+    #
+    # The public methods wrap ``*_entry`` variants that also report the
+    # stored payload size of the touched entry — what :class:`KVClient`
+    # charges to its wire counters, with no re-serialization anywhere.
+
+    def put_entry(self, key: str, value: Any) -> Tuple[int, int]:
+        """Store ``value``; returns ``(version, payload_bytes)``."""
+        payload, raw = _encode(value)
+        with self._changed:
+            previous = self._entries.get(key)
+            version = previous.version + 1 if previous else 1
+            self._entries[key] = _Entry(payload=payload, version=version,
+                                        raw=raw)
+            self._bytes_in += len(payload)
+            self._changed.notify_all()
+            return version, len(payload)
 
     def put(self, key: str, value: Any) -> int:
         """Store ``value`` under ``key``; returns the new version."""
-        payload = pickle.dumps(value)
-        with self._changed:
-            previous = self._entries.get(key)
-            version = previous.version + 1 if previous else 1
-            self._entries[key] = _Entry(payload=payload, version=version)
-            self._bytes_in += len(payload)
-            self._changed.notify_all()
-            return version
+        return self.put_entry(key, value)[0]
 
-    def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
-        """Store ``value`` unless the current payload is byte-identical.
+    def put_if_changed_entry(
+        self, key: str, value: Any
+    ) -> Tuple[int, bool, int]:
+        """Conditional :meth:`put_entry`: ``(version, changed, bytes)``.
 
-        Returns ``(version, changed)``.  An unchanged write keeps the
-        existing entry — same version, no bytes moved — which is what
-        lets a re-planned plan republish only the per-device slices the
-        re-plan actually touched: consumers holding the old version
-        cursor see the unchanged slices as still-fresh
-        (:meth:`get_unless`).
+        An unchanged write keeps the existing entry — same version, no
+        bytes moved (the reported size is the payload that *would* have
+        moved) — which is what lets a re-planned plan republish only
+        the per-device slices the re-plan actually touched: consumers
+        holding the old version cursor see the unchanged slices as
+        still-fresh (:meth:`get_unless`).
         """
-        payload = pickle.dumps(value)
+        payload, raw = _encode(value)
         with self._changed:
             previous = self._entries.get(key)
             if previous is not None and previous.payload == payload:
-                return previous.version, False
+                return previous.version, False, len(payload)
             version = previous.version + 1 if previous else 1
-            self._entries[key] = _Entry(payload=payload, version=version)
+            self._entries[key] = _Entry(payload=payload, version=version,
+                                        raw=raw)
             self._bytes_in += len(payload)
             self._changed.notify_all()
-            return version, True
+            return version, True, len(payload)
 
-    def get(self, key: str, timeout: Optional[float] = None) -> Any:
-        """Fetch ``key``, blocking until it exists.
+    def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
+        """Store ``value`` unless the current payload is byte-identical."""
+        version, changed, _nbytes = self.put_if_changed_entry(key, value)
+        return version, changed
+
+    def get_entry(
+        self, key: str, timeout: Optional[float] = None
+    ) -> Tuple[Any, int]:
+        """Blocking fetch: ``(value, payload_bytes)``.
 
         Raises ``KeyError`` if the timeout expires first.
         """
@@ -90,19 +125,23 @@ class KVStore:
                 raise KeyError(key)
             entry = self._entries[key]
             self._bytes_out += len(entry.payload)
-            return pickle.loads(entry.payload)
+            return entry.value(), len(entry.payload)
 
-    def get_unless(
+    def get(self, key: str, timeout: Optional[float] = None) -> Any:
+        """Fetch ``key``, blocking until it exists."""
+        return self.get_entry(key, timeout=timeout)[0]
+
+    def get_unless_entry(
         self,
         key: str,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
-    ) -> Tuple[Optional[Any], int, bool]:
-        """Conditional fetch: ``(value, version, fetched)``.
+    ) -> Tuple[Optional[Any], int, bool, int]:
+        """Conditional fetch: ``(value, version, fetched, payload_bytes)``.
 
         Blocks until ``key`` exists (``KeyError`` on timeout), then —
         if the stored version equals the caller's cursor — returns
-        ``(None, version, False)`` without moving the payload: the
+        ``(None, version, False, 0)`` without moving the payload: the
         caller's copy is still current.  Otherwise returns the value
         and its version, charging the payload like :meth:`get`.  The
         version cursor is what a re-fetching consumer sends instead of
@@ -115,9 +154,21 @@ class KVStore:
                 raise KeyError(key)
             entry = self._entries[key]
             if version is not None and entry.version == version:
-                return None, entry.version, False
+                return None, entry.version, False, 0
             self._bytes_out += len(entry.payload)
-            return pickle.loads(entry.payload), entry.version, True
+            return entry.value(), entry.version, True, len(entry.payload)
+
+    def get_unless(
+        self,
+        key: str,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[Any], int, bool]:
+        """Conditional fetch: ``(value, version, fetched)``."""
+        value, new_version, fetched, _nbytes = self.get_unless_entry(
+            key, version=version, timeout=timeout
+        )
+        return value, new_version, fetched
 
     def try_get(self, key: str) -> Optional[Any]:
         """Fetch ``key`` if present, else ``None`` (non-blocking)."""
@@ -126,7 +177,7 @@ class KVStore:
             if entry is None:
                 return None
             self._bytes_out += len(entry.payload)
-            return pickle.loads(entry.payload)
+            return entry.value()
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; True if it existed."""
@@ -173,7 +224,10 @@ class KVClient:
 
     Reads and writes from the host machine itself are local (no NIC
     traffic); remote machines pay the payload over the wire.  The
-    per-client counters let experiments price plan distribution.
+    per-client counters let experiments price plan distribution.  What
+    they charge is the payload the store actually encoded — the bytes
+    a Redis client would put on the socket — not a second
+    serialization of the value.
     """
 
     store: KVStore
@@ -186,22 +240,22 @@ class KVClient:
         return self.machine == self.store.host_machine
 
     def put(self, key: str, value: Any) -> int:
-        version = self.store.put(key, value)
+        version, nbytes = self.store.put_entry(key, value)
         if not self.is_local:
-            self.bytes_sent += len(pickle.dumps(value))
+            self.bytes_sent += nbytes
         return version
 
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
-        value = self.store.get(key, timeout=timeout)
+        value, nbytes = self.store.get_entry(key, timeout=timeout)
         if not self.is_local:
-            self.bytes_received += len(pickle.dumps(value))
+            self.bytes_received += nbytes
         return value
 
     def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
         """Conditional write; only a changed payload moves over the wire."""
-        version, changed = self.store.put_if_changed(key, value)
+        version, changed, nbytes = self.store.put_if_changed_entry(key, value)
         if changed and not self.is_local:
-            self.bytes_sent += len(pickle.dumps(value))
+            self.bytes_sent += nbytes
         return version, changed
 
     def get_unless(
@@ -211,11 +265,11 @@ class KVClient:
         timeout: Optional[float] = None,
     ) -> Tuple[Optional[Any], int, bool]:
         """Conditional fetch; an unchanged entry moves no payload."""
-        value, new_version, fetched = self.store.get_unless(
+        value, new_version, fetched, nbytes = self.store.get_unless_entry(
             key, version=version, timeout=timeout
         )
         if fetched and not self.is_local:
-            self.bytes_received += len(pickle.dumps(value))
+            self.bytes_received += nbytes
         return value, new_version, fetched
 
     def wire_bytes(self) -> int:

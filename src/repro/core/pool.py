@@ -32,6 +32,7 @@ from ..scheduling import ExecutionPlan
 from .dataloader import LocalData
 from .kvstore import KVClient, KVStore
 from .planner import DCPPlanner
+from .planwire import decode_device_payload, encode_device_payload
 
 __all__ = [
     "PlannerPool",
@@ -56,6 +57,13 @@ def device_key(iteration: int, device: int) -> str:
     return f"plan/{iteration}/device/{device}"
 
 
+def _device_value(value):
+    """A fetched per-device entry, decoded if stored in wire format."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return decode_device_payload(value)[1]
+    return value
+
+
 class PlannerPool:
     """Parallel planning across machines, publishing to a KV store.
 
@@ -76,6 +84,14 @@ class PlannerPool:
         pull only its own instruction stream (§6.1 wire accounting:
         every device must receive its plan; per-device fetches charge
         ``skeleton + own stream`` rather than the whole plan).
+    wire_format:
+        Store per-device streams as columnar wire payloads
+        (:mod:`repro.core.planwire`) instead of pickled
+        :class:`~repro.scheduling.DevicePlan` objects — fewer bytes per
+        stream, and the canonical encoding makes the store's
+        byte-compare delta detection identity-exact.  Defaults to
+        ``partial_plans`` (the monolithic layout keeps the historical
+        pickle).  Fetches decode transparently either way.
     """
 
     def __init__(
@@ -85,6 +101,7 @@ class PlannerPool:
         num_machines: int = 1,
         cores_per_machine: int = 2,
         partial_plans: bool = False,
+        wire_format: Optional[bool] = None,
     ) -> None:
         if num_machines < 1 or cores_per_machine < 1:
             raise ValueError("need at least one machine and one core")
@@ -92,6 +109,9 @@ class PlannerPool:
         self.store = store
         self.num_machines = num_machines
         self.partial_plans = partial_plans
+        self.wire_format = (
+            partial_plans if wire_format is None else bool(wire_format)
+        )
         self.clients = [
             KVClient(store=store, machine=m) for m in range(num_machines)
         ]
@@ -180,11 +200,18 @@ class PlannerPool:
         # Conditional per-device writes: a republication (the delta
         # re-plan path) only moves the streams the re-plan changed;
         # untouched devices keep their version, so consumers holding a
-        # cursor skip them on re-fetch too.
+        # cursor skip them on re-fetch too.  In wire format the stored
+        # value is the canonical columnar payload, so the store's
+        # byte-compare sees exactly what plan_diff sees.
         written = unchanged = 0
         for device, device_plan in plan.device_plans.items():
+            value = (
+                encode_device_payload(device, device_plan)
+                if self.wire_format
+                else device_plan
+            )
             _version, changed = client.put_if_changed(
-                device_key(iteration, device), device_plan
+                device_key(iteration, device), value
             )
             written += int(changed)
             unchanged += int(not changed)
@@ -204,7 +231,9 @@ class PlannerPool:
             return client.get(plan_key(iteration), timeout=timeout)
         skeleton = client.get(skeleton_key(iteration), timeout=timeout)
         device_plans = {
-            device: client.get(device_key(iteration, device), timeout=timeout)
+            device: _device_value(
+                client.get(device_key(iteration, device), timeout=timeout)
+            )
             for device in skeleton.meta["devices"]
         }
         return self._assemble(skeleton, device_plans)
@@ -230,7 +259,9 @@ class PlannerPool:
         skeleton = self.clients[0].get(skeleton_key(iteration), timeout=timeout)
         machine = skeleton.cluster.machine_of(device)
         client = self.clients[machine % self.num_machines]
-        return client.get(device_key(iteration, device), timeout=timeout)
+        return _device_value(
+            client.get(device_key(iteration, device), timeout=timeout)
+        )
 
     def device_pull(
         self,
@@ -308,6 +339,8 @@ class PlannerPool:
                             device_key(iteration, device)
                         )
                         saved += entry or 0
+                else:
+                    value = _device_value(value)
                 device_plans[device] = value
                 fetched[device] = (version, value)
             plan = self._assemble(

@@ -19,6 +19,10 @@ model execution" claim from an analytic replay
   ``max_concurrent_plans`` GIL-contention throttle), process-pool, and
   KV-store (:class:`~repro.core.pool.PlannerPool`) planner workers;
   the KV backend optionally accounts per-device partial plan fetches.
+  Process workers return plans zero-copy: columnar wire bytes
+  (:mod:`repro.core.planwire`) deposited in a shared-memory
+  :class:`~repro.pipeline.shm.PlanRing`, with transparent pipe and
+  pickle fallbacks.
 * :class:`~repro.pipeline.driver.PipelineRunner` — drains a pipeline
   through :class:`~repro.runtime.SimExecutor` (or a cost-model stand-in)
   and reports the measured :class:`OverlapStats` + timeline.
@@ -35,6 +39,7 @@ from .backends import (
     make_backend,
 )
 from .driver import OverlapReport, PipelineRunner, cost_model_executor
+from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable
 from .pipeline import (
     IterationRecord,
     OverlapPipeline,
@@ -64,6 +69,9 @@ __all__ = [
     "ProcessPlannerBackend",
     "KVPlannerBackend",
     "make_backend",
+    "PlanRing",
+    "ShmUnavailable",
+    "DEFAULT_SLOT_BYTES",
     "OverlapReport",
     "PipelineRunner",
     "cost_model_executor",

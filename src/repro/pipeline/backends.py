@@ -16,8 +16,11 @@ parent's).  Three implementations:
   worker count trades queueing for per-plan latency.
 * :class:`ProcessPlannerBackend` — planner workers in separate
   processes, the paper's "parallelized with more than 10 CPU cores"
-  configuration.  The planner and batches must pickle (they do), and
-  every plan pays one pickle round-trip back to the parent.
+  configuration.  The planner ships to each worker once (fork
+  inheritance or the pool initializer), never per job, and finished
+  plans return through a zero-copy shared-memory ring in the columnar
+  wire format (:mod:`repro.core.planwire`), falling back to
+  wire-bytes-over-pipe and plain pickle transparently.
 * :class:`KVPlannerBackend` — planning through a
   :class:`~repro.core.pool.PlannerPool`: jobs fan out round-robin
   across (simulated) machines and plans return via the KV store,
@@ -34,11 +37,16 @@ retry/respawn entry point for jobs whose worker raised or hung.
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Optional, Tuple
+
+from ..core.planwire import decode_plan, encode_plan
+from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable
 
 __all__ = [
     "PlanTicket",
@@ -185,25 +193,208 @@ class ThreadPlannerBackend:
         self._pool.shutdown(wait=False, cancel_futures=True)
 
 
+#: Per-worker state installed by :func:`_plan_worker_init`: the planner
+#: (shipped once per worker, never per job), the transport mode, and
+#: the attached plan ring (``None`` outside shm transport).
+_WORKER_STATE: dict = {}
+
+
+def _plan_worker_init(planner, ring_spec, transport: str) -> None:
+    _WORKER_STATE["planner"] = planner
+    _WORKER_STATE["transport"] = transport
+    ring = None
+    if ring_spec is not None:
+        try:
+            ring = PlanRing.attach(ring_spec)
+        except Exception:
+            ring = None  # ring gone or unmappable: pipe fallback
+    _WORKER_STATE["ring"] = ring
+
+
+def _transport_plan(batch, slot, override=None) -> Tuple:
+    """Worker-side job: plan, then move the plan by the cheapest path.
+
+    Returns ``(kind, payload, start, end, encode_s, write_s, nbytes)``
+    where ``kind`` is ``"shm"`` (payload = slot index, bytes already in
+    the ring), ``"wire"`` (payload = columnar bytes over the result
+    pipe), or ``"pickle"`` (payload = the plan object itself; the pipe
+    pickles it).  ``start``/``end`` bracket pure planning time only, so
+    plan intervals stay comparable across transports.
+    """
+    planner = override if override is not None else _WORKER_STATE["planner"]
+    transport = _WORKER_STATE.get("transport", "pickle")
+    start = time.perf_counter()
+    plan = planner.plan_batch(batch)
+    end = time.perf_counter()
+    if transport == "pickle":
+        return "pickle", plan, start, end, 0.0, 0.0, 0
+    stamp = time.perf_counter()
+    blob = encode_plan(plan).to_bytes()
+    encode_s = time.perf_counter() - stamp
+    ring = _WORKER_STATE.get("ring")
+    if slot is not None and ring is not None:
+        stamp = time.perf_counter()
+        if ring.write(slot, blob):
+            write_s = time.perf_counter() - stamp
+            return "shm", slot, start, end, encode_s, write_s, len(blob)
+    return "wire", blob, start, end, encode_s, 0.0, len(blob)
+
+
 class ProcessPlannerBackend:
     """Planner workers in separate processes (no GIL sharing at all).
 
-    The planner object is pickled with every job — megabytes below any
-    plan, and dwarfed by the planning time it buys back.
+    The planner ships to each worker exactly once — inherited by
+    ``fork`` or pickled through the pool initializer under
+    ``forkserver``/``spawn`` — so a job carries only its batch (plus a
+    slot index); :attr:`last_job_payload_bytes` tracks that and the
+    regression tests pin it.  Finished plans come back per
+    ``transport``:
+
+    * ``"shm"`` (default) — columnar wire bytes deposited in a
+      :class:`~repro.pipeline.shm.PlanRing` slot reserved by the parent
+      at submit time; the parent decodes straight out of shared memory.
+      Falls back per plan to ``"wire"`` when the ring is full or a plan
+      outgrows its slot, and at construction when shm is unavailable.
+    * ``"wire"`` — columnar bytes over the result pipe (one extra
+      copy, no shared memory).
+    * ``"pickle"`` — the historical object-graph round-trip.
+
+    :attr:`transport_stats` accumulates per-plan payload bytes and
+    encode/write/decode seconds — the transport-overhead numbers the
+    ``--transport`` benchmark cell and its floor gate.
     """
 
     name = "process"
 
-    def __init__(self, planner, max_workers: int = 2) -> None:
+    TRANSPORTS = ("shm", "wire", "pickle")
+
+    def __init__(
+        self,
+        planner,
+        max_workers: int = 2,
+        transport: str = "shm",
+        mp_start: str = "auto",
+        ring_slots: Optional[int] = None,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one planner worker")
+        if transport not in self.TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; use one of "
+                f"{self.TRANSPORTS}"
+            )
         self.planner = planner
         self.max_workers = max_workers
-        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        self.requested_transport = transport
+        if mp_start == "auto":
+            # ``fork`` keeps planners defined anywhere (tests, scripts)
+            # workable and ships the planner by page sharing;
+            # ``forkserver``/``spawn`` need an importable planner.
+            methods = multiprocessing.get_all_start_methods()
+            mp_start = "fork" if "fork" in methods else "spawn"
+        self.mp_start = mp_start
+        self._ring: Optional[PlanRing] = None
+        if transport == "shm":
+            try:
+                self._ring = PlanRing.create(
+                    slots=ring_slots or max(2 * max_workers + 2, 4),
+                    slot_bytes=slot_bytes,
+                )
+            except ShmUnavailable:
+                transport = "wire"
+        self.transport = transport
+        try:
+            #: One-time cost of shipping the planner (what the old
+            #: backend paid per job; ``fork`` does not even pay it once).
+            self.planner_payload_bytes = len(pickle.dumps(planner))
+        except Exception:
+            self.planner_payload_bytes = 0
+        #: Pickled size of the most recent job's arguments — the bytes
+        #: that actually cross the pipe per job now that the planner
+        #: does not.
+        self.last_job_payload_bytes = 0
+        self.transport_stats = {
+            "plans": 0,
+            "shm_plans": 0,
+            "wire_plans": 0,
+            "pickle_plans": 0,
+            "payload_bytes": 0,
+            "encode_s": 0.0,
+            "write_s": 0.0,
+            "decode_s": 0.0,
+        }
+        self._stats_lock = threading.Lock()
+        ring_spec = self._ring.spec() if self._ring is not None else None
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context(self.mp_start),
+            initializer=_plan_worker_init,
+            initargs=(planner, ring_spec, self.transport),
+        )
+
+    def _account_submit(self, batch, slot, override) -> None:
+        try:
+            self.last_job_payload_bytes = len(
+                pickle.dumps((batch, slot, override), protocol=4)
+            )
+        except Exception:
+            self.last_job_payload_bytes = 0
+
+    def _wrap(self, inner: Future, slot: Optional[int]) -> Future:
+        """Decode the worker's transport result into ``(plan, t0, t1)``."""
+        wrapper: Future = Future()
+
+        def relay(done: Future) -> None:
+            try:
+                kind, payload, start, end, encode_s, write_s, nbytes = (
+                    done.result()
+                )
+            except BaseException as exc:
+                if slot is not None and self._ring is not None:
+                    self._ring.free(slot)
+                wrapper.set_exception(exc)
+                return
+            decode_s = 0.0
+            try:
+                if kind == "shm":
+                    stamp = time.perf_counter()
+                    view = self._ring.read(payload)
+                    try:
+                        plan = decode_plan(view)
+                    finally:
+                        view.release()
+                    self._ring.free(payload)
+                    decode_s = time.perf_counter() - stamp
+                elif kind == "wire":
+                    if slot is not None and self._ring is not None:
+                        self._ring.free(slot)
+                    stamp = time.perf_counter()
+                    plan = decode_plan(payload)
+                    decode_s = time.perf_counter() - stamp
+                else:
+                    plan = payload
+            except BaseException as exc:
+                wrapper.set_exception(exc)
+                return
+            with self._stats_lock:
+                stats = self.transport_stats
+                stats["plans"] += 1
+                stats[f"{kind}_plans"] += 1
+                stats["payload_bytes"] += nbytes
+                stats["encode_s"] += encode_s
+                stats["write_s"] += write_s
+                stats["decode_s"] += decode_s
+            wrapper.set_result((plan, start, end))
+
+        inner.add_done_callback(relay)
+        return wrapper
 
     def submit(self, index: int, batch, planner=None) -> PlanTicket:
-        job_planner = planner if planner is not None else self.planner
-        return PlanTicket(self._pool.submit(_timed_plan, job_planner, batch))
+        slot = self._ring.reserve() if self._ring is not None else None
+        inner = self._pool.submit(_transport_plan, batch, slot, planner)
+        self._account_submit(batch, slot, planner)
+        return PlanTicket(self._wrap(inner, slot))
 
     def resubmit(self, index: int, batch, planner=None) -> PlanTicket:
         """Respawn a job whose previous worker raised or hung."""
@@ -211,6 +402,8 @@ class ProcessPlannerBackend:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._ring is not None:
+            self._ring.close()
 
 
 class KVPlannerBackend:

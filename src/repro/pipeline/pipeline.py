@@ -664,31 +664,17 @@ def device_payload(device: int, device_plan) -> bytes:
     """Canonical byte serialization of one device's executable stream.
 
     Everything the executor consumes for this device — instructions,
-    buffer sizes, slot maps, local slices — pickled independently of
-    the other devices, so the bytes do not depend on object sharing
-    *across* device plans (sharing no real wire preserves, and exactly
-    what the KV backend's per-device partial fetches dissolve).  The
-    unit of identity for :func:`plan_fingerprint` and :func:`plan_diff`
-    alike.
+    buffer sizes, slot maps, local slices — encoded in the columnar
+    wire format (:mod:`repro.core.planwire`), independently of the
+    other devices and of object sharing *within* the plan: the bytes
+    depend only on field values, so a plan decoded from the wire
+    re-encodes to the identical payload.  The unit of identity for
+    :func:`plan_fingerprint` and :func:`plan_diff` alike, and exactly
+    what the KV store holds per device in partial-plan mode.
     """
-    import pickle
+    from ..core.planwire import encode_device_payload
 
-    return pickle.dumps(
-        (
-            device,
-            device_plan.instructions,
-            sorted(device_plan.buffer_sizes.items()),
-            device_plan.local_slices,
-            sorted(device_plan.o_slots.items()),
-            sorted(device_plan.q_slots.items()),
-            sorted(device_plan.kv_slots.items()),
-            sorted(device_plan.acc_slots.items()),
-            sorted(device_plan.do_slots.items()),
-            sorted(device_plan.dq_slots.items()),
-            sorted(device_plan.dkv_slots.items()),
-        ),
-        protocol=4,
-    )
+    return encode_device_payload(device, device_plan)
 
 
 def plan_fingerprint(plan) -> bytes:

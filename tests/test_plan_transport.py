@@ -1,0 +1,398 @@
+"""Zero-copy plan transport: shm ring, process backend, KV accounting."""
+
+import hashlib
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.blocks import BatchSpec
+from repro.core import DCPConfig, DCPPlanner, KVClient, KVStore
+from repro.masks import make_mask
+from repro.pipeline import (
+    OverlapPipeline,
+    ProcessPlannerBackend,
+    plan_fingerprint,
+)
+from repro.pipeline.shm import PlanRing, ShmUnavailable
+from repro.sim import ClusterSpec
+
+CLUSTER = ClusterSpec(num_machines=2, devices_per_machine=2)
+
+
+def make_planner():
+    return DCPPlanner(CLUSTER, config=DCPConfig(block_size=256))
+
+
+def make_batches(n=3, base=1024):
+    return [
+        BatchSpec.build([base + 256 * i, 512], [make_mask("causal")] * 2)
+        for i in range(n)
+    ]
+
+
+# -- shm ring ----------------------------------------------------------------
+
+
+class TestPlanRing:
+    def test_roundtrip(self):
+        with PlanRing.create(slots=2, slot_bytes=1024) as ring:
+            slot = ring.reserve()
+            assert slot is not None
+            assert ring.write(slot, b"hello plan")
+            view = ring.read(slot)
+            assert bytes(view) == b"hello plan"
+            view.release()
+            ring.free(slot)
+            assert ring.free_slots() == 2
+
+    def test_reserve_exhaustion_and_free(self):
+        with PlanRing.create(slots=2, slot_bytes=64) as ring:
+            a, b = ring.reserve(), ring.reserve()
+            assert {a, b} == {0, 1}
+            assert ring.reserve() is None  # full: caller falls back
+            ring.free(a)
+            assert ring.reserve() == a
+
+    def test_write_too_big_falls_back(self):
+        with PlanRing.create(slots=1, slot_bytes=8) as ring:
+            slot = ring.reserve()
+            assert ring.write(slot, b"x" * 9) is False
+            # Slot still reserved and usable for a fitting payload.
+            assert ring.write(slot, b"x" * 8) is True
+            view = ring.read(slot)
+            assert bytes(view) == b"x" * 8
+            view.release()
+
+    def test_read_unready_slot_raises(self):
+        with PlanRing.create(slots=1, slot_bytes=64) as ring:
+            slot = ring.reserve()
+            with pytest.raises(RuntimeError):
+                ring.read(slot)
+
+    def test_write_unreserved_slot_raises(self):
+        with PlanRing.create(slots=1, slot_bytes=64) as ring:
+            with pytest.raises(RuntimeError):
+                ring.write(0, b"nope")
+
+    def test_wraparound_many_cycles(self):
+        """Slots recycle cleanly for many more plans than slots."""
+        with PlanRing.create(slots=3, slot_bytes=256) as ring:
+            for i in range(50):
+                slot = ring.reserve()
+                assert slot is not None
+                payload = f"plan-{i}".encode() * 7
+                assert ring.write(slot, payload)
+                view = ring.read(slot)
+                assert bytes(view) == payload
+                view.release()
+                ring.free(slot)
+            assert ring.free_slots() == 3
+
+    def test_attach_sees_writes(self):
+        with PlanRing.create(slots=2, slot_bytes=128) as ring:
+            writer = PlanRing.attach(ring.spec())
+            try:
+                slot = ring.reserve()
+                assert writer.write(slot, b"via attachment")
+                view = ring.read(slot)
+                assert bytes(view) == b"via attachment"
+                view.release()
+            finally:
+                writer.close()
+
+    def test_concurrent_producers_stress(self):
+        """Many writer threads, wraparound, checksummed payloads."""
+        ring = PlanRing.create(slots=4, slot_bytes=4096)
+        results = []
+        errors = []
+        lock = threading.Lock()
+        rng = np.random.default_rng(0)
+        payloads = [rng.bytes(rng.integers(100, 4000)) for _ in range(60)]
+
+        def producer(chunk):
+            try:
+                for payload in chunk:
+                    slot = None
+                    while slot is None:
+                        slot = ring.reserve()
+                    assert ring.write(slot, payload)
+                    with lock:
+                        results.append((slot, hashlib.sha1(payload).digest()))
+            except BaseException as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        def consumer():
+            seen = 0
+            try:
+                while seen < len(payloads):
+                    with lock:
+                        item = results.pop(0) if results else None
+                    if item is None:
+                        continue
+                    slot, digest = item
+                    view = ring.read(slot)
+                    assert hashlib.sha1(bytes(view)).digest() == digest
+                    view.release()
+                    ring.free(slot)
+                    seen += 1
+            except BaseException as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        chunks = [payloads[i::3] for i in range(3)]
+        threads = [threading.Thread(target=producer, args=(c,))
+                   for c in chunks]
+        drain = threading.Thread(target=consumer)
+        for t in threads:
+            t.start()
+        drain.start()
+        for t in threads:
+            t.join(timeout=30)
+        drain.join(timeout=30)
+        ring.close()
+        assert not errors
+        assert not any(t.is_alive() for t in threads + [drain])
+
+    def test_create_cleans_up_segments(self):
+        ring = PlanRing.create(slots=1, slot_bytes=32)
+        names = [n for n in os.listdir("/dev/shm")
+                 if n.startswith("planring-")]
+        assert names
+        ring.close()
+        leftovers = [n for n in os.listdir("/dev/shm")
+                     if n.startswith("planring-")]
+        assert not leftovers
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            PlanRing.create(slots=0)
+        with pytest.raises(ValueError):
+            PlanRing.create(slots=1, slot_bytes=0)
+
+
+# -- process backend transports ----------------------------------------------
+
+
+class TestProcessTransport:
+    @pytest.mark.parametrize("transport", ["shm", "wire", "pickle"])
+    def test_plans_identical_to_synchronous(self, transport):
+        planner = make_planner()
+        batches = make_batches()
+        expected = [plan_fingerprint(planner.plan_batch(b)) for b in batches]
+        backend = ProcessPlannerBackend(
+            planner, max_workers=2, transport=transport
+        )
+        try:
+            tickets = [backend.submit(i, b) for i, b in enumerate(batches)]
+            got = [
+                plan_fingerprint(t.result(timeout=120)[0]) for t in tickets
+            ]
+            assert got == expected
+            stats = backend.transport_stats
+            assert stats["plans"] == len(batches)
+            assert stats[f"{backend.transport}_plans"] == len(batches)
+        finally:
+            backend.close()
+
+    def test_shm_transport_accounts_payloads(self):
+        backend = ProcessPlannerBackend(make_planner(), max_workers=2)
+        try:
+            assert backend.transport == "shm"
+            tickets = [
+                backend.submit(i, b) for i, b in enumerate(make_batches(2))
+            ]
+            for t in tickets:
+                t.result(timeout=120)
+            stats = backend.transport_stats
+            assert stats["shm_plans"] == 2
+            assert stats["payload_bytes"] > 0
+            assert stats["encode_s"] >= 0.0
+            assert stats["decode_s"] >= 0.0
+        finally:
+            backend.close()
+
+    def test_shm_unavailable_falls_back_to_wire(self, monkeypatch):
+        import repro.pipeline.backends as backends
+
+        def refuse(*args, **kwargs):
+            raise ShmUnavailable("test: no shm")
+
+        monkeypatch.setattr(backends.PlanRing, "create", refuse)
+        backend = ProcessPlannerBackend(make_planner(), max_workers=1)
+        try:
+            assert backend.transport == "wire"
+            plan, _, _ = backend.submit(0, make_batches(1)[0]).result(
+                timeout=120
+            )
+            assert plan.num_devices == CLUSTER.num_devices
+            assert backend.transport_stats["wire_plans"] == 1
+        finally:
+            backend.close()
+
+    def test_oversized_plan_falls_back_to_pipe(self):
+        backend = ProcessPlannerBackend(
+            make_planner(), max_workers=1, slot_bytes=1024
+        )
+        try:
+            assert backend.transport == "shm"
+            plan, _, _ = backend.submit(0, make_batches(1)[0]).result(
+                timeout=120
+            )
+            assert plan.num_devices == CLUSTER.num_devices
+            # The plan cannot fit a 1 KB slot: per-plan pipe fallback.
+            assert backend.transport_stats["wire_plans"] == 1
+            assert backend.transport_stats["shm_plans"] == 0
+        finally:
+            backend.close()
+
+    def test_ring_exhaustion_falls_back_per_plan(self):
+        backend = ProcessPlannerBackend(
+            make_planner(), max_workers=2, ring_slots=1
+        )
+        try:
+            batches = make_batches(3)
+            tickets = [backend.submit(i, b) for i, b in enumerate(batches)]
+            fps = [
+                plan_fingerprint(t.result(timeout=120)[0]) for t in tickets
+            ]
+            assert len(fps) == 3
+            stats = backend.transport_stats
+            assert stats["shm_plans"] + stats["wire_plans"] == 3
+            # Only one slot exists, so at least two jobs were dispatched
+            # slotless and came back over the pipe.
+            assert stats["wire_plans"] >= 2
+        finally:
+            backend.close()
+
+    def test_backend_close_releases_shm(self):
+        backend = ProcessPlannerBackend(make_planner(), max_workers=1)
+        backend.submit(0, make_batches(1)[0]).result(timeout=120)
+        backend.close()
+        leftovers = [n for n in os.listdir("/dev/shm")
+                     if n.startswith("planring-")]
+        assert not leftovers
+
+    def test_pipeline_identity_on_shm_transport(self):
+        planner = make_planner()
+        batches = make_batches(4)
+        expected = [plan_fingerprint(planner.plan_batch(b)) for b in batches]
+        backend = ProcessPlannerBackend(planner, max_workers=2)
+        with OverlapPipeline(batches, planner, lookahead=2,
+                             backend=backend) as pipeline:
+            got = [plan_fingerprint(plan) for _data, plan in pipeline]
+        assert got == expected
+
+
+# -- satellite: the planner ships once, never per job ------------------------
+
+
+class TestJobPayload:
+    def test_job_payload_excludes_planner(self):
+        planner = make_planner()
+        # Inflate the planner the way real runs do: planning leaves a
+        # multi-megabyte placement on it.  Per-job payloads must not
+        # carry any of it.
+        planner.last_placement = np.zeros(1_000_000, dtype=np.int64)
+        backend = ProcessPlannerBackend(planner, max_workers=1)
+        try:
+            batch = make_batches(1)[0]
+            ticket = backend.submit(0, batch)
+            ticket.result(timeout=120)
+            assert backend.planner_payload_bytes > 5_000_000
+            assert backend.last_job_payload_bytes < 100_000
+            assert (
+                backend.last_job_payload_bytes
+                < backend.planner_payload_bytes / 50
+            )
+        finally:
+            backend.close()
+
+    def test_override_planner_ships_with_the_job(self):
+        planner = make_planner()
+        backend = ProcessPlannerBackend(planner, max_workers=1)
+        try:
+            batch = make_batches(1)[0]
+            backend.submit(0, batch)
+            baseline = backend.last_job_payload_bytes
+            backend.resubmit(0, batch, planner=make_planner())
+            assert backend.last_job_payload_bytes > baseline
+        finally:
+            backend.close()
+
+
+# -- satellite: KVClient accounting without double pickling ------------------
+
+
+class _CountingValue:
+    """Counts how many times it gets pickled."""
+
+    pickles = 0
+
+    def __init__(self, blob):
+        self.blob = blob
+
+    def __reduce__(self):
+        type(self).pickles += 1
+        return (_CountingValue, (self.blob,))
+
+
+class TestKVAccounting:
+    def test_put_pickles_exactly_once(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        _CountingValue.pickles = 0
+        client.put("k", _CountingValue(b"x" * 100))
+        assert _CountingValue.pickles == 1
+
+    def test_put_if_changed_pickles_exactly_once(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        _CountingValue.pickles = 0
+        client.put_if_changed("k", _CountingValue(b"x" * 100))
+        assert _CountingValue.pickles == 1
+
+    def test_get_does_not_reserialize(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        client.put("k", _CountingValue(b"x" * 100))
+        _CountingValue.pickles = 0
+        client.get("k")
+        assert _CountingValue.pickles == 0
+        assert client.bytes_received == client.bytes_sent
+
+    def test_counters_match_entry_bytes(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        value = {"payload": list(range(500))}
+        client.put("k", value)
+        assert client.bytes_sent == store.entry_bytes("k")
+        client.get("k")
+        assert client.bytes_received == store.entry_bytes("k")
+
+    def test_raw_bytes_path_has_no_pickle_framing(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        payload = b"\x00" * 1000
+        client.put("k", payload)
+        assert store.entry_bytes("k") == len(payload)
+        assert store.entry_bytes("k") < len(pickle.dumps(payload))
+        assert client.get("k") == payload
+        assert client.bytes_sent == len(payload)
+
+    def test_raw_bytes_roundtrip_via_get_unless(self):
+        store = KVStore(host_machine=0)
+        client = KVClient(store=store, machine=1)
+        client.put("k", b"columnar")
+        value, version, fetched = client.get_unless("k")
+        assert (value, fetched) == (b"columnar", True)
+        received = client.bytes_received
+        value, _, fetched = client.get_unless("k", version=version)
+        assert (value, fetched) == (None, False)
+        assert client.bytes_received == received
+
+    def test_memoryview_values_stored_as_bytes(self):
+        store = KVStore(host_machine=0)
+        store.put("k", memoryview(b"viewed"))
+        assert store.get("k") == b"viewed"
