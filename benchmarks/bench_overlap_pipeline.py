@@ -39,6 +39,16 @@ zero-copy path, the §6.1 "shipping plans must not erase parallel
 planning" bound (acceptance: ≤ 0.05 at the Fig. 18 sweep point).  The
 full run merges into ``BENCH_overlap.json`` under ``"transport"``.
 
+``--obs`` runs the observability benchmark instead
+(:mod:`repro.obs.bench`): tracer/metrics overhead ratios measured on
+the smoke workload, the traced telemetry workload across every
+instrumented surface, and the merged Perfetto trace (planner stages,
+pipeline iterations, transport spans, simulated execution on one
+epoch).  The full run writes ``BENCH_obs.json`` + ``TRACE_obs.json``
+(trace at the Fig. 18 sweep point); ``--obs --smoke`` writes scratch
+files and *gates* on the overhead ceilings recorded in the tracked
+``BENCH_obs.json`` plus required-metric presence.
+
 Writes ``BENCH_overlap.json`` at the repo root.  ``--smoke`` runs a
 small configuration and *gates*: it fails (exit 1) if the measured
 steady-state hidden fraction falls below the ``smoke_floor`` recorded
@@ -54,6 +64,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --streaming --smoke
     PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --transport  # plan wire
     PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --transport --smoke
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --obs        # telemetry
+    PYTHONPATH=src python benchmarks/bench_overlap_pipeline.py --obs --smoke
 """
 
 from __future__ import annotations
@@ -76,6 +88,10 @@ STREAMING_SMOKE_OUTPUT_PATH = os.path.join(
 TRANSPORT_SMOKE_OUTPUT_PATH = os.path.join(
     REPO_ROOT, "BENCH_overlap.transport.smoke.json"
 )
+OBS_OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
+OBS_SMOKE_OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.smoke.json")
+OBS_TRACE_PATH = os.path.join(REPO_ROOT, "TRACE_obs.json")
+OBS_SMOKE_TRACE_PATH = os.path.join(REPO_ROOT, "TRACE_obs.smoke.json")
 
 #: Steady-state hidden fraction the smoke configuration must clear.
 #: The smoke cell is provisioned so planning hides entirely in steady
@@ -390,6 +406,13 @@ def _measure_streaming_cell(
     )
     stats = runner.run().stats
     row = _streaming_row(stats, kappa, workers, mode)
+    if mode in ("fixed", "streaming"):
+        # Plan-fetch latency split by serving path (cache hit vs
+        # planner dispatch) — the planner-as-a-service p50/p99
+        # baseline, read off the pipeline's metrics registry.
+        from repro.obs.bench import plan_fetch_summary
+
+        row["plan_fetch"] = plan_fetch_summary(pipeline.metrics.snapshot())
     if remove_machine_at is not None:
         row["remove_machine_at"] = remove_machine_at
         row["replan_mode"] = replan_mode
@@ -659,6 +682,7 @@ def run_streaming_bench(
         "delta_window_fingerprints_identical": fingerprints_identical,
         "kv_consumer_wire_ratio": wire_ratio,
         "kv_refetch_saved_bytes": kv_replan["refetch_saved_bytes"],
+        "plan_fetch": streaming["plan_fetch"],
     }
     print(
         f"parity={parity:.4f} replans={replan_scratch['replans']} "
@@ -909,6 +933,67 @@ def _transport_smoke_ceiling() -> float:
         return DEFAULT_TRANSPORT_SMOKE_CEILING
 
 
+def _obs_smoke_ceilings():
+    """(disabled, enabled) smoke ratio ceilings from tracked BENCH_obs."""
+    from repro.obs.bench import (
+        DEFAULT_SMOKE_DISABLED_RATIO_MAX,
+        DEFAULT_SMOKE_ENABLED_RATIO_MAX,
+    )
+
+    try:
+        with open(OBS_OUTPUT_PATH) as handle:
+            smoke = json.load(handle)["smoke"]
+        return (
+            float(smoke["disabled_ratio_max"]),
+            float(smoke["enabled_ratio_max"]),
+        )
+    except (OSError, KeyError, ValueError, TypeError):
+        return (
+            DEFAULT_SMOKE_DISABLED_RATIO_MAX,
+            DEFAULT_SMOKE_ENABLED_RATIO_MAX,
+        )
+
+
+def _run_obs(smoke: bool, output: Optional[str]) -> int:
+    """The --obs mode: overhead + telemetry via :mod:`repro.obs.bench`.
+
+    The smoke run gates on the ceilings recorded in the tracked
+    ``BENCH_obs.json`` (falling back to the module defaults) and on
+    required-metric presence; the full run rewrites the tracked report
+    and the Fig. 18 sweep-point trace.
+    """
+    from repro.obs.bench import gate_failures, run_obs_bench
+
+    if smoke:
+        output = output or OBS_SMOKE_OUTPUT_PATH
+        trace_path = OBS_SMOKE_TRACE_PATH
+    else:
+        output = output or OBS_OUTPUT_PATH
+        trace_path = OBS_TRACE_PATH
+    report = run_obs_bench(smoke=smoke, trace_path=trace_path)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    if not smoke:
+        return 0
+    disabled_max, enabled_max = _obs_smoke_ceilings()
+    failures = gate_failures(report, disabled_max, enabled_max)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(
+        f"ok: obs disabled ratio {report['disabled_ratio']:.4f} <= "
+        f"{disabled_max:.2f}, enabled ratio {report['enabled_ratio']:.4f} "
+        f"<= {enabled_max:.2f}, "
+        f"{len(report['metrics_present'])}/"
+        f"{len(report['required_metrics'])} required metrics present, "
+        f"{report['trace_events']} trace events"
+    )
+    return 0
+
+
 def _merge_section_into_tracked(section: str, report: Dict) -> None:
     """Attach a named section to the tracked BENCH_overlap.json."""
     try:
@@ -946,6 +1031,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "BENCH_overlap.json under 'transport'",
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run the observability benchmark (tracer/metrics overhead "
+        "+ merged Perfetto trace) instead; the full run writes "
+        "BENCH_obs.json and TRACE_obs.json",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="where to write the JSON report (default: repo root; smoke "
@@ -960,6 +1052,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.obs:
+        return _run_obs(args.smoke, args.output)
     if args.transport and args.smoke:
         report = run_transport_smoke()
         output = args.output or TRANSPORT_SMOKE_OUTPUT_PATH

@@ -22,7 +22,15 @@ Checked metrics:
   columnar-wire / shared-memory transports, the shm cell actually moved
   plans through shared memory, and its (encode + move + decode) /
   plan-time overhead stays under
-  ``transport.smoke_overhead_ratio_max``.
+  ``transport.smoke_overhead_ratio_max``;
+* observability — the *tracked* ``BENCH_obs.json`` overhead ratios hold
+  the acceptance ceilings (disabled ≤ 1.01, enabled ≤ 1.05 vs the
+  uninstrumented smoke workload), the smoke rerun stays under the
+  looser CI ceilings recorded in the tracked file, every required
+  metric (planner stage latencies, plan-fetch split, cache/KV/transport
+  counters) is present in the smoke telemetry snapshot, and the merged
+  smoke trace is a structurally valid Chrome trace carrying planner,
+  pipeline, transport, and simulated-execution lanes.
 
 Usage::
 
@@ -46,6 +54,31 @@ DEFAULT_HIDDEN_FLOOR = 0.5
 DEFAULT_REPLAN_RATIO_MAX = 0.8
 DEFAULT_KV_WIRE_RATIO_MAX = 0.95
 DEFAULT_TRANSPORT_SMOKE_RATIO_MAX = 0.15
+DEFAULT_OBS_DISABLED_RATIO_MAX = 1.01
+DEFAULT_OBS_ENABLED_RATIO_MAX = 1.05
+DEFAULT_OBS_SMOKE_DISABLED_RATIO_MAX = 1.05
+DEFAULT_OBS_SMOKE_ENABLED_RATIO_MAX = 1.25
+
+#: Metrics the obs telemetry workload must populate (mirrors
+#: ``repro.obs.bench.REQUIRED_METRICS``; kept literal here so this
+#: checker stays import-free and a PR cannot weaken the gate by
+#: editing one list).
+OBS_REQUIRED_METRICS = (
+    "planner.plan_s",
+    "planner.placement_s",
+    "pipeline.plan_fetch_hit_s",
+    "pipeline.plan_fetch_dispatch_s",
+    "pipeline.iterations",
+    "cache.hits",
+    "cache.misses",
+    "kv.put_s",
+    "kv.get_s",
+    "transport.plans",
+)
+
+#: Chrome-trace categories the merged smoke trace must carry — one
+#: lane per instrumented layer plus the simulator's execution lane.
+OBS_REQUIRED_TRACE_CATS = ("planner", "pipeline", "transport", "compute")
 
 
 def _load(path: str) -> Optional[dict]:
@@ -185,6 +218,98 @@ def check_transport(gate: Gate, strict: bool) -> None:
     )
 
 
+def check_obs(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_obs.json")
+    if tracked is None:
+        gate.check(not strict, "tracked BENCH_obs.json missing")
+    else:
+        # The acceptance ceilings hold on the tracked full run itself:
+        # instrumentation must be ≈ free when disabled, ≤5% enabled.
+        disabled_max = float(
+            tracked.get("disabled_ratio_max", DEFAULT_OBS_DISABLED_RATIO_MAX)
+        )
+        enabled_max = float(
+            tracked.get("enabled_ratio_max", DEFAULT_OBS_ENABLED_RATIO_MAX)
+        )
+        gate.check(
+            float(tracked.get("disabled_ratio", 99.0)) <= disabled_max,
+            f"tracked obs disabled-tracer ratio "
+            f"{tracked.get('disabled_ratio')} <= {disabled_max}",
+        )
+        gate.check(
+            float(tracked.get("enabled_ratio", 99.0)) <= enabled_max,
+            f"tracked obs enabled-tracer ratio "
+            f"{tracked.get('enabled_ratio')} <= {enabled_max}",
+        )
+
+    smoke = _load("BENCH_obs.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "obs smoke output missing")
+        return
+    smoke_ceilings = (tracked or {}).get("smoke") or {}
+    disabled_max = float(
+        smoke_ceilings.get(
+            "disabled_ratio_max", DEFAULT_OBS_SMOKE_DISABLED_RATIO_MAX
+        )
+    )
+    enabled_max = float(
+        smoke_ceilings.get(
+            "enabled_ratio_max", DEFAULT_OBS_SMOKE_ENABLED_RATIO_MAX
+        )
+    )
+    gate.check(
+        float(smoke.get("disabled_ratio", 99.0)) <= disabled_max,
+        f"obs smoke disabled-tracer ratio {smoke.get('disabled_ratio')} "
+        f"<= {disabled_max}",
+    )
+    gate.check(
+        float(smoke.get("enabled_ratio", 99.0)) <= enabled_max,
+        f"obs smoke enabled-tracer ratio {smoke.get('enabled_ratio')} "
+        f"<= {enabled_max}",
+    )
+    snapshot = smoke.get("metrics") or {}
+    missing = [
+        name for name in OBS_REQUIRED_METRICS if name not in snapshot
+    ]
+    gate.check(
+        not missing,
+        "obs required metrics present"
+        + (f" (missing: {', '.join(missing)})" if missing else ""),
+    )
+    fetch = smoke.get("plan_fetch") or {}
+    gate.check(
+        all(
+            int((fetch.get(path) or {}).get("count", 0)) >= 1
+            for path in ("hit", "dispatch")
+        ),
+        "obs plan-fetch latency observed on both hit and dispatch paths",
+    )
+
+    trace = _load("TRACE_obs.smoke.json")
+    if trace is None:
+        gate.check(not strict, "obs smoke trace missing")
+        return
+    events = trace.get("traceEvents")
+    gate.check(
+        isinstance(events, list) and len(events) > 0,
+        f"obs smoke trace holds {len(events or [])} events",
+    )
+    cats = {
+        event.get("cat")
+        for event in events or []
+        if event.get("ph") == "X"
+    }
+    missing_cats = [
+        cat for cat in OBS_REQUIRED_TRACE_CATS if cat not in cats
+    ]
+    gate.check(
+        not missing_cats,
+        "obs smoke trace carries planner/pipeline/transport/execution "
+        "lanes"
+        + (f" (missing: {', '.join(missing_cats)})" if missing_cats else ""),
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -199,6 +324,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_planner(gate, strict=args.strict)
     check_overlap(gate, strict=args.strict)
     check_transport(gate, strict=args.strict)
+    check_obs(gate, strict=args.strict)
 
     if gate.failures:
         print(

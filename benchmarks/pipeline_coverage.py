@@ -40,6 +40,8 @@ TEST_MODULES = [
     "tests/test_streaming_pipeline.py",
     "tests/test_fault_injection.py",
     "tests/test_plan_cache.py",
+    "tests/test_plan_transport.py",
+    "tests/test_obs.py",
 ]
 
 

@@ -67,6 +67,18 @@ else
         --output "$REPO_ROOT/BENCH_overlap.transport.smoke.json"
 fi
 
+echo "== observability smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites BENCH_obs.json and the Fig. 18 sweep-point TRACE_obs.json.
+    python benchmarks/bench_overlap_pipeline.py --obs
+else
+    # Gates tracer/metrics overhead (disabled ≈ free, enabled bounded)
+    # against the ceilings in BENCH_obs.json, plus required-metric
+    # presence and merged-trace validity.
+    python benchmarks/bench_overlap_pipeline.py --obs --smoke \
+        --output "$REPO_ROOT/BENCH_obs.smoke.json"
+fi
+
 if [[ "${1:-}" != "--full" ]]; then
     echo "== smoke floors vs tracked BENCH_*.json =="
     # The aggregate regression gate CI runs on every PR: every smoke

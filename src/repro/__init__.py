@@ -20,6 +20,8 @@ Top-level convenience re-exports; see subpackages for the full API:
   Ulysses / FlexSP-style
 * :mod:`repro.data` — synthetic datasets, batching, packing strategies
 * :mod:`repro.model` — numpy GPT for the loss-curve experiment
+* :mod:`repro.obs` — unified telemetry: span tracer, metrics registry,
+  latency histograms, obs CLI (``python -m repro.obs``)
 """
 
 from .blocks import AttentionSpec, BatchSpec, SequenceSpec, generate_blocks
@@ -30,6 +32,7 @@ from .core import (
     autotune_block_size,
 )
 from .masks import make_mask
+from .obs import MetricsRegistry, enable_tracing, get_tracer, span
 from .pipeline import OverlapPipeline, OverlapStats, PipelineRunner
 from .sim import ClusterSpec
 
@@ -45,6 +48,10 @@ __all__ = [
     "DCPPlanner",
     "autotune_block_size",
     "make_mask",
+    "MetricsRegistry",
+    "enable_tracing",
+    "get_tracer",
+    "span",
     "ClusterSpec",
     "OverlapPipeline",
     "OverlapStats",

@@ -30,6 +30,7 @@ from concurrent.futures import Future
 from typing import Callable, Optional, Tuple
 
 from ..blocks import BatchSpec
+from ..obs.metrics import MetricsRegistry
 from .planner import DCPPlanner
 
 __all__ = ["PlanCache", "PlanAbandoned", "batch_signature"]
@@ -47,7 +48,12 @@ def batch_signature(batch: BatchSpec) -> Tuple:
 class PlanCache:
     """Least-recently-used cache in front of a :class:`DCPPlanner`."""
 
-    def __init__(self, planner: DCPPlanner, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        planner: DCPPlanner,
+        capacity: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.planner = planner
@@ -55,11 +61,33 @@ class PlanCache:
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._inflight: dict = {}
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.remapped = 0
+        #: Accounting lives in a metrics registry (``cache.*``); the
+        #: historical ``hits``/``misses``/... attributes are read-only
+        #: views over it (one accounting truth; see ``repro.obs``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits")
+        self._misses = self.metrics.counter("cache.misses")
+        self._invalidations = self.metrics.counter("cache.invalidations")
+        self._remapped = self.metrics.counter("cache.remapped")
+        self._reserve_wait = self.metrics.counter("cache.reserve_wait")
+        self._reserve_own = self.metrics.counter("cache.reserve_own")
         self._epoch = 0
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def remapped(self) -> int:
+        return self._remapped.value
 
     @property
     def epoch(self) -> int:
@@ -77,9 +105,9 @@ class PlanCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return cached
-            self.misses += 1
+            self._misses.inc()
             return None
 
     def _insert(self, key: Tuple, plan) -> None:
@@ -122,13 +150,15 @@ class PlanCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return ("hit", cached, self._epoch)
-            self.misses += 1
+            self._misses.inc()
             reservation = self._inflight.get(key)
             if reservation is not None:
+                self._reserve_wait.inc()
                 return ("wait", reservation[0], self._epoch)
             future = Future()
+            self._reserve_own.inc()
             # Stamped with the creation epoch so late publications can
             # tell "my own cohort's reservation" from one re-claimed
             # after an invalidation (see :meth:`publish`).
@@ -250,7 +280,7 @@ class PlanCache:
                 if remapped is not None:
                     new_key, new_plan = remapped
                     self._insert(new_key, new_plan)
-                    self.remapped += 1
+                    self._remapped.inc()
                 else:
                     dropped += 1
             stale_inflight = [
@@ -260,7 +290,7 @@ class PlanCache:
             ]
             for key, _future in stale_inflight:
                 del self._inflight[key]
-            self.invalidations += dropped
+            self._invalidations.inc(dropped)
             self._epoch += 1
         for key, future in stale_inflight:
             if not future.done():
@@ -287,15 +317,17 @@ class PlanCache:
         planner-overlap and e2e benchmarks can report hit rates.
         """
         with self._lock:
-            lookups = self.hits + self.misses
+            hits = self._hits.value
+            misses = self._misses.value
+            lookups = hits + misses
             return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
                 "size": len(self._entries),
                 "capacity": self.capacity,
-                "invalidations": self.invalidations,
-                "remapped": self.remapped,
+                "invalidations": self._invalidations.value,
+                "remapped": self._remapped.value,
             }
 
     def __len__(self) -> int:
@@ -311,10 +343,12 @@ class PlanCache:
             self._entries.clear()
             inflight = list(self._inflight.items())
             self._inflight.clear()
-            self.hits = 0
-            self.misses = 0
-            self.invalidations = 0
-            self.remapped = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._invalidations.reset()
+            self._remapped.reset()
+            self._reserve_wait.reset()
+            self._reserve_own.reset()
             self._epoch += 1
         for key, (future, _created) in inflight:
             if not future.done():

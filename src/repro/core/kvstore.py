@@ -26,8 +26,12 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span as _span
 
 __all__ = ["KVStore", "KVClient"]
 
@@ -52,13 +56,26 @@ def _encode(value: Any) -> Tuple[bytes, bool]:
 class KVStore:
     """Thread-safe blocking key-value store with versioned writes."""
 
-    def __init__(self, host_machine: int = 0) -> None:
+    def __init__(
+        self,
+        host_machine: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.host_machine = host_machine
         self._entries: Dict[str, _Entry] = {}
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
-        self._bytes_in = 0
-        self._bytes_out = 0
+        #: Byte accounting and op-latency histograms (``kv.*``) live in
+        #: a metrics registry; :attr:`traffic` is a view over it.  Get
+        #: latency includes any blocking wait — that *is* the latency a
+        #: consumer stalled on a not-yet-published plan experiences.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bytes_in = self.metrics.counter("kv.bytes_in")
+        self._bytes_out = self.metrics.counter("kv.bytes_out")
+        self._puts = self.metrics.counter("kv.puts")
+        self._gets = self.metrics.counter("kv.gets")
+        self._put_s = self.metrics.histogram("kv.put_s")
+        self._get_s = self.metrics.histogram("kv.get_s")
 
     # -- primitives -----------------------------------------------------
     #
@@ -68,15 +85,19 @@ class KVStore:
 
     def put_entry(self, key: str, value: Any) -> Tuple[int, int]:
         """Store ``value``; returns ``(version, payload_bytes)``."""
-        payload, raw = _encode(value)
-        with self._changed:
-            previous = self._entries.get(key)
-            version = previous.version + 1 if previous else 1
-            self._entries[key] = _Entry(payload=payload, version=version,
-                                        raw=raw)
-            self._bytes_in += len(payload)
-            self._changed.notify_all()
-            return version, len(payload)
+        start = time.perf_counter()
+        with _span("kv.put", "kv", key=key):
+            payload, raw = _encode(value)
+            with self._changed:
+                previous = self._entries.get(key)
+                version = previous.version + 1 if previous else 1
+                self._entries[key] = _Entry(payload=payload, version=version,
+                                            raw=raw)
+                self._bytes_in.inc(len(payload))
+                self._changed.notify_all()
+        self._puts.inc()
+        self._put_s.observe(time.perf_counter() - start)
+        return version, len(payload)
 
     def put(self, key: str, value: Any) -> int:
         """Store ``value`` under ``key``; returns the new version."""
@@ -94,17 +115,24 @@ class KVStore:
         holding the old version cursor see the unchanged slices as
         still-fresh (:meth:`get_unless`).
         """
-        payload, raw = _encode(value)
-        with self._changed:
-            previous = self._entries.get(key)
-            if previous is not None and previous.payload == payload:
-                return previous.version, False, len(payload)
-            version = previous.version + 1 if previous else 1
-            self._entries[key] = _Entry(payload=payload, version=version,
-                                        raw=raw)
-            self._bytes_in += len(payload)
-            self._changed.notify_all()
-            return version, True, len(payload)
+        start = time.perf_counter()
+        with _span("kv.put_if_changed", "kv", key=key):
+            payload, raw = _encode(value)
+            with self._changed:
+                previous = self._entries.get(key)
+                if previous is not None and previous.payload == payload:
+                    result = previous.version, False, len(payload)
+                else:
+                    version = previous.version + 1 if previous else 1
+                    self._entries[key] = _Entry(
+                        payload=payload, version=version, raw=raw
+                    )
+                    self._bytes_in.inc(len(payload))
+                    self._changed.notify_all()
+                    result = version, True, len(payload)
+        self._puts.inc()
+        self._put_s.observe(time.perf_counter() - start)
+        return result
 
     def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
         """Store ``value`` unless the current payload is byte-identical."""
@@ -118,14 +146,19 @@ class KVStore:
 
         Raises ``KeyError`` if the timeout expires first.
         """
-        with self._changed:
-            if not self._changed.wait_for(
-                lambda: key in self._entries, timeout=timeout
-            ):
-                raise KeyError(key)
-            entry = self._entries[key]
-            self._bytes_out += len(entry.payload)
-            return entry.value(), len(entry.payload)
+        start = time.perf_counter()
+        with _span("kv.get", "kv", key=key):
+            with self._changed:
+                if not self._changed.wait_for(
+                    lambda: key in self._entries, timeout=timeout
+                ):
+                    raise KeyError(key)
+                entry = self._entries[key]
+                self._bytes_out.inc(len(entry.payload))
+                result = entry.value(), len(entry.payload)
+        self._gets.inc()
+        self._get_s.observe(time.perf_counter() - start)
+        return result
 
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
         """Fetch ``key``, blocking until it exists."""
@@ -147,16 +180,27 @@ class KVStore:
         version cursor is what a re-fetching consumer sends instead of
         re-reading a slice that a partial republish left untouched.
         """
-        with self._changed:
-            if not self._changed.wait_for(
-                lambda: key in self._entries, timeout=timeout
-            ):
-                raise KeyError(key)
-            entry = self._entries[key]
-            if version is not None and entry.version == version:
-                return None, entry.version, False, 0
-            self._bytes_out += len(entry.payload)
-            return entry.value(), entry.version, True, len(entry.payload)
+        start = time.perf_counter()
+        with _span("kv.get_unless", "kv", key=key):
+            with self._changed:
+                if not self._changed.wait_for(
+                    lambda: key in self._entries, timeout=timeout
+                ):
+                    raise KeyError(key)
+                entry = self._entries[key]
+                if version is not None and entry.version == version:
+                    result = None, entry.version, False, 0
+                else:
+                    self._bytes_out.inc(len(entry.payload))
+                    result = (
+                        entry.value(),
+                        entry.version,
+                        True,
+                        len(entry.payload),
+                    )
+        self._gets.inc()
+        self._get_s.observe(time.perf_counter() - start)
+        return result
 
     def get_unless(
         self,
@@ -172,12 +216,16 @@ class KVStore:
 
     def try_get(self, key: str) -> Optional[Any]:
         """Fetch ``key`` if present, else ``None`` (non-blocking)."""
+        start = time.perf_counter()
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return None
-            self._bytes_out += len(entry.payload)
-            return entry.value()
+            self._bytes_out.inc(len(entry.payload))
+            value = entry.value()
+        self._gets.inc()
+        self._get_s.observe(time.perf_counter() - start)
+        return value
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; True if it existed."""
@@ -213,9 +261,12 @@ class KVStore:
 
     @property
     def traffic(self) -> Dict[str, int]:
-        """Total bytes written to / read from the store."""
-        with self._lock:
-            return {"in": self._bytes_in, "out": self._bytes_out}
+        """Total bytes written to / read from the store.
+
+        A view over the ``kv.bytes_in``/``kv.bytes_out`` registry
+        counters (see :mod:`repro.obs.metrics`).
+        """
+        return {"in": self._bytes_in.value, "out": self._bytes_out.value}
 
 
 @dataclass

@@ -15,6 +15,8 @@ from typing import Optional
 
 from ..blocks import AttentionSpec, BatchSpec, BlockSet, generate_blocks
 from ..hypergraph import COUNTERS as _REFINE_COUNTERS
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span as _span
 from ..placement import Placement, place_blocks
 from ..scheduling import ExecutionPlan, build_schedule, serialize_schedule
 from ..sim.cluster import ClusterSpec
@@ -68,12 +70,18 @@ class DCPPlanner:
         cluster: ClusterSpec,
         attention: Optional[AttentionSpec] = None,
         config: Optional[DCPConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster
         self.attention = attention or AttentionSpec()
         self.config = config or DCPConfig()
         self.last_stats: Optional[PlanningStats] = None
         self.last_placement: Optional[Placement] = None
+        #: Per-stage latency histograms and work counters
+        #: (``planner.plan_s``, ``planner.placement_s``, ...) accumulate
+        #: here; pass a shared registry to pool several planners onto
+        #: one accounting truth (``repro.obs``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def plan_batch(
         self,
@@ -94,13 +102,19 @@ class DCPPlanner:
         starts from (or outright adopts) the old placement instead of
         partitioning from scratch.
         """
-        stats = PlanningStats()
-        start = time.perf_counter()
-        block_set = generate_blocks(
-            batch, attention=self.attention, block_size=self.config.block_size
-        )
-        stats.block_generation = time.perf_counter() - start
-        return self._plan_blocks(block_set, stats, cluster=cluster, warm=warm)
+        with _span("plan_batch", "planner"):
+            stats = PlanningStats()
+            start = time.perf_counter()
+            with _span("generate_blocks", "planner"):
+                block_set = generate_blocks(
+                    batch,
+                    attention=self.attention,
+                    block_size=self.config.block_size,
+                )
+            stats.block_generation = time.perf_counter() - start
+            return self._plan_blocks(
+                block_set, stats, cluster=cluster, warm=warm
+            )
 
     def plan(
         self,
@@ -128,9 +142,10 @@ class DCPPlanner:
         cluster = self.cluster if cluster is None else cluster
         _REFINE_COUNTERS.reset()
         start = time.perf_counter()
-        placement = place_blocks(
-            block_set, cluster, self.config.placement_config(), warm=warm
-        )
+        with _span("placement", "planner"):
+            placement = place_blocks(
+                block_set, cluster, self.config.placement_config(), warm=warm
+            )
         stats.placement = time.perf_counter() - start
         stats.num_vertices = placement.num_vertices
         stats.num_edges = placement.num_edges
@@ -138,13 +153,14 @@ class DCPPlanner:
         stats.gain_evals = _REFINE_COUNTERS.gain_evals
 
         start = time.perf_counter()
-        schedule = build_schedule(
-            block_set,
-            placement,
-            num_divisions=self.config.num_divisions,
-            strategy=self.config.scheduler,
-        )
-        plan = serialize_schedule(schedule)
+        with _span("scheduling", "planner"):
+            schedule = build_schedule(
+                block_set,
+                placement,
+                num_divisions=self.config.num_divisions,
+                strategy=self.config.scheduler,
+            )
+            plan = serialize_schedule(schedule)
         stats.scheduling = time.perf_counter() - start
 
         plan.meta["planning_stats"] = stats
@@ -156,6 +172,16 @@ class DCPPlanner:
             placement.slice_device,
             placement.comp_device,
         )
+        metrics = self.metrics
+        metrics.counter("planner.plans").inc()
+        metrics.histogram("planner.plan_s").observe(stats.total)
+        metrics.histogram("planner.block_generation_s").observe(
+            stats.block_generation
+        )
+        metrics.histogram("planner.placement_s").observe(stats.placement)
+        metrics.histogram("planner.scheduling_s").observe(stats.scheduling)
+        metrics.counter("planner.refine_moves").inc(stats.refine_moves)
+        metrics.counter("planner.gain_evals").inc(stats.gain_evals)
         self.last_stats = stats
         self.last_placement = placement
         return plan

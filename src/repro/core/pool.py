@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..blocks import BatchSpec
+from ..obs.metrics import MetricsRegistry
 from ..scheduling import ExecutionPlan
 from .dataloader import LocalData
 from .kvstore import KVClient, KVStore
@@ -102,6 +103,7 @@ class PlannerPool:
         cores_per_machine: int = 2,
         partial_plans: bool = False,
         wire_format: Optional[bool] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_machines < 1 or cores_per_machine < 1:
             raise ValueError("need at least one machine and one core")
@@ -124,14 +126,34 @@ class PlannerPool:
         self._generations: Dict[int, int] = {}
         self._publish_locks: Dict[int, threading.Lock] = {}
         self._lock = threading.Lock()
-        #: Partial-mode publication accounting: device entries written
-        #: vs skipped because the republished stream was byte-identical
-        #: (a delta re-plan that left that device's schedule untouched).
-        self.device_entries_written = 0
-        self.device_entries_unchanged = 0
-        #: Consumer-side bytes *not* moved because a re-fetch presented
-        #: a current version cursor for an unchanged per-device slice.
-        self.refetch_saved_bytes = 0
+        #: Accounting lives in a metrics registry (``pool.*``); the
+        #: historical attributes below are read-only views over it.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._entries_written = self.metrics.counter(
+            "pool.device_entries_written"
+        )
+        self._entries_unchanged = self.metrics.counter(
+            "pool.device_entries_unchanged"
+        )
+        self._refetch_saved = self.metrics.counter("pool.refetch_saved_bytes")
+
+    @property
+    def device_entries_written(self) -> int:
+        """Partial-mode publication accounting: device entries written
+        vs skipped (:attr:`device_entries_unchanged`) because the
+        republished stream was byte-identical — a delta re-plan that
+        left that device's schedule untouched."""
+        return self._entries_written.value
+
+    @property
+    def device_entries_unchanged(self) -> int:
+        return self._entries_unchanged.value
+
+    @property
+    def refetch_saved_bytes(self) -> int:
+        """Consumer-side bytes *not* moved because a re-fetch presented
+        a current version cursor for an unchanged per-device slice."""
+        return self._refetch_saved.value
 
     def submit(
         self,
@@ -215,9 +237,8 @@ class PlannerPool:
             )
             written += int(changed)
             unchanged += int(not changed)
-        with self._lock:
-            self.device_entries_written += written
-            self.device_entries_unchanged += unchanged
+        self._entries_written.inc(written)
+        self._entries_unchanged.inc(unchanged)
 
     def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
         """A device-side read of the published plan.
@@ -347,8 +368,7 @@ class PlannerPool:
                 skeleton if devices else probe, device_plans
             )
         if saved:
-            with self._lock:
-                self.refetch_saved_bytes += saved
+            self._refetch_saved.inc(saved)
         wire_bytes = sum(c.wire_bytes() for c in consumers.values())
         return plan, wire_bytes, fetched
 

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import span as _span
 from .coarsen import coarsen
 from .graph import BalanceConstraint, Hypergraph, PartitionResult
 from .initial import greedy_initial
@@ -35,14 +36,15 @@ def _finish(
     method: str,
     refine_passes: int,
 ) -> PartitionResult:
-    state = RefinementState(graph, labels, k)
-    if not state.is_feasible(caps):
-        rebalance(state, caps, rng)
-    greedy_refine(state, caps, rng, max_passes=refine_passes)
-    fm_refine(state, caps, rng)
-    if not state.is_feasible(caps):
-        rebalance(state, caps, rng)
-        greedy_refine(state, caps, rng, max_passes=2)
+    with _span("refine", "planner", method=method):
+        state = RefinementState(graph, labels, k)
+        if not state.is_feasible(caps):
+            rebalance(state, caps, rng)
+        greedy_refine(state, caps, rng, max_passes=refine_passes)
+        fm_refine(state, caps, rng)
+        if not state.is_feasible(caps):
+            rebalance(state, caps, rng)
+            greedy_refine(state, caps, rng, max_passes=2)
     return PartitionResult(
         labels=state.labels,
         cost=state.cost(),
@@ -59,16 +61,18 @@ def _multilevel_run(
     rng: np.random.Generator,
     refine_passes: int,
 ) -> PartitionResult:
-    levels = coarsen(graph, k, rng)
+    with _span("coarsen", "planner"):
+        levels = coarsen(graph, k, rng)
     coarsest = levels[-1][0] if levels else graph
-    labels = greedy_initial(coarsest, k, caps, rng)
+    with _span("initial_partition", "planner"):
+        labels = greedy_initial(coarsest, k, caps, rng)
 
-    state = RefinementState(coarsest, labels, k)
-    if not state.is_feasible(caps):
-        rebalance(state, caps, rng)
-    greedy_refine(state, caps, rng, max_passes=refine_passes)
-    fm_refine(state, caps, rng)
-    labels = state.labels
+        state = RefinementState(coarsest, labels, k)
+        if not state.is_feasible(caps):
+            rebalance(state, caps, rng)
+        greedy_refine(state, caps, rng, max_passes=refine_passes)
+        fm_refine(state, caps, rng)
+        labels = state.labels
 
     # Project back through the hierarchy, refining at every level.  The
     # mapping stored at level ``i`` projects the level-``i`` coarse graph
@@ -77,11 +81,14 @@ def _multilevel_run(
         mapping = levels[index][1]
         finer_graph = graph if index == 0 else levels[index - 1][0]
         labels = labels[mapping]
-        state = RefinementState(finer_graph, labels, k)
-        if not state.is_feasible(caps):
-            rebalance(state, caps, rng)
-        greedy_refine(state, caps, rng, max_passes=max(refine_passes // 2, 2))
-        fm_refine(state, caps, rng, max_passes=2)
+        with _span("refine_level", "planner", level=index):
+            state = RefinementState(finer_graph, labels, k)
+            if not state.is_feasible(caps):
+                rebalance(state, caps, rng)
+            greedy_refine(
+                state, caps, rng, max_passes=max(refine_passes // 2, 2)
+            )
+            fm_refine(state, caps, rng, max_passes=2)
         labels = state.labels
 
     return _finish(graph, labels, k, caps, rng, "multilevel", refine_passes)
@@ -140,7 +147,10 @@ def partition_hypergraph(
     multilevel_runs = restarts if warm_starts else max(restarts, 1)
     for restart in range(multilevel_runs):
         rng = np.random.default_rng(seed + 7919 * restart)
-        candidates.append(_multilevel_run(graph, k, caps, rng, refine_passes))
+        with _span("partition", "planner", k=k, restart=restart):
+            candidates.append(
+                _multilevel_run(graph, k, caps, rng, refine_passes)
+            )
 
     for warm_index, warm in enumerate(warm_starts or []):
         warm = np.asarray(warm, dtype=np.int64)

@@ -1,0 +1,65 @@
+"""Unified observability: span tracer, metrics registry, obs CLI.
+
+The telemetry subsystem behind every timing claim in the repo:
+
+* :mod:`repro.obs.trace` — zero-dependency span tracer with a
+  lock-free disabled fast path and Chrome-trace export; planner
+  stages, pipeline iterations, transport encode/write/decode, shm-ring
+  reads, and KV ops all land on one Perfetto timeline (merge with the
+  simulator's execution lanes via
+  :func:`repro.sim.trace.merge_chrome_traces`).
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  latency histograms (p50/p95/p99) in a snapshot/diff/mergeable
+  :class:`~repro.obs.metrics.MetricsRegistry`; the transport stats,
+  cache hit/miss counters, and pool savings counters are views over
+  it.
+* ``python -m repro.obs report`` — renders a registry snapshot as a
+  terminal table; ``python -m repro.obs bench`` measures tracer
+  overhead and writes ``BENCH_obs.json`` (CI-gated by
+  ``benchmarks/check_bench_floors.py``).
+
+This package is intentionally dependency-free (stdlib only in
+``trace``/``metrics``) so every layer of the repo can import it
+without cycles; ``report``/``bench`` import the rest of ``repro``
+lazily.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+)
+from .trace import (
+    Tracer,
+    add_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "add_span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+]

@@ -1,0 +1,111 @@
+"""Obs CLI: ``python -m repro.obs {report,bench}``.
+
+``report`` renders a metrics snapshot — a raw
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` JSON file or a
+``BENCH_obs.json`` report — as an aligned terminal table (histograms
+with count/p50/p95/p99, the plan-fetch hit/dispatch split included).
+
+``bench`` measures tracer/metrics overhead on the Fig. 18 smoke
+workload, runs the traced telemetry workload, writes ``BENCH_obs.json``
+plus the merged Perfetto trace ``TRACE_obs.json``, and prints the
+resulting metrics table.  ``--smoke`` is the fast CI variant (also
+reachable as ``benchmarks/bench_overlap_pipeline.py --obs --smoke``,
+which adds the floor gating).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .report import load_snapshot, render_snapshot
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        snapshot = load_snapshot(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_snapshot(snapshot))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_obs_bench
+
+    report = run_obs_bench(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        trace_path=args.trace,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    if args.trace:
+        print(f"wrote {args.trace}")
+    print()
+    print(render_snapshot(report["metrics"]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render a metrics snapshot as a terminal table"
+    )
+    report.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_obs.json",
+        help="snapshot or BENCH_obs.json file (default: BENCH_obs.json)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the snapshot JSON instead"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure tracer overhead, write BENCH_obs.json + TRACE_obs.json",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="fast CI variant (fewer repeats)"
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per mode (default: 7 full, 3 smoke)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_obs.json", help="report destination"
+    )
+    bench.add_argument(
+        "--trace",
+        default="TRACE_obs.json",
+        help="merged Perfetto trace destination ('' to skip)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,573 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The unified accounting layer for the repo's timing claims.  Every
+component that used to keep a bespoke stats dict (transport stats,
+cache hit/miss counters, pool refetch savings) now increments metrics
+in a :class:`MetricsRegistry` and exposes its old public attribute as
+a *view* over the registry — one accounting truth, queryable and
+mergeable across worker processes.
+
+Design constraints (mirrors the tracer in :mod:`repro.obs.trace`):
+
+* stdlib only — importable from every layer without cycles;
+* thread-safe — metrics carry their own locks (plain ``int``/``float``
+  arithmetic under a `threading.Lock`; registry get-or-create under a
+  registry lock);
+* picklable — locks are dropped on ``__getstate__`` and recreated on
+  ``__setstate__`` so registries can ride along with planners shipped
+  to fork-server workers;
+* JSON-stable — :meth:`MetricsRegistry.to_json` sorts keys, snapshots
+  contain only plain scalars/lists, and two registries with the same
+  observations serialize identically.
+
+Histograms use fixed exponential buckets
+(:data:`DEFAULT_LATENCY_BUCKETS`: 1µs .. ~67s, powers of two) and
+report p50/p95/p99 via linear interpolation inside the containing
+bucket, clamped to the observed ``[min, max]`` — accurate to roughly
+one bucket width (verified against ``numpy.percentile`` in
+``tests/test_obs.py``).
+
+Cross-process merging is snapshot-based: a worker sends
+``registry.snapshot()`` through any existing transport (pickle pipe,
+shm ring, KV store) and the parent folds it in with
+:func:`merge_snapshots` or :meth:`MetricsRegistry.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+]
+
+#: Exponential latency buckets: upper bounds in seconds, 1µs · 2**i.
+#: The implicit final bucket catches everything above ~67s.
+DEFAULT_LATENCY_BUCKETS = tuple(1e-6 * 2.0**i for i in range(27))
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonic counter (int or float increments)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+    def __getstate__(self):
+        return {"name": self.name, "value": self._value}
+
+    def __setstate__(self, state):
+        self.name = state["name"]
+        self._value = state["value"]
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """Last-value metric (e.g. queue depth, ring slots in use)."""
+
+    __slots__ = ("name", "_value", "_updates", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Number = 0
+        self._updates = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+            self._updates += 1
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+            self._updates += 1
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+            self._updates = 0
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value, "updates": self._updates}
+
+    def __getstate__(self):
+        return {"name": self.name, "value": self._value, "updates": self._updates}
+
+    def __setstate__(self, state):
+        self.name = state["name"]
+        self._value = state["value"]
+        self._updates = state["updates"]
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+def _bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    lo: float,
+    hi: float,
+    q: float,
+) -> float:
+    """Quantile ``q`` from fixed-bucket counts, numpy-'linear' ranked.
+
+    Bucket ``i`` covers ``(bounds[i-1], bounds[i]]`` (bucket 0 extends
+    down to the observed minimum, the final overflow bucket up to the
+    observed maximum).  The estimate places the bucket's samples
+    uniformly across its span and is clamped to ``[lo, hi]``.
+    """
+    if count <= 0:
+        return math.nan
+    rank = q * (count - 1)
+    cum = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cum + c > rank:
+            b_lo = bounds[i - 1] if i > 0 else lo
+            b_hi = bounds[i] if i < len(bounds) else hi
+            b_lo = max(min(b_lo, hi), min(lo, hi))
+            b_hi = min(max(b_hi, lo), max(lo, hi))
+            frac = (rank - cum + 0.5) / c
+            est = b_lo + (b_hi - b_lo) * frac
+            return min(max(est, lo), hi)
+        cum += c
+    return hi
+
+
+class Histogram:
+    """Fixed-bucket histogram with p50/p95/p99 quantile estimates."""
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate quantile ``q`` in [0, 1]; NaN when empty."""
+        with self._lock:
+            return _bucket_quantile(
+                self.bounds, self._counts, self._count, self._min, self._max, q
+            )
+
+    def percentiles(self) -> Dict[str, float]:
+        with self._lock:
+            counts = list(self._counts)
+            count, lo, hi = self._count, self._min, self._max
+        return {
+            key: _bucket_quantile(self.bounds, counts, count, lo, hi, q)
+            for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
+
+    def _merge_counts(
+        self, counts: Sequence[int], count: int, total: float, lo: float, hi: float
+    ) -> None:
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._count += count
+            self._sum += total
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        quantiles = {
+            key: _bucket_quantile(self.bounds, counts, count, lo, hi, q)
+            for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+        }
+        return {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "p50": None if count == 0 else quantiles["p50"],
+            "p95": None if count == 0 else quantiles["p95"],
+            "p99": None if count == 0 else quantiles["p99"],
+        }
+
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "bounds": self.bounds,
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def __setstate__(self, state):
+        self.name = state["name"]
+        self.bounds = tuple(state["bounds"])
+        self._counts = list(state["counts"])
+        self._count = state["count"]
+        self._sum = state["sum"]
+        self._min = state["min"]
+        self._max = state["max"]
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, count={self._count})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access, snapshot/diff/merge."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create ----------------------------------------------------
+    def _get_or_create(self, name: str, kind, *args) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- snapshot / diff / merge ------------------------------------------
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict snapshot of every metric (JSON-ready)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def diff(self, before: Mapping[str, dict]) -> Dict[str, dict]:
+        """Delta between the live registry and an earlier snapshot.
+
+        Counters and histogram counts subtract; gauges report their
+        current value (a level, not a rate).  Histogram min/max and
+        quantiles are recomputed from the *differenced* bucket counts,
+        so the result describes only the observations made since
+        ``before`` (window extrema are approximated by bucket edges).
+        """
+        now = self.snapshot()
+        out: Dict[str, dict] = {}
+        for name, snap in now.items():
+            prev = before.get(name)
+            if prev is None or prev.get("type") != snap["type"]:
+                out[name] = snap
+                continue
+            if snap["type"] == "counter":
+                out[name] = {"type": "counter", "value": snap["value"] - prev["value"]}
+            elif snap["type"] == "gauge":
+                out[name] = dict(snap)
+            else:
+                counts = [a - b for a, b in zip(snap["counts"], prev["counts"])]
+                count = snap["count"] - prev["count"]
+                total = snap["sum"] - prev["sum"]
+                bounds = snap["bounds"]
+                lo, hi = _window_extrema(bounds, counts, snap)
+                out[name] = _histogram_snapshot(bounds, counts, count, total, lo, hi)
+        return out
+
+    def merge_snapshot(self, snap: Mapping[str, dict]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        for name, entry in snap.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                if entry.get("updates", 0) > 0:
+                    gauge.set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, entry["bounds"])
+                if tuple(hist.bounds) != tuple(entry["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r}: incompatible bucket bounds"
+                    )
+                if entry["count"]:
+                    hist._merge_counts(
+                        entry["counts"],
+                        entry["count"],
+                        entry["sum"],
+                        entry["min"],
+                        entry["max"],
+                    )
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    # -- serialization ----------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Stable JSON: sorted keys, snapshot scalars only."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> Dict[str, dict]:
+        return json.loads(text)
+
+    # -- pickling (locks dropped, recreated) ------------------------------
+    def __getstate__(self):
+        return {"metrics": self._metrics}
+
+    def __setstate__(self, state):
+        self._metrics = state["metrics"]
+        self._lock = threading.Lock()
+
+
+def _window_extrema(bounds, counts, snap):
+    """Approximate extrema of a differenced histogram window."""
+    occupied = [i for i, c in enumerate(counts) if c > 0]
+    if not occupied:
+        return math.inf, -math.inf
+    first, last = occupied[0], occupied[-1]
+    lo = bounds[first - 1] if first > 0 else (snap["min"] or 0.0)
+    hi = bounds[last] if last < len(bounds) else (snap["max"] or bounds[-1])
+    return lo, hi
+
+
+def _histogram_snapshot(bounds, counts, count, total, lo, hi):
+    quantiles = {
+        key: _bucket_quantile(bounds, counts, count, lo, hi, q)
+        for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+    }
+    return {
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "min": lo if count else None,
+        "max": hi if count else None,
+        "bounds": list(bounds),
+        "counts": list(counts),
+        "p50": None if count == 0 else quantiles["p50"],
+        "p95": None if count == 0 else quantiles["p95"],
+        "p99": None if count == 0 else quantiles["p99"],
+    }
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, dict]]) -> Dict[str, dict]:
+    """Merge snapshots from several registries/processes into one.
+
+    Counters and histogram buckets add; a gauge takes the value of the
+    last snapshot that ever set it.  Histograms must share bucket
+    bounds (all instrumentation uses :data:`DEFAULT_LATENCY_BUCKETS`
+    unless a caller overrides them consistently).
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+    return merged.snapshot()
+
+
+class _NullMetric:
+    """No-op stand-in accepted everywhere a real metric is."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def value(self) -> Number:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def percentiles(self) -> Dict[str, float]:
+        return {"p50": math.nan, "p95": math.nan, "p99": math.nan}
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": 0}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry that records nothing — the uninstrumented baseline.
+
+    Passed as ``metrics=`` to components when measuring tracer/metrics
+    overhead (``repro.obs.bench``): call sites still execute, but every
+    observation is a no-op, which is as close to "uninstrumented" as
+    the instrumented code can get.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+    def diff(self, before: Mapping[str, dict]) -> Dict[str, dict]:
+        return {}
+
+    def merge_snapshot(self, snap: Mapping[str, dict]) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return "{}"
+
+
+NULL_REGISTRY = NullRegistry()

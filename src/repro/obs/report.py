@@ -1,0 +1,123 @@
+"""Terminal rendering of metrics-registry snapshots.
+
+``python -m repro.obs report`` loads a snapshot — either a raw
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` JSON file or a
+``BENCH_obs.json`` report (whose telemetry lives under ``"metrics"``)
+— and renders it as an aligned table: counters and gauges with their
+values, histograms with count/p50/p95/p99 in human time units.  The
+plan-fetch latency split (``pipeline.plan_fetch_hit_s`` vs
+``pipeline.plan_fetch_dispatch_s``) the planner-as-a-service work
+needs reads straight off this table.
+
+The module is import-light (stdlib only) so the CLI stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Mapping, Optional
+
+__all__ = ["format_value", "format_seconds", "render_snapshot", "load_snapshot"]
+
+#: Metric-name suffixes that mark a value as seconds (the repo-wide
+#: convention: ``*_s`` histograms/counters hold seconds).
+_SECONDS_SUFFIX = "_s"
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Human SI rendering of a latency in seconds (``-`` when absent)."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value != value:  # NaN: empty histogram
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def format_value(name: str, value) -> str:
+    """Counter/gauge value, seconds-aware via the ``*_s`` convention."""
+    if value is None:
+        return "-"
+    if name.endswith(_SECONDS_SUFFIX):
+        return format_seconds(value)
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return str(int(value))
+
+
+def _histogram_row(name: str, snap: Mapping) -> List[str]:
+    seconds = name.endswith(_SECONDS_SUFFIX)
+
+    def fmt(key: str) -> str:
+        value = snap.get(key)
+        if value is None:
+            return "-"
+        return format_seconds(value) if seconds else f"{float(value):.4g}"
+
+    return [
+        name,
+        "histogram",
+        str(snap.get("count", 0)),
+        fmt("p50"),
+        fmt("p95"),
+        fmt("p99"),
+    ]
+
+
+def render_snapshot(snapshot: Mapping[str, Mapping]) -> str:
+    """Aligned table of a registry snapshot (one metric per line)."""
+    header = ["metric", "type", "count/value", "p50", "p95", "p99"]
+    rows: List[List[str]] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("type", "?")
+        if kind == "histogram":
+            rows.append(_histogram_row(name, snap))
+        elif kind == "gauge":
+            rows.append(
+                [
+                    name,
+                    kind,
+                    f"{format_value(name, snap.get('value'))} "
+                    f"({snap.get('updates', 0)} updates)",
+                    "-",
+                    "-",
+                    "-",
+                ]
+            )
+        else:
+            rows.append(
+                [name, kind, format_value(name, snap.get("value")), "-", "-", "-"]
+            )
+    if not rows:
+        return "(empty snapshot)"
+    widths = [
+        max(len(header[col]), max(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = [line(header), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def load_snapshot(path: str) -> Mapping[str, Mapping]:
+    """Snapshot from a JSON file.
+
+    Accepts a raw registry snapshot or any report dict that nests one
+    under ``"metrics"`` (``BENCH_obs.json``).
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and isinstance(data.get("metrics"), dict):
+        return data["metrics"]
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return data

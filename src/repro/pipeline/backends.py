@@ -46,6 +46,9 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Optional, Tuple
 
 from ..core.planwire import decode_plan, encode_plan
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import add_span as _add_span
+from ..obs.trace import tracing_enabled as _tracing
 from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable
 
 __all__ = [
@@ -261,7 +264,14 @@ class ProcessPlannerBackend:
 
     :attr:`transport_stats` accumulates per-plan payload bytes and
     encode/write/decode seconds — the transport-overhead numbers the
-    ``--transport`` benchmark cell and its floor gate.
+    ``--transport`` benchmark cell and its floor gate.  The numbers
+    live in ``transport.*`` registry counters (:attr:`metrics`);
+    :attr:`transport_stats` is a dict-shaped view over them.  With
+    tracing enabled the encode/write/decode intervals also land on the
+    Perfetto timeline: decode is measured in the parent, encode/write
+    are synthesized from the worker-reported durations anchored at the
+    plan-end stamp (``perf_counter`` is process-shared on Linux, which
+    the transport's latency stamps already rely on).
     """
 
     name = "process"
@@ -276,6 +286,7 @@ class ProcessPlannerBackend:
         mp_start: str = "auto",
         ring_slots: Optional[int] = None,
         slot_bytes: int = DEFAULT_SLOT_BYTES,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one planner worker")
@@ -314,17 +325,20 @@ class ProcessPlannerBackend:
         #: that actually cross the pipe per job now that the planner
         #: does not.
         self.last_job_payload_bytes = 0
-        self.transport_stats = {
-            "plans": 0,
-            "shm_plans": 0,
-            "wire_plans": 0,
-            "pickle_plans": 0,
-            "payload_bytes": 0,
-            "encode_s": 0.0,
-            "write_s": 0.0,
-            "decode_s": 0.0,
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._transport_counters = {
+            key: self.metrics.counter(f"transport.{key}")
+            for key in (
+                "plans",
+                "shm_plans",
+                "wire_plans",
+                "pickle_plans",
+                "payload_bytes",
+                "encode_s",
+                "write_s",
+                "decode_s",
+            )
         }
-        self._stats_lock = threading.Lock()
         ring_spec = self._ring.spec() if self._ring is not None else None
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
@@ -332,6 +346,14 @@ class ProcessPlannerBackend:
             initializer=_plan_worker_init,
             initargs=(planner, ring_spec, self.transport),
         )
+
+    @property
+    def transport_stats(self) -> dict:
+        """Historical dict shape, served from the ``transport.*`` counters."""
+        return {
+            key: counter.value
+            for key, counter in self._transport_counters.items()
+        }
 
     def _account_submit(self, batch, slot, override) -> None:
         try:
@@ -356,9 +378,10 @@ class ProcessPlannerBackend:
                 wrapper.set_exception(exc)
                 return
             decode_s = 0.0
+            decode_start = 0.0
             try:
                 if kind == "shm":
-                    stamp = time.perf_counter()
+                    stamp = decode_start = time.perf_counter()
                     view = self._ring.read(payload)
                     try:
                         plan = decode_plan(view)
@@ -369,7 +392,7 @@ class ProcessPlannerBackend:
                 elif kind == "wire":
                     if slot is not None and self._ring is not None:
                         self._ring.free(slot)
-                    stamp = time.perf_counter()
+                    stamp = decode_start = time.perf_counter()
                     plan = decode_plan(payload)
                     decode_s = time.perf_counter() - stamp
                 else:
@@ -377,14 +400,33 @@ class ProcessPlannerBackend:
             except BaseException as exc:
                 wrapper.set_exception(exc)
                 return
-            with self._stats_lock:
-                stats = self.transport_stats
-                stats["plans"] += 1
-                stats[f"{kind}_plans"] += 1
-                stats["payload_bytes"] += nbytes
-                stats["encode_s"] += encode_s
-                stats["write_s"] += write_s
-                stats["decode_s"] += decode_s
+            counters = self._transport_counters
+            counters["plans"].inc()
+            counters[f"{kind}_plans"].inc()
+            counters["payload_bytes"].inc(nbytes)
+            counters["encode_s"].inc(encode_s)
+            counters["write_s"].inc(write_s)
+            counters["decode_s"].inc(decode_s)
+            if _tracing():
+                # Worker-side encode/write happen back-to-back right
+                # after planning ends; synthesize their spans from the
+                # relayed durations anchored at the plan-end stamp.
+                if encode_s > 0.0:
+                    _add_span(
+                        "transport.encode", "transport", end,
+                        end + encode_s, args={"bytes": nbytes},
+                    )
+                if write_s > 0.0:
+                    _add_span(
+                        "transport.write", "transport", end + encode_s,
+                        end + encode_s + write_s, args={"bytes": nbytes},
+                    )
+                if decode_s > 0.0:
+                    _add_span(
+                        "transport.decode", "transport", decode_start,
+                        decode_start + decode_s,
+                        args={"bytes": nbytes, "kind": kind},
+                    )
             wrapper.set_result((plan, start, end))
 
         inner.add_done_callback(relay)

@@ -65,6 +65,9 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 from ..core.cache import PlanCache, batch_signature
 from ..core.dataloader import LocalData, _local_data
 from ..core.pool import PlanningTimeline
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import add_span as _add_span
+from ..obs.trace import tracing_enabled as _tracing
 from .backends import CompletedTicket, PlanTicket, SharedPlanTicket, make_backend
 
 __all__ = ["OverlapPipeline", "OverlapStats", "IterationRecord",
@@ -273,6 +276,12 @@ class OverlapPipeline:
         in O(1) memory while :meth:`stats` still reports true totals;
         only the per-record history (and hence ``stats().timeline()``)
         is truncated to the retained tail.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the pipeline's plan-fetch latency histograms
+        (``pipeline.plan_fetch_hit_s`` for cache hits,
+        ``pipeline.plan_fetch_dispatch_s`` for planner dispatches) and
+        iteration counters; a fresh per-pipeline registry by default.
     """
 
     def __init__(
@@ -288,6 +297,7 @@ class OverlapPipeline:
         max_plan_retries: int = 2,
         max_concurrent_plans: Optional[int] = None,
         records_limit: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if lookahead < 0:
             raise ValueError("lookahead must be non-negative")
@@ -338,6 +348,25 @@ class OverlapPipeline:
         self._cache_hits = 0
         self._depth_sum = 0
         self._depth_max = 0
+        #: Plan-fetch latency — how long the consumer blocked for the
+        #: next plan — split by serving path: cache hit vs planner
+        #: dispatch (joined/waited dispatches count as dispatch).  The
+        #: planner-as-a-service p50/p99 baseline (``repro.obs``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._fetch_hit_s = self.metrics.histogram("pipeline.plan_fetch_hit_s")
+        self._fetch_dispatch_s = self.metrics.histogram(
+            "pipeline.plan_fetch_dispatch_s"
+        )
+        self._iter_count = self.metrics.counter("pipeline.iterations")
+        self._stall_counter = self.metrics.counter("pipeline.stalls")
+
+    @property
+    def clock_origin(self) -> Optional[float]:
+        """``time.perf_counter()`` value of the run's t=0 (None before
+        iteration starts).  Lets :func:`repro.sim.overlap_chrome_trace`
+        output be merged with tracer spans from the same run on one
+        epoch (:func:`repro.sim.merge_chrome_traces`)."""
+        return self._origin
 
     # -- hooks (specialized by the streaming pipeline) ---------------------
 
@@ -533,6 +562,13 @@ class OverlapPipeline:
     def _finalize_exec(self, record: IterationRecord, end: float) -> None:
         record.exec_end = end
         self._exec_s += record.exec_s
+        if _tracing() and self._origin is not None:
+            _add_span(
+                f"exec {record.index}",
+                "pipeline",
+                self._origin + record.exec_start,
+                self._origin + end,
+            )
 
     def _run(self) -> Iterator[Tuple[Dict[int, LocalData], object]]:
         self._origin = time.perf_counter()
@@ -555,6 +591,22 @@ class OverlapPipeline:
                 )
                 plan, plan_start, plan_end = self._resolve(item)
                 ready = self._now()
+                fetch_s = max(ready - requested, 0.0)
+                if item.cache_hit:
+                    self._fetch_hit_s.observe(fetch_s)
+                else:
+                    self._fetch_dispatch_s.observe(fetch_s)
+                self._iter_count.inc()
+                if fetch_s > STALL_EPS:
+                    self._stall_counter.inc()
+                if _tracing():
+                    _add_span(
+                        f"fetch {item.index}",
+                        "pipeline",
+                        self._origin + requested,
+                        self._origin + ready,
+                        args={"cache_hit": item.cache_hit},
+                    )
                 record = IterationRecord(
                     index=item.index,
                     submit=item.submit,

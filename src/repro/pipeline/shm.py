@@ -42,6 +42,8 @@ import threading
 import weakref
 from typing import Optional, Tuple
 
+from ..obs.trace import span as _span
+
 __all__ = ["ShmUnavailable", "PlanRing", "DEFAULT_SLOT_BYTES"]
 
 _FREE = 0
@@ -180,17 +182,18 @@ class PlanRing:
         The caller must ``release()`` the view (and everything derived
         from it) before :meth:`free`-ing the slot or closing the ring.
         """
-        state, seq, length = self._header(slot)
-        if state != _READY or seq % 2 != 0:
-            raise RuntimeError(
-                f"slot {slot} not ready (state={state}, seq={seq})"
-            )
-        offset = slot * self.slot_bytes
-        view = memoryview(self._data.buf)[offset:offset + length]
-        if self._header(slot)[1] != seq:  # seqlock re-check
-            view.release()
-            raise RuntimeError(f"slot {slot} changed during read")
-        return view
+        with _span("ring.read", "transport", slot=slot):
+            state, seq, length = self._header(slot)
+            if state != _READY or seq % 2 != 0:
+                raise RuntimeError(
+                    f"slot {slot} not ready (state={state}, seq={seq})"
+                )
+            offset = slot * self.slot_bytes
+            view = memoryview(self._data.buf)[offset:offset + length]
+            if self._header(slot)[1] != seq:  # seqlock re-check
+                view.release()
+                raise RuntimeError(f"slot {slot} changed during read")
+            return view
 
     def free(self, slot: int) -> None:
         """Return a slot to the ring (reserved or ready, read or not)."""
@@ -214,20 +217,21 @@ class PlanRing:
         Returns ``False`` (slot untouched, caller falls back to the
         pipe) when the payload does not fit.
         """
-        payload = memoryview(payload)
-        length = payload.nbytes
-        if length > self.slot_bytes:
-            return False
-        state, seq, _ = self._header(slot)
-        if state != _RESERVED:
-            raise RuntimeError(
-                f"write to slot {slot} in state {state} (not reserved)"
-            )
-        self._set_header(slot, _RESERVED, seq + 1, 0)  # odd: writing
-        offset = slot * self.slot_bytes
-        self._data.buf[offset:offset + length] = payload
-        self._set_header(slot, _READY, seq + 2, length)
-        return True
+        with _span("ring.write", "transport", slot=slot):
+            payload = memoryview(payload)
+            length = payload.nbytes
+            if length > self.slot_bytes:
+                return False
+            state, seq, _ = self._header(slot)
+            if state != _RESERVED:
+                raise RuntimeError(
+                    f"write to slot {slot} in state {state} (not reserved)"
+                )
+            self._set_header(slot, _RESERVED, seq + 1, 0)  # odd: writing
+            offset = slot * self.slot_bytes
+            self._data.buf[offset:offset + length] = payload
+            self._set_header(slot, _READY, seq + 2, length)
+            return True
 
     # -- lifecycle ------------------------------------------------------
 

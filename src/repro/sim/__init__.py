@@ -12,6 +12,7 @@ from .modelcost import E2EResult, GPT_8B, ModelSpec, e2e_iteration_time
 from .timing import DeviceTiming, TimingResult, simulate_plan
 from .trace import (
     ascii_gantt,
+    merge_chrome_traces,
     overlap_chrome_trace,
     to_chrome_trace,
     write_chrome_trace,
@@ -19,6 +20,7 @@ from .trace import (
 
 __all__ = [
     "ascii_gantt",
+    "merge_chrome_traces",
     "overlap_chrome_trace",
     "to_chrome_trace",
     "write_chrome_trace",

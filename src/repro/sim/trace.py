@@ -34,6 +34,7 @@ __all__ = [
     "write_chrome_trace",
     "ascii_gantt",
     "overlap_chrome_trace",
+    "merge_chrome_traces",
 ]
 
 _LANES = ("compute", "comm", "stall")
@@ -90,7 +91,9 @@ def write_chrome_trace(result: TimingResult, path: str,
         json.dump(to_chrome_trace(result, time_scale=time_scale), handle)
 
 
-def overlap_chrome_trace(timeline, time_scale: float = 1e6) -> Dict:
+def overlap_chrome_trace(
+    timeline, time_scale: float = 1e6, clock_origin: Optional[float] = None
+) -> Dict:
     """Chrome trace of a planning/execution overlap timeline.
 
     ``timeline`` is any object with ``exec_start``/``exec_end``/
@@ -98,6 +101,11 @@ def overlap_chrome_trace(timeline, time_scale: float = 1e6) -> Dict:
     :class:`~repro.core.pool.PlanningTimeline` shape).  Lane 0 holds
     execution slices, lane 1 planning slices, lane 2 the stalls —
     exposed planning the pipeline failed to hide.
+
+    Measured timelines are relative to the pipeline's start; pass that
+    start's ``time.perf_counter()`` value (``OverlapPipeline.clock_origin``)
+    as ``clock_origin`` and the trace can be aligned with tracer spans
+    from the same run via :func:`merge_chrome_traces`.
     """
     events: List[Dict] = [
         {
@@ -142,7 +150,66 @@ def overlap_chrome_trace(timeline, time_scale: float = 1e6) -> Dict:
                 f"stall {i}", 2, timeline.exec_start[i] - stall,
                 timeline.exec_start[i],
             )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    trace: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if clock_origin is not None:
+        trace["clockOrigin"] = clock_origin
+    return trace
+
+
+def merge_chrome_traces(
+    traces,
+    labels: Optional[List[Optional[str]]] = None,
+    time_scale: float = 1e6,
+) -> Dict:
+    """Merge several Chrome traces onto one shared epoch.
+
+    Each input is a trace dict from :func:`to_chrome_trace`,
+    :func:`overlap_chrome_trace`, or
+    :meth:`repro.obs.trace.Tracer.to_chrome_trace`.  Traces that carry
+    a ``clockOrigin`` (the ``time.perf_counter()`` value of their local
+    t=0) are rebased onto the earliest such origin, so *measured*
+    traces from the same process tree align exactly; traces without
+    one (e.g. simulated executions, whose clock is simulated seconds)
+    keep their own t=0 at the shared epoch.  ``time_scale`` must match
+    the scale the inputs were exported with.
+
+    Process ids are re-namespaced to disjoint ranges (the simulator
+    uses ``pid = device``, the overlap lane ``pid = 0`` — merged
+    verbatim they would collide).  ``labels``, if given, prefixes each
+    trace's process names so the lanes stay identifiable in Perfetto.
+    """
+    traces = list(traces)
+    if labels is not None and len(labels) != len(traces):
+        raise ValueError("labels must match traces one-to-one")
+    origins = [trace.get("clockOrigin") for trace in traces]
+    known = [origin for origin in origins if origin is not None]
+    epoch = min(known) if known else 0.0
+    merged: List[Dict] = []
+    pid_base = 0
+    for index, trace in enumerate(traces):
+        origin = origins[index]
+        shift = (origin - epoch) * time_scale if origin is not None else 0.0
+        label = labels[index] if labels else None
+        events = trace.get("traceEvents", [])
+        pid_map: Dict[int, int] = {}
+        for pid in sorted({event.get("pid", 0) for event in events}):
+            pid_map[pid] = pid_base + len(pid_map)
+        pid_base += max(len(pid_map), 1)
+        for event in events:
+            out = dict(event)
+            out["pid"] = pid_map.get(event.get("pid", 0), pid_base - 1)
+            if "ts" in out:
+                out["ts"] = out["ts"] + shift
+            if (
+                label
+                and out.get("ph") == "M"
+                and out.get("name") == "process_name"
+            ):
+                args = dict(out.get("args", {}))
+                args["name"] = f"{label}: {args.get('name', '')}".rstrip(": ")
+                out["args"] = args
+            merged.append(out)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
 
 
 def _paint(
