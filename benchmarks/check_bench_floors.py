@@ -23,6 +23,14 @@ Checked metrics:
   plans through shared memory, and its (encode + move + decode) /
   plan-time overhead stays under
   ``transport.smoke_overhead_ratio_max``;
+* plan service — the smoke Zipf stream ran against >= 1000 synthetic
+  tenants, plan-fetch p99 stays under
+  ``BENCH_service.json["smoke"]["p99_fetch_s_max"]``, the cache hit
+  rate clears ``smoke.cache_hit_rate_min``, the pre-warm hit fraction
+  clears ``smoke.prewarm_hit_fraction_min`` (and is non-zero — the
+  forecaster actually warmed something demand then hit), and plans
+  served through the service are fingerprint-identical to the
+  synchronous planner;
 * observability — the *tracked* ``BENCH_obs.json`` overhead ratios hold
   the acceptance ceilings (disabled ≤ 1.01, enabled ≤ 1.05 vs the
   uninstrumented smoke workload), the smoke rerun stays under the
@@ -54,6 +62,9 @@ DEFAULT_HIDDEN_FLOOR = 0.5
 DEFAULT_REPLAN_RATIO_MAX = 0.8
 DEFAULT_KV_WIRE_RATIO_MAX = 0.95
 DEFAULT_TRANSPORT_SMOKE_RATIO_MAX = 0.15
+DEFAULT_SERVICE_P99_MAX_S = 2.5
+DEFAULT_SERVICE_HIT_RATE_MIN = 0.6
+DEFAULT_SERVICE_PREWARM_MIN = 0.0005
 DEFAULT_OBS_DISABLED_RATIO_MAX = 1.01
 DEFAULT_OBS_ENABLED_RATIO_MAX = 1.05
 DEFAULT_OBS_SMOKE_DISABLED_RATIO_MAX = 1.05
@@ -218,6 +229,55 @@ def check_transport(gate: Gate, strict: bool) -> None:
     )
 
 
+def check_service(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_service.json") or {}
+    floors = tracked.get("smoke") or {}
+    smoke = _load("BENCH_service.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "plan-service smoke output missing")
+        return
+
+    p99_max = float(floors.get("p99_fetch_s_max", DEFAULT_SERVICE_P99_MAX_S))
+    hit_min = float(
+        floors.get("cache_hit_rate_min", DEFAULT_SERVICE_HIT_RATE_MIN)
+    )
+    prewarm_min = float(
+        floors.get("prewarm_hit_fraction_min", DEFAULT_SERVICE_PREWARM_MIN)
+    )
+    rows = smoke.get("rows") or []
+    gate.check(bool(rows), "plan-service smoke recorded at least one cell")
+    for row in rows:
+        clients = row.get("clients")
+        gate.check(
+            int(row.get("tenants", 0)) >= 1000,
+            f"service [{clients} clients] tenant population "
+            f"{row.get('tenants')} >= 1000",
+        )
+        p99 = float(row.get("p99_fetch_s", 99.0))
+        gate.check(
+            p99 <= p99_max,
+            f"service [{clients} clients] fetch p99 {p99:.4f}s <= "
+            f"{p99_max}s",
+        )
+        hit = float(row.get("cache_hit_rate", 0.0))
+        gate.check(
+            hit >= hit_min,
+            f"service [{clients} clients] cache hit rate {hit:.3f} >= "
+            f"{hit_min}",
+        )
+        prewarm = float(row.get("prewarm_hit_fraction", 0.0))
+        gate.check(
+            prewarm >= prewarm_min and prewarm > 0.0,
+            f"service [{clients} clients] pre-warm hit fraction "
+            f"{prewarm:.4f} >= {prewarm_min} (and > 0)",
+        )
+    gate.check(
+        bool(smoke.get("fingerprints_identical")),
+        "service-served plans fingerprint-identical to synchronous "
+        "planning",
+    )
+
+
 def check_obs(gate: Gate, strict: bool) -> None:
     tracked = _load("BENCH_obs.json")
     if tracked is None:
@@ -324,6 +384,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_planner(gate, strict=args.strict)
     check_overlap(gate, strict=args.strict)
     check_transport(gate, strict=args.strict)
+    check_service(gate, strict=args.strict)
     check_obs(gate, strict=args.strict)
 
     if gate.failures:

@@ -67,6 +67,18 @@ else
         --output "$REPO_ROOT/BENCH_overlap.transport.smoke.json"
 fi
 
+echo "== plan service smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites BENCH_service.json (client-count sweep + CI floors).
+    python benchmarks/bench_plan_service.py
+else
+    # Multi-tenant Zipf stream (>= 1000 tenants): p99 fetch latency,
+    # cache hit rate and pre-warm hit fraction are gated against the
+    # floors in BENCH_service.json by check_bench_floors.py below.
+    python benchmarks/bench_plan_service.py --smoke \
+        --output "$REPO_ROOT/BENCH_service.smoke.json"
+fi
+
 echo "== observability smoke =="
 if [[ "${1:-}" == "--full" ]]; then
     # Rewrites BENCH_obs.json and the Fig. 18 sweep-point TRACE_obs.json.

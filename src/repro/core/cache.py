@@ -110,6 +110,18 @@ class PlanCache:
             self._misses.inc()
             return None
 
+    def peek(self, key: Tuple):
+        """Cached plan under ``key`` or ``None`` — no accounting.
+
+        Neither hit/miss counters nor LRU recency move: the pre-warm
+        path (:mod:`repro.service`) probes many predicted signatures
+        per epoch, and letting those probes count would dilute the
+        hit-rate the demand traffic actually experiences (and promote
+        entries no client asked for).
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def _insert(self, key: Tuple, plan) -> None:
         """Insert + refresh recency + evict the LRU tail (lock held)."""
         self._entries[key] = plan
@@ -122,7 +134,7 @@ class PlanCache:
         with self._lock:
             self._insert(key, plan)
 
-    def reserve(self, key: Tuple) -> Tuple[str, object, int]:
+    def reserve(self, key: Tuple, count: bool = True) -> Tuple[str, object, int]:
         """Atomically claim or join planning of ``key``.
 
         Returns ``(status, payload, epoch)`` where status is one of
@@ -133,6 +145,11 @@ class PlanCache:
         * ``"own"`` — the caller now owns the dispatch (payload is the
           reservation future) and must eventually :meth:`fulfill`,
           :meth:`publish` or :meth:`abandon` it.  Counts a miss.
+
+        ``count=False`` suppresses the hit/miss/reserve accounting (not
+        the claim itself): pre-warm reservations are speculative work
+        the service initiated, not demand traffic, and they must not
+        skew the hit rate the real clients see.
 
         ``epoch`` is the invalidation epoch observed under the same
         lock acquisition — the value later publications/abandons must
@@ -150,15 +167,19 @@ class PlanCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
-                self._hits.inc()
+                if count:
+                    self._hits.inc()
                 return ("hit", cached, self._epoch)
-            self._misses.inc()
+            if count:
+                self._misses.inc()
             reservation = self._inflight.get(key)
             if reservation is not None:
-                self._reserve_wait.inc()
+                if count:
+                    self._reserve_wait.inc()
                 return ("wait", reservation[0], self._epoch)
             future = Future()
-            self._reserve_own.inc()
+            if count:
+                self._reserve_own.inc()
             # Stamped with the creation epoch so late publications can
             # tell "my own cohort's reservation" from one re-claimed
             # after an invalidation (see :meth:`publish`).

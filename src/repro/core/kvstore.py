@@ -11,6 +11,16 @@ The accounting matters for the planner-overlap analysis: serialized
 plans are megabytes, and shipping them must not erase the benefit of
 parallel planning.
 
+Long-running multi-tenant serving (:mod:`repro.service`) adds two
+requirements the original store did not have: *bounded residency* and
+*honest miss accounting*.  ``max_bytes`` turns the store into an LRU
+over payload bytes (reads refresh recency; eviction never touches a
+key that a blocked :meth:`KVStore.get` is waiting on), ``ttl_s``
+reclaims entries idle longer than the deadline at write time or via
+:meth:`KVStore.expire`, and every lookup — including a
+:meth:`KVStore.try_get` miss and a timed-out blocking get — lands in
+``kv.gets``/``kv.get_s`` with misses broken out in ``kv.get_misses``.
+
 Values are encoded once, on ``put``: arbitrary objects are pickled —
 exactly what crossing a process boundary would require, so stored
 plans are true snapshots, not shared mutable objects — while
@@ -27,7 +37,8 @@ from __future__ import annotations
 import pickle
 import threading
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
@@ -41,6 +52,8 @@ class _Entry:
     payload: bytes
     version: int
     raw: bool = False
+    #: Monotonic stamp of the last write, for TTL reclamation.
+    stamp: float = field(default=0.0, compare=False)
 
     def value(self) -> Any:
         return self.payload if self.raw else pickle.loads(self.payload)
@@ -54,15 +67,40 @@ def _encode(value: Any) -> Tuple[bytes, bool]:
 
 
 class KVStore:
-    """Thread-safe blocking key-value store with versioned writes."""
+    """Thread-safe blocking key-value store with versioned writes.
+
+    ``max_bytes`` bounds the resident payload bytes: every write
+    evicts least-recently-used entries (reads refresh recency) until
+    the store fits again.  ``ttl_s`` additionally reclaims entries
+    whose last write is older than the deadline — checked on every
+    write and on explicit :meth:`expire` calls, so a long-running
+    multi-tenant service cannot grow the host machine without bound.
+    Neither policy ever evicts a key that a blocked :meth:`get` /
+    :meth:`get_unless` is currently waiting on: the waiter registered
+    before the value arrived, and snatching the payload back between
+    the publishing ``put`` and the waiter's wake-up would turn a
+    guaranteed delivery into a timeout.
+    """
 
     def __init__(
         self,
         host_machine: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        max_bytes: Optional[int] = None,
+        ttl_s: Optional[float] = None,
     ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
         self.host_machine = host_machine
-        self._entries: Dict[str, _Entry] = {}
+        self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._size = 0
+        #: Keys with a blocked ``get``/``get_unless`` registered on
+        #: them (key -> waiter count); eviction skips these.
+        self._waiters: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         #: Byte accounting and op-latency histograms (``kv.*``) live in
@@ -74,8 +112,80 @@ class KVStore:
         self._bytes_out = self.metrics.counter("kv.bytes_out")
         self._puts = self.metrics.counter("kv.puts")
         self._gets = self.metrics.counter("kv.gets")
+        self._get_misses = self.metrics.counter("kv.get_misses")
+        self._evictions = self.metrics.counter("kv.evictions")
+        self._evicted_bytes = self.metrics.counter("kv.evicted_bytes")
         self._put_s = self.metrics.histogram("kv.put_s")
         self._get_s = self.metrics.histogram("kv.get_s")
+
+    # -- bounded-residency machinery (lock held for all of these) --------
+
+    def _insert(self, key: str, entry: _Entry) -> None:
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._size -= len(previous.payload)
+        self._entries[key] = entry
+        self._size += len(entry.payload)
+
+    def _drop(self, key: str) -> Optional[_Entry]:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._size -= len(entry.payload)
+        return entry
+
+    def _evictable(self, key: str) -> bool:
+        return key not in self._waiters
+
+    def _enforce_limits(self, protect: Optional[str] = None) -> None:
+        """Apply TTL then LRU-by-bytes, skipping blocked-reader keys.
+
+        ``protect`` (the key a put just wrote) is never evicted by its
+        own write: a store too small for one payload should still serve
+        that payload to the consumer the write was for.
+        """
+        evicted = evicted_bytes = 0
+        if self.ttl_s is not None:
+            deadline = time.monotonic() - self.ttl_s
+            stale = [
+                key for key, entry in self._entries.items()
+                if entry.stamp < deadline
+                and key != protect and self._evictable(key)
+            ]
+            for key in stale:
+                entry = self._drop(key)
+                evicted += 1
+                evicted_bytes += len(entry.payload)
+        if self.max_bytes is not None and self._size > self.max_bytes:
+            for key in list(self._entries):
+                if self._size <= self.max_bytes:
+                    break
+                if key == protect or not self._evictable(key):
+                    continue
+                entry = self._drop(key)
+                evicted += 1
+                evicted_bytes += len(entry.payload)
+        if evicted:
+            self._evictions.inc(evicted)
+            self._evicted_bytes.inc(evicted_bytes)
+
+    def expire(self) -> int:
+        """Reclaim TTL-stale entries now; returns the count evicted."""
+        if self.ttl_s is None:
+            return 0
+        before = self._evictions.value
+        with self._lock:
+            self._enforce_limits()
+        return self._evictions.value - before
+
+    def _register_waiter(self, key: str) -> None:
+        self._waiters[key] = self._waiters.get(key, 0) + 1
+
+    def _unregister_waiter(self, key: str) -> None:
+        count = self._waiters.get(key, 0) - 1
+        if count > 0:
+            self._waiters[key] = count
+        else:
+            self._waiters.pop(key, None)
 
     # -- primitives -----------------------------------------------------
     #
@@ -91,9 +201,10 @@ class KVStore:
             with self._changed:
                 previous = self._entries.get(key)
                 version = previous.version + 1 if previous else 1
-                self._entries[key] = _Entry(payload=payload, version=version,
-                                            raw=raw)
+                self._insert(key, _Entry(payload=payload, version=version,
+                                         raw=raw, stamp=time.monotonic()))
                 self._bytes_in.inc(len(payload))
+                self._enforce_limits(protect=key)
                 self._changed.notify_all()
         self._puts.inc()
         self._put_s.observe(time.perf_counter() - start)
@@ -121,13 +232,20 @@ class KVStore:
             with self._changed:
                 previous = self._entries.get(key)
                 if previous is not None and previous.payload == payload:
+                    # Unchanged republish: still activity — refresh the
+                    # TTL stamp and LRU recency so a hot entry is not
+                    # reclaimed from under its republisher.
+                    previous.stamp = time.monotonic()
+                    self._entries.move_to_end(key)
                     result = previous.version, False, len(payload)
                 else:
                     version = previous.version + 1 if previous else 1
-                    self._entries[key] = _Entry(
-                        payload=payload, version=version, raw=raw
-                    )
+                    self._insert(key, _Entry(
+                        payload=payload, version=version, raw=raw,
+                        stamp=time.monotonic(),
+                    ))
                     self._bytes_in.inc(len(payload))
+                    self._enforce_limits(protect=key)
                     self._changed.notify_all()
                     result = version, True, len(payload)
         self._puts.inc()
@@ -149,16 +267,36 @@ class KVStore:
         start = time.perf_counter()
         with _span("kv.get", "kv", key=key):
             with self._changed:
-                if not self._changed.wait_for(
-                    lambda: key in self._entries, timeout=timeout
-                ):
-                    raise KeyError(key)
-                entry = self._entries[key]
-                self._bytes_out.inc(len(entry.payload))
-                result = entry.value(), len(entry.payload)
+                # Registering the waiter before blocking pins the key
+                # against eviction for the whole wait: the publishing
+                # put must reach this reader, not the LRU reaper.
+                self._register_waiter(key)
+                try:
+                    if not self._changed.wait_for(
+                        lambda: key in self._entries, timeout=timeout
+                    ):
+                        self._record_get(start, miss=True)
+                        raise KeyError(key)
+                    entry = self._entries[key]
+                    self._entries.move_to_end(key)
+                    self._bytes_out.inc(len(entry.payload))
+                    result = entry.value(), len(entry.payload)
+                finally:
+                    self._unregister_waiter(key)
+        self._record_get(start)
+        return result
+
+    def _record_get(self, start: float, miss: bool = False) -> None:
+        """Every lookup — hit, miss or timeout — lands in the metrics.
+
+        Misses used to vanish from ``kv.gets``/``kv.get_s`` entirely,
+        which skewed hit rates and latency quantiles exactly under the
+        cache-miss-heavy traffic multi-tenant serving produces.
+        """
+        if miss:
+            self._get_misses.inc()
         self._gets.inc()
         self._get_s.observe(time.perf_counter() - start)
-        return result
 
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
         """Fetch ``key``, blocking until it exists."""
@@ -183,23 +321,28 @@ class KVStore:
         start = time.perf_counter()
         with _span("kv.get_unless", "kv", key=key):
             with self._changed:
-                if not self._changed.wait_for(
-                    lambda: key in self._entries, timeout=timeout
-                ):
-                    raise KeyError(key)
-                entry = self._entries[key]
-                if version is not None and entry.version == version:
-                    result = None, entry.version, False, 0
-                else:
-                    self._bytes_out.inc(len(entry.payload))
-                    result = (
-                        entry.value(),
-                        entry.version,
-                        True,
-                        len(entry.payload),
-                    )
-        self._gets.inc()
-        self._get_s.observe(time.perf_counter() - start)
+                self._register_waiter(key)
+                try:
+                    if not self._changed.wait_for(
+                        lambda: key in self._entries, timeout=timeout
+                    ):
+                        self._record_get(start, miss=True)
+                        raise KeyError(key)
+                    entry = self._entries[key]
+                    self._entries.move_to_end(key)
+                    if version is not None and entry.version == version:
+                        result = None, entry.version, False, 0
+                    else:
+                        self._bytes_out.inc(len(entry.payload))
+                        result = (
+                            entry.value(),
+                            entry.version,
+                            True,
+                            len(entry.payload),
+                        )
+                finally:
+                    self._unregister_waiter(key)
+        self._record_get(start)
         return result
 
     def get_unless(
@@ -215,22 +358,29 @@ class KVStore:
         return value, new_version, fetched
 
     def try_get(self, key: str) -> Optional[Any]:
-        """Fetch ``key`` if present, else ``None`` (non-blocking)."""
+        """Fetch ``key`` if present, else ``None`` (non-blocking).
+
+        A miss is a lookup too: it counts into ``kv.gets`` and
+        ``kv.get_misses`` and its latency lands in ``kv.get_s`` (the
+        early return used to skip all three, hiding exactly the traffic
+        a multi-tenant cache-miss-heavy workload is made of).
+        """
         start = time.perf_counter()
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
+                self._record_get(start, miss=True)
                 return None
+            self._entries.move_to_end(key)
             self._bytes_out.inc(len(entry.payload))
             value = entry.value()
-        self._gets.inc()
-        self._get_s.observe(time.perf_counter() - start)
+        self._record_get(start)
         return value
 
     def delete(self, key: str) -> bool:
         """Remove ``key``; True if it existed."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            return self._drop(key) is not None
 
     def contains(self, key: str) -> bool:
         with self._lock:
@@ -257,16 +407,31 @@ class KVStore:
     def size_bytes(self) -> int:
         """Resident bytes on the host machine."""
         with self._lock:
-            return sum(len(e.payload) for e in self._entries.values())
+            return self._size
+
+    @property
+    def eviction_stats(self) -> Dict[str, int]:
+        """Entries/bytes reclaimed by the ``max_bytes``/TTL policies."""
+        return {
+            "evictions": self._evictions.value,
+            "evicted_bytes": self._evicted_bytes.value,
+        }
 
     @property
     def traffic(self) -> Dict[str, int]:
-        """Total bytes written to / read from the store.
+        """Total bytes written to / read from the store, plus misses.
 
-        A view over the ``kv.bytes_in``/``kv.bytes_out`` registry
-        counters (see :mod:`repro.obs.metrics`).
+        A view over the ``kv.bytes_in``/``kv.bytes_out``/
+        ``kv.get_misses`` registry counters (see
+        :mod:`repro.obs.metrics`).  ``get_misses`` counts lookups —
+        :meth:`try_get` on an absent key, blocking gets that timed out
+        — not bytes.
         """
-        return {"in": self._bytes_in.value, "out": self._bytes_out.value}
+        return {
+            "in": self._bytes_in.value,
+            "out": self._bytes_out.value,
+            "get_misses": self._get_misses.value,
+        }
 
 
 @dataclass

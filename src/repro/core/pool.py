@@ -93,6 +93,18 @@ class PlannerPool:
         byte-compare delta detection identity-exact.  Defaults to
         ``partial_plans`` (the monolithic layout keeps the historical
         pickle).  Fetches decode transparently either way.
+    retain_iterations:
+        Keep at most this many published iterations resident in the
+        store: publishing iteration ``i`` deletes every key of
+        iterations ``<= i - retain_iterations``.  ``None`` (default)
+        keeps the historical grow-forever behavior.  Must exceed the
+        consumer's prefetch window plus any re-fetch horizon
+        (:attr:`~repro.pipeline.backends.KVPlannerBackend.MAX_FETCH_CURSORS`)
+        or a slow consumer finds its plan reclaimed; the unbounded
+        growth this bounds is the same disease
+        :class:`~repro.core.kvstore.KVStore` ``max_bytes`` treats —
+        this variant prunes by pipeline position instead of bytes, so
+        an unbounded stream holds O(window) plans no matter their size.
     """
 
     def __init__(
@@ -104,9 +116,13 @@ class PlannerPool:
         partial_plans: bool = False,
         wire_format: Optional[bool] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retain_iterations: Optional[int] = None,
     ) -> None:
         if num_machines < 1 or cores_per_machine < 1:
             raise ValueError("need at least one machine and one core")
+        if retain_iterations is not None and retain_iterations < 1:
+            raise ValueError("retain_iterations must be >= 1 (or None)")
+        self.retain_iterations = retain_iterations
         self.planner = planner
         self.store = store
         self.num_machines = num_machines
@@ -125,6 +141,7 @@ class PlannerPool:
         self._intervals: Dict[int, Tuple[float, float]] = {}
         self._generations: Dict[int, int] = {}
         self._publish_locks: Dict[int, threading.Lock] = {}
+        self._published: set = set()
         self._lock = threading.Lock()
         #: Accounting lives in a metrics registry (``pool.*``); the
         #: historical attributes below are read-only views over it.
@@ -136,6 +153,7 @@ class PlannerPool:
             "pool.device_entries_unchanged"
         )
         self._refetch_saved = self.metrics.counter("pool.refetch_saved_bytes")
+        self._pruned = self.metrics.counter("pool.pruned_iterations")
 
     @property
     def device_entries_written(self) -> int:
@@ -154,6 +172,12 @@ class PlannerPool:
         """Consumer-side bytes *not* moved because a re-fetch presented
         a current version cursor for an unchanged per-device slice."""
         return self._refetch_saved.value
+
+    @property
+    def pruned_iterations(self) -> int:
+        """Published iterations whose store keys ``retain_iterations``
+        reclaimed (monolithic value and any partial-mode entries)."""
+        return self._pruned.value
 
     def submit(
         self,
@@ -197,6 +221,7 @@ class PlannerPool:
                         return plan
                     self._intervals[iteration] = (start, end)
                 self._publish(client, iteration, plan)
+            self._prune(iteration)
             return plan
 
         with self._lock:
@@ -239,6 +264,29 @@ class PlannerPool:
             unchanged += int(not changed)
         self._entries_written.inc(written)
         self._entries_unchanged.inc(unchanged)
+
+    def _prune(self, iteration: int) -> None:
+        """Reclaim store keys of iterations behind the retention window.
+
+        Out-of-order publication (iterations land on different
+        machines) is handled by pruning from the set of *published*
+        iterations: a straggler that has not published yet cannot be
+        reclaimed, and once it lands a later iteration's horizon sweeps
+        it out.
+        """
+        if self.retain_iterations is None:
+            return
+        horizon = iteration - self.retain_iterations
+        with self._lock:
+            self._published.add(iteration)
+            stale = sorted(j for j in self._published if j <= horizon)
+            for j in stale:
+                self._published.discard(j)
+        for j in stale:
+            self.store.delete(plan_key(j))
+            for key in self.store.keys(prefix=f"plan/{j}/"):
+                self.store.delete(key)
+            self._pruned.inc()
 
     def fetch(self, iteration: int, machine: int = 0, timeout: float = 60.0):
         """A device-side read of the published plan.

@@ -29,6 +29,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"cannot read {args.path}: {exc}", file=sys.stderr)
         return 1
+    if args.prefix:
+        snapshot = {
+            name: snap for name, snap in snapshot.items()
+            if name == args.prefix or name.startswith(args.prefix + ".")
+        }
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
@@ -72,6 +77,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     report.add_argument(
         "--json", action="store_true", help="emit the snapshot JSON instead"
+    )
+    report.add_argument(
+        "--prefix",
+        default=None,
+        help="only metrics under this dotted namespace (e.g. 'service')",
     )
     report.set_defaults(func=_cmd_report)
 

@@ -68,11 +68,21 @@ def _histogram_row(name: str, snap: Mapping) -> List[str]:
     ]
 
 
-def render_snapshot(snapshot: Mapping[str, Mapping]) -> str:
-    """Aligned table of a registry snapshot (one metric per line)."""
+def render_snapshot(snapshot: Mapping[str, Mapping],
+                    prefix: Optional[str] = None) -> str:
+    """Aligned table of a registry snapshot (one metric per line).
+
+    ``prefix`` keeps only metrics under that dotted namespace (e.g.
+    ``"service"`` for the plan-serving table) — exact name match or
+    ``prefix.``-qualified, so ``"kv"`` never drags in ``kvother.*``.
+    """
     header = ["metric", "type", "count/value", "p50", "p95", "p99"]
     rows: List[List[str]] = []
     for name in sorted(snapshot):
+        if prefix is not None and not (
+            name == prefix or name.startswith(prefix + ".")
+        ):
+            continue
         snap = snapshot[name]
         kind = snap.get("type", "?")
         if kind == "histogram":

@@ -35,11 +35,12 @@ from .backends import (
     KVPlannerBackend,
     PlanTicket,
     ProcessPlannerBackend,
+    ServicePlannerBackend,
     ThreadPlannerBackend,
     make_backend,
 )
 from .driver import OverlapReport, PipelineRunner, cost_model_executor
-from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable
+from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable, leaked_maps
 from .pipeline import (
     IterationRecord,
     OverlapPipeline,
@@ -68,10 +69,12 @@ __all__ = [
     "ThreadPlannerBackend",
     "ProcessPlannerBackend",
     "KVPlannerBackend",
+    "ServicePlannerBackend",
     "make_backend",
     "PlanRing",
     "ShmUnavailable",
     "DEFAULT_SLOT_BYTES",
+    "leaked_maps",
     "OverlapReport",
     "PipelineRunner",
     "cost_model_executor",

@@ -36,15 +36,47 @@ one extra copy.
 
 from __future__ import annotations
 
+import logging
 import secrets
 import struct
 import threading
 import weakref
 from typing import Optional, Tuple
 
+from ..obs.metrics import Counter
 from ..obs.trace import span as _span
 
-__all__ = ["ShmUnavailable", "PlanRing", "DEFAULT_SLOT_BYTES"]
+__all__ = [
+    "ShmUnavailable",
+    "PlanRing",
+    "DEFAULT_SLOT_BYTES",
+    "leaked_maps",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Process-wide count of shm segments whose mapping could not be
+#: released because a stray exported ``memoryview`` was still alive.
+#: Module-level (not per-ring): the leak outlives the ring object that
+#: caused it, and diagnosing "why is /dev/shm filling up" needs one
+#: number per process, not one per long-dead ring.
+_LEAKED_MAPS = Counter("shm.leaked_maps")
+
+
+def leaked_maps() -> int:
+    """Shm mappings leaked by ``BufferError`` on close (this process)."""
+    return _LEAKED_MAPS.value
+
+
+def _leak(segment, unlinked: bool) -> None:
+    _LEAKED_MAPS.inc()
+    _log.warning(
+        "plan ring segment %s leaked its mapping (exported buffer still "
+        "alive at close%s)",
+        getattr(segment, "name", "<unknown>"),
+        "; segment unlinked regardless" if unlinked else
+        "; /dev/shm segment may persist",
+    )
 
 _FREE = 0
 _RESERVED = 1
@@ -245,7 +277,7 @@ class PlanRing:
             try:
                 segment.close()
             except BufferError:  # a stray exported view; leak the map
-                pass
+                _leak(segment, unlinked=False)
 
     def __enter__(self) -> "PlanRing":
         return self
@@ -259,7 +291,7 @@ def _destroy(control, data) -> None:
         try:
             segment.close()
         except BufferError:  # a stray exported view; unlink regardless
-            pass
+            _leak(segment, unlinked=True)
         try:
             segment.unlink()
         except FileNotFoundError:

@@ -1,0 +1,41 @@
+"""Planner-as-a-service: multi-tenant plan serving (§6.1 scaled out).
+
+The paper's §6.1 deployment has one training job pulling plans from
+one planner pool.  This package serves the same plans to *many*
+tenants — training jobs, eval sweeps, autoscalers probing hypothetical
+cluster shapes — from shared infrastructure:
+
+* :class:`~repro.service.sharding.ShardedPlanStore` — a
+  consistent-hash ring of per-shard KV stores (per-shard locks,
+  per-shard residency budgets) holding encoded plans beyond the hot
+  cache's LRU horizon, with live rebalance on node add.
+* :class:`~repro.service.admission.FairScheduler` +
+  :class:`~repro.service.admission.AdmissionController` — weighted
+  deficit round-robin over per-tenant queues plus typed load shedding
+  (:class:`~repro.service.admission.PlanRejected`).
+* :class:`~repro.service.forecast.WorkloadForecast` — BRAD-style
+  per-epoch arrival counts per signature, predicting the next epoch's
+  hot set for pre-warming.
+* :class:`~repro.service.service.PlanService` — the facade: demand
+  requests and pre-warms both flow through
+  :class:`~repro.core.cache.PlanCache` reservations, so every
+  signature is planned at most once, served from hot cache, warm
+  store, or a fair-queued planner worker.
+"""
+
+from .admission import AdmissionController, FairScheduler, PlanRejected
+from .forecast import WorkloadForecast
+from .service import PREWARM_TENANT, PlanService, signature_key
+from .sharding import HashRing, ShardedPlanStore
+
+__all__ = [
+    "PlanService",
+    "PlanRejected",
+    "AdmissionController",
+    "FairScheduler",
+    "WorkloadForecast",
+    "HashRing",
+    "ShardedPlanStore",
+    "PREWARM_TENANT",
+    "signature_key",
+]

@@ -1,0 +1,364 @@
+"""Planner-as-a-service: multi-tenant plan serving.
+
+:class:`PlanService` composes the repo's existing planning stack into
+one long-running server:
+
+* the :class:`~repro.core.cache.PlanCache` stays the single
+  exactly-once gate — every demand request and every pre-warm goes
+  through :meth:`~repro.core.cache.PlanCache.reserve`, so one
+  signature is planned by at most one worker no matter how many
+  tenants (or the forecaster) race on it;
+* a :class:`~repro.service.sharding.ShardedPlanStore` persists encoded
+  plans (columnar wire bytes) beyond the cache's LRU horizon, so a
+  signature evicted from the hot cache is *decoded*, not re-planned,
+  on its next request;
+* an :class:`~repro.service.admission.FairScheduler` (weighted deficit
+  round-robin + typed load shedding) decides which tenant's planning
+  job a worker runs next;
+* a :class:`~repro.service.forecast.WorkloadForecast` tallies demand
+  arrivals per epoch and pre-warms the predicted hot set through the
+  same reservation path, so pre-warm and demand never double-plan.
+
+Plans served through the service are fingerprint-identical to the
+synchronous ``planner.plan_batch`` article: the cache holds the
+planner's own object, and the store round-trips through the canonical
+columnar encoding (:mod:`repro.core.planwire`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from hashlib import blake2b
+from typing import Dict, List, Optional
+
+from ..blocks import BatchSpec
+from ..core.cache import PlanCache, batch_signature
+from ..core.planwire import decode_plan, encode_plan
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span as _span
+from .admission import AdmissionController, FairScheduler, PlanRejected
+from .forecast import WorkloadForecast
+from .sharding import ShardedPlanStore
+
+__all__ = ["PlanService"]
+
+#: Tenant name pre-warm jobs run under: a real scheduler tenant (its
+#: jobs are admission-controlled and fair-queued like anyone's) with a
+#: light default weight, so speculation never crowds out demand.
+PREWARM_TENANT = "__prewarm__"
+
+
+def signature_key(signature) -> str:
+    """Stable store key for a batch signature (shard-hash friendly)."""
+    digest = blake2b(repr(signature).encode(), digest_size=16).hexdigest()
+    return f"sig/{digest}"
+
+
+class PlanService:
+    """Multi-tenant plan serving over cache + sharded store + planner pool.
+
+    Parameters
+    ----------
+    planner:
+        Any ``plan_batch`` object; the single source of plan truth.
+    workers:
+        Planner worker threads draining the fair scheduler.
+    cache_capacity:
+        Hot-cache entries (decoded plans, LRU).
+    shards / max_bytes_per_shard / ttl_s:
+        Warm-store geometry; see :class:`ShardedPlanStore`.
+    admission:
+        Load-shedding policy; defaults mirror
+        :class:`AdmissionController`.
+    prewarm_top_k / epoch_requests:
+        Forecast geometry: every ``epoch_requests`` demand requests the
+        arrival epoch rolls and the top-``prewarm_top_k`` predicted
+        signatures are pre-warmed.  ``epoch_requests=None`` disables
+        auto-rolling (call :meth:`roll_epoch` yourself).
+    """
+
+    def __init__(
+        self,
+        planner,
+        workers: int = 2,
+        cache_capacity: int = 64,
+        shards: int = 4,
+        max_bytes_per_shard: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        admission: Optional[AdmissionController] = None,
+        quantum: float = 1.0,
+        prewarm_top_k: int = 8,
+        epoch_requests: Optional[int] = None,
+        prewarm_weight: float = 0.5,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one planner worker")
+        if prewarm_top_k < 1:
+            raise ValueError("prewarm_top_k must be positive")
+        if epoch_requests is not None and epoch_requests < 1:
+            raise ValueError("epoch_requests must be positive")
+        self.planner = planner
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = PlanCache(
+            planner, capacity=cache_capacity, metrics=self.metrics
+        )
+        self.store = ShardedPlanStore(
+            shards=shards,
+            max_bytes_per_shard=max_bytes_per_shard,
+            ttl_s=ttl_s,
+            metrics=self.metrics,
+        )
+        self.scheduler = FairScheduler(
+            admission=admission, quantum=quantum, metrics=self.metrics
+        )
+        self.scheduler.set_weight(PREWARM_TENANT, prewarm_weight)
+        self.forecast = WorkloadForecast(metrics=self.metrics)
+        self.prewarm_top_k = prewarm_top_k
+        self.epoch_requests = epoch_requests
+        self._requests = self.metrics.counter("service.requests")
+        self._cache_hits = self.metrics.counter("service.cache_hits")
+        self._store_hits = self.metrics.counter("service.store_hits")
+        self._planned = self.metrics.counter("service.planned")
+        self._prewarm_submitted = self.metrics.counter(
+            "service.prewarm_submitted"
+        )
+        self._prewarm_hits = self.metrics.counter("service.prewarm_hits")
+        self._fetch_s = self.metrics.histogram("service.fetch_s")
+        self._plan_s = self.metrics.histogram("service.plan_s")
+        self._busy_s = self.metrics.counter("service.worker_busy_s")
+        self._lock = threading.Lock()
+        #: Last-seen batch per signature — what pre-warm re-plans from
+        #: (a signature alone cannot rebuild its BatchSpec).  Bounded:
+        #: entries are only reachable through the forecast's hot set,
+        #: and stale ones are pruned on epoch roll.
+        self._exemplars: Dict[object, BatchSpec] = {}
+        #: Signatures whose *cached* entry was produced by pre-warm and
+        #: not (yet) re-planned by demand: a demand hit on one counts
+        #: as a pre-warm hit.
+        self._prewarmed: set = set()
+        self._demand_since_roll = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"plan-service-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self.scheduler.pop(timeout=1.0)
+            if item is None:
+                if self._closed:
+                    return
+                continue
+            tenant, job = item
+            start = time.perf_counter()
+            try:
+                job()
+            finally:
+                self._busy_s.inc(time.perf_counter() - start)
+                self.scheduler.task_done(tenant)
+
+    def _plan_job(self, signature, batch: BatchSpec, epoch: int,
+                  prewarm: bool):
+        """The unit of work a planner worker runs for one signature."""
+
+        def job() -> None:
+            try:
+                with _span("service.plan", "service",
+                           prewarm=int(prewarm)):
+                    start = time.perf_counter()
+                    plan = self.planner.plan_batch(batch)
+                    self._plan_s.observe(time.perf_counter() - start)
+                self.store.put(
+                    signature_key(signature), encode_plan(plan).to_bytes()
+                )
+                self._publish(signature, plan, epoch, prewarm=prewarm)
+                self._planned.inc()
+            except BaseException as exc:
+                self.cache.abandon(signature, exc, epoch=epoch)
+                raise
+
+        return job
+
+    def _publish(self, signature, plan, epoch: int, prewarm: bool) -> None:
+        """Insert into the hot cache + mark the entry's provenance."""
+        with self._lock:
+            if prewarm:
+                self._prewarmed.add(signature)
+            else:
+                self._prewarmed.discard(signature)
+        self.cache.publish(signature, plan, epoch)
+
+    # -- demand path -----------------------------------------------------
+
+    def fetch_plan(self, tenant: str, batch: BatchSpec,
+                   timeout: Optional[float] = None):
+        """Serve ``tenant`` the plan for ``batch``.
+
+        Raises :class:`PlanRejected` when admission sheds the request
+        (including requests that joined a reservation whose owning
+        dispatch was shed — waiters share their owner's fate, so a
+        shed signature fails fast for everyone instead of stranding
+        the joiners).
+        """
+        start = time.perf_counter()
+        signature = batch_signature(batch)
+        with _span("service.fetch", "service", tenant=tenant):
+            self._requests.inc()
+            self.forecast.record(signature)
+            with self._lock:
+                self._exemplars[signature] = batch
+            status, payload, epoch = self.cache.reserve(signature)
+            if status == "hit":
+                self._cache_hits.inc()
+                with self._lock:
+                    if signature in self._prewarmed:
+                        self._prewarm_hits.inc()
+                plan = payload
+            elif status == "wait":
+                plan = payload.result(timeout=timeout)
+            else:
+                plan = self._serve_miss(tenant, signature, batch, payload,
+                                        epoch, timeout)
+            self._fetch_s.observe(time.perf_counter() - start)
+        self._maybe_roll_epoch()
+        return plan
+
+    def _serve_miss(self, tenant: str, signature, batch, reservation,
+                    epoch: int, timeout: Optional[float]):
+        """Owner path: store lookup first, else a fair-queued dispatch."""
+        blob = self.store.try_get(signature_key(signature))
+        if blob is not None:
+            plan = decode_plan(blob)
+            self._store_hits.inc()
+            self._publish(signature, plan, epoch, prewarm=False)
+            return plan
+        try:
+            self.scheduler.submit(
+                tenant, self._plan_job(signature, batch, epoch,
+                                       prewarm=False),
+            )
+        except PlanRejected as exc:
+            # Release anyone who joined this reservation with the same
+            # typed error, then surface it to the owner.
+            self.cache.abandon(signature, exc, epoch=epoch)
+            raise
+        return reservation.result(timeout=timeout)
+
+    # -- forecast / pre-warm path ---------------------------------------
+
+    def _maybe_roll_epoch(self) -> None:
+        if self.epoch_requests is None:
+            return
+        with self._lock:
+            self._demand_since_roll += 1
+            if self._demand_since_roll < self.epoch_requests:
+                return
+            self._demand_since_roll = 0
+        self.roll_epoch()
+
+    def roll_epoch(self) -> int:
+        """Close the arrival epoch and pre-warm the predicted hot set.
+
+        Returns the number of pre-warm dispatches submitted.
+        """
+        self.forecast.roll_epoch()
+        hot = self.forecast.predict(top_k=self.prewarm_top_k)
+        with self._lock:
+            # Exemplars only need to cover what pre-warm might plan.
+            keep = set(hot)
+            self._exemplars = {
+                signature: batch
+                for signature, batch in self._exemplars.items()
+                if signature in keep
+            }
+        return self.prewarm(hot)
+
+    def prewarm(self, signatures: List) -> int:
+        """Pre-plan ``signatures`` through the reservation path.
+
+        Signatures already cached, already in flight (someone is
+        planning them right now), or without a recorded exemplar batch
+        are skipped; the rest dispatch under the pre-warm tenant.
+        Pre-warm reservations do not count into cache hit/miss stats
+        (they are speculation, not demand).
+        """
+        submitted = 0
+        with _span("service.prewarm", "service", count=len(signatures)):
+            for signature in signatures:
+                with self._lock:
+                    batch = self._exemplars.get(signature)
+                if batch is None or self.cache.peek(signature) is not None:
+                    continue
+                status, _payload, epoch = self.cache.reserve(
+                    signature, count=False
+                )
+                if status != "own":
+                    continue  # cached or someone is already planning it
+                blob = self.store.try_get(signature_key(signature))
+                if blob is not None:
+                    # Warm store still holds it: promote without
+                    # planning (still a pre-warmed cache entry).
+                    self._publish(signature, decode_plan(blob), epoch,
+                                  prewarm=True)
+                    continue
+                try:
+                    self.scheduler.submit(
+                        PREWARM_TENANT,
+                        self._plan_job(signature, batch, epoch,
+                                       prewarm=True),
+                    )
+                    submitted += 1
+                    self._prewarm_submitted.inc()
+                except PlanRejected as exc:
+                    # Speculation never fights demand for capacity.
+                    self.cache.abandon(signature, exc, epoch=epoch)
+        return submitted
+
+    # -- reporting / lifecycle ------------------------------------------
+
+    def stats(self) -> dict:
+        """Service effectiveness counters (see also ``metrics``)."""
+        requests = self._requests.value
+        cache_hits = self._cache_hits.value
+        return {
+            "requests": requests,
+            "cache_hits": cache_hits,
+            "store_hits": self._store_hits.value,
+            "planned": self._planned.value,
+            "cache_hit_rate": cache_hits / requests if requests else 0.0,
+            "prewarm_submitted": self._prewarm_submitted.value,
+            "prewarm_hits": self._prewarm_hits.value,
+            "prewarm_hit_fraction": (
+                self._prewarm_hits.value / requests if requests else 0.0
+            ),
+            "rejected": self.scheduler.metrics.counter(
+                "service.rejected"
+            ).value,
+            "worker_busy_s": self._busy_s.value,
+            "workers": len(self._workers),
+            "forecast_epoch": self.forecast.epoch,
+            "store_shards": self.store.num_shards,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self.scheduler.close()
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,217 @@
+"""Consistent-hash sharded plan store.
+
+One coarse :class:`~repro.core.kvstore.KVStore` lock serializes every
+tenant of a multi-tenant plan service; sharding the keyspace over a
+ring of independent stores gives each shard its own lock (and its own
+``max_bytes``/TTL budget), so unrelated signatures never contend.
+
+:class:`HashRing` is the textbook construction: each node projects
+``replicas`` virtual points onto a 64-bit circle (blake2b of
+``"node#i"``), and a key belongs to the first node point at or after
+the key's own hash.  Adding a node moves only the keys that land on
+the new node's points — O(moved/total) ≈ 1/nodes — which
+:meth:`ShardedPlanStore.add_node` exploits to rebalance live: the same
+scan-and-re-key motion the delta re-planner uses on cluster events,
+applied to shard residency instead of plan shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.kvstore import KVStore
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span as _span
+
+__all__ = ["HashRing", "ShardedPlanStore"]
+
+
+def _point(label: str) -> int:
+    return int.from_bytes(blake2b(label.encode(), digest_size=8).digest(),
+                          "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes."""
+
+    def __init__(self, nodes: Sequence[str], replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add(node)
+        if not self._nodes:
+            raise ValueError("need at least one node")
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            self._points.append((_point(f"{node}#{replica}"), node))
+        self._points.sort()
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def node_for(self, key: str) -> str:
+        point = _point(key)
+        index = bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0  # wrap: first point on the circle
+        return self._points[index][1]
+
+
+class ShardedPlanStore:
+    """A ring of per-shard :class:`KVStore` nodes keyed by signature.
+
+    Every shard is a full store — versioned writes, blocking gets,
+    bounded residency (``max_bytes``/``ttl_s`` apply *per shard*) — but
+    each holds its own lock, so the coarse serialization of one shared
+    store disappears for keys that hash apart.  All shards feed the
+    same metrics registry: ``kv.*`` counters aggregate across shards,
+    ``service.store_shards``/``service.rebalanced_keys`` track the ring
+    itself.
+
+    :meth:`add_node` rebalances live: keys whose ring owner changed are
+    re-keyed onto the new shard payload-intact (raw stored bytes move,
+    no re-encode), under a store-wide rebalance lock so concurrent
+    readers either find the old location or the new one, never neither.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        replicas: int = 64,
+        max_bytes_per_shard: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_bytes_per_shard = max_bytes_per_shard
+        self.ttl_s = ttl_s
+        self._rebalance_lock = threading.Lock()
+        self._stores: Dict[str, KVStore] = {}
+        names = [f"shard{i}" for i in range(shards)]
+        self.ring = HashRing(names, replicas=replicas)
+        for name in names:
+            self._stores[name] = self._make_store()
+        self._shards_gauge = self.metrics.gauge("service.store_shards")
+        self._shards_gauge.set(shards)
+        self._rebalanced = self.metrics.counter("service.rebalanced_keys")
+
+    def _make_store(self) -> KVStore:
+        return KVStore(
+            metrics=self.metrics,
+            max_bytes=self.max_bytes_per_shard,
+            ttl_s=self.ttl_s,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._stores)
+
+    @property
+    def rebalanced_keys(self) -> int:
+        return self._rebalanced.value
+
+    def shard_for(self, key: str) -> str:
+        return self.ring.node_for(key)
+
+    def store(self, name: str) -> KVStore:
+        return self._stores[name]
+
+    # -- keyed operations ------------------------------------------------
+    #
+    # The rebalance lock is shared-read in spirit but plain in
+    # implementation: operations take it only long enough to resolve
+    # key -> shard, so the coarse section is the ring lookup, never the
+    # shard's own put/get (which holds only that shard's lock).
+
+    def _resolve(self, key: str) -> KVStore:
+        with self._rebalance_lock:
+            return self._stores[self.ring.node_for(key)]
+
+    def put(self, key: str, value: Any) -> int:
+        return self._resolve(key).put(key, value)
+
+    def try_get(self, key: str) -> Optional[Any]:
+        return self._resolve(key).try_get(key)
+
+    def get(self, key: str, timeout: Optional[float] = None) -> Any:
+        return self._resolve(key).get(key, timeout=timeout)
+
+    def contains(self, key: str) -> bool:
+        return self._resolve(key).contains(key)
+
+    def delete(self, key: str) -> bool:
+        return self._resolve(key).delete(key)
+
+    def keys(self) -> List[str]:
+        with self._rebalance_lock:
+            stores = list(self._stores.values())
+        out: List[str] = []
+        for store in stores:
+            out.extend(store.keys())
+        return sorted(out)
+
+    def size_bytes(self) -> int:
+        with self._rebalance_lock:
+            stores = list(self._stores.values())
+        return sum(store.size_bytes() for store in stores)
+
+    def shard_sizes(self) -> Dict[str, int]:
+        """Resident bytes per shard — the balance the ring is for."""
+        with self._rebalance_lock:
+            return {
+                name: store.size_bytes()
+                for name, store in self._stores.items()
+            }
+
+    # -- topology --------------------------------------------------------
+
+    def add_node(self, name: Optional[str] = None) -> Tuple[str, int]:
+        """Grow the ring by one shard, migrating displaced keys.
+
+        Returns ``(shard_name, moved_keys)``.  Only keys whose ring
+        owner became the new node move (≈ ``1/shards`` of residency);
+        each moves as its stored payload — raw bytes stay raw, pickled
+        entries move decoded-then-re-encoded to the same bytes — so a
+        reader after the move fetches exactly what it would have before.
+        """
+        with self._rebalance_lock:
+            if name is None:
+                index = len(self._stores)
+                while f"shard{index}" in self._stores:
+                    index += 1
+                name = f"shard{index}"
+            if name in self._stores:
+                raise ValueError(f"shard {name!r} already exists")
+            with _span("service.rebalance", "service", shard=name):
+                self.ring.add(name)
+                fresh = self._make_store()
+                moved = 0
+                for store in self._stores.values():
+                    displaced = [
+                        key for key in store.keys()
+                        if self.ring.node_for(key) == name
+                    ]
+                    for key in displaced:
+                        value = store.try_get(key)
+                        if value is None:  # raced with eviction/TTL
+                            continue
+                        fresh.put(key, value)
+                        store.delete(key)
+                        moved += 1
+                self._stores[name] = fresh
+                self._shards_gauge.set(len(self._stores))
+                self._rebalanced.inc(moved)
+        return name, moved

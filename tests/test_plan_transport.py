@@ -396,3 +396,43 @@ class TestKVAccounting:
         store = KVStore(host_machine=0)
         store.put("k", memoryview(b"viewed"))
         assert store.get("k") == b"viewed"
+
+
+class TestLeakAccounting:
+    def test_buffer_error_on_close_is_counted_and_logged(self, caplog):
+        """A stray exported view at close used to leak the mapping
+        silently; now it lands in shm.leaked_maps plus one warning."""
+        import logging
+
+        from repro.pipeline import leaked_maps
+
+        try:
+            ring = PlanRing.create(slots=1, slot_bytes=64)
+        except ShmUnavailable:
+            pytest.skip("no shared memory on this host")
+        slot = ring.reserve()
+        assert ring.write(slot, b"payload")
+        view = ring.read(slot)  # deliberately not released
+        before = leaked_maps()
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.shm"):
+            ring.close()
+        assert leaked_maps() == before + 1
+        assert any(
+            "leaked" in record.message for record in caplog.records
+        )
+        view.release()
+
+    def test_clean_close_leaks_nothing(self):
+        from repro.pipeline import leaked_maps
+
+        try:
+            ring = PlanRing.create(slots=1, slot_bytes=64)
+        except ShmUnavailable:
+            pytest.skip("no shared memory on this host")
+        slot = ring.reserve()
+        assert ring.write(slot, b"payload")
+        view = ring.read(slot)
+        view.release()
+        before = leaked_maps()
+        ring.close()
+        assert leaked_maps() == before

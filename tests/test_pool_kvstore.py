@@ -1,5 +1,8 @@
 """Tests for the KV store and the distributed planner pool (§6.1)."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -357,3 +360,107 @@ class TestPlanningOverlap:
             assert timeline.exec_start[i] >= timeline.exec_end[i - 1] - 1e-9
             # A plan is always complete before its execution starts.
             assert timeline.plan_end[i] <= timeline.exec_start[i] + 1e-9
+
+
+# -- bounded residency (max_bytes / TTL eviction) -----------------------------
+
+
+class TestKVStoreEviction:
+    def test_max_bytes_evicts_lru(self):
+        store = KVStore(max_bytes=220)
+        for key in ("a", "b", "c"):
+            store.put(key, b"x" * 100)
+        # a (the least recently used) was reclaimed to fit c.
+        assert not store.contains("a")
+        assert store.contains("b") and store.contains("c")
+        assert store.size_bytes() <= 220
+        assert store.eviction_stats == {"evictions": 1, "evicted_bytes": 100}
+
+    def test_reads_refresh_recency(self):
+        store = KVStore(max_bytes=220)
+        store.put("a", b"x" * 100)
+        store.put("b", b"x" * 100)
+        assert store.try_get("a") is not None  # a is now most recent
+        store.put("c", b"x" * 100)
+        assert store.contains("a") and not store.contains("b")
+
+    def test_oversized_payload_still_served_to_its_writer(self):
+        store = KVStore(max_bytes=10)
+        store.put("big", b"x" * 100)
+        # The write's own key is protected from its own enforcement
+        # pass; the store is over budget until the next write.
+        assert store.try_get("big") == b"x" * 100
+
+    def test_ttl_reclaims_idle_entries(self):
+        store = KVStore(ttl_s=0.05)
+        store.put("stale", b"x" * 10)
+        time.sleep(0.1)
+        assert store.expire() == 1
+        assert not store.contains("stale")
+        assert store.eviction_stats["evicted_bytes"] == 10
+
+    def test_write_activity_refreshes_ttl(self):
+        store = KVStore(ttl_s=0.2)
+        store.put("hot", b"x")
+        time.sleep(0.1)
+        store.put_if_changed("hot", b"x")  # unchanged republish = activity
+        time.sleep(0.12)
+        assert store.expire() == 0
+        assert store.contains("hot")
+
+    def test_eviction_never_takes_blocked_reader_key(self):
+        """A key a blocked get() waits on is pinned against eviction:
+        the publishing put must reach the waiter, even though writing
+        it pushes the store past max_bytes and *something* else (here:
+        filler) is reclaimed instead."""
+        store = KVStore(max_bytes=150)
+        store.put("filler", b"f" * 100)
+        got = {}
+
+        def reader():
+            got["value"] = store.get("awaited", timeout=5.0)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        # Wait until the reader registered its waiter.
+        deadline = time.time() + 2.0
+        while not store._waiters and time.time() < deadline:
+            time.sleep(0.005)
+        assert "awaited" in store._waiters
+        store.put("awaited", b"a" * 100)  # now over budget
+        thread.join(timeout=5.0)
+        assert got["value"] == b"a" * 100
+        assert not store.contains("filler")  # the evictable key paid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVStore(max_bytes=0)
+        with pytest.raises(ValueError):
+            KVStore(ttl_s=0.0)
+
+
+class TestPlannerPoolRetention:
+    def test_retain_iterations_prunes_old_plans(self):
+        store = KVStore()
+        with PlannerPool(_planner(), store, retain_iterations=2) as pool:
+            for i, batch in enumerate(_batches(5)):
+                pool.submit(i, batch).result(timeout=30.0)
+        # Iterations 0..2 fell behind the window; 3 and 4 remain.
+        assert not store.contains("plan/0")
+        assert not store.contains("plan/2")
+        assert store.contains("plan/3") and store.contains("plan/4")
+        assert pool.pruned_iterations == 3
+
+    def test_retain_prunes_partial_plan_keys_too(self):
+        store = KVStore()
+        with PlannerPool(_planner(), store, partial_plans=True,
+                         retain_iterations=1) as pool:
+            for i, batch in enumerate(_batches(3)):
+                pool.submit(i, batch).result(timeout=30.0)
+        assert store.keys(prefix="plan/0") == []
+        assert store.keys(prefix="plan/1") == []
+        assert any(key.startswith("plan/2/") for key in store.keys())
+
+    def test_retain_validation(self):
+        with pytest.raises(ValueError):
+            PlannerPool(_planner(), KVStore(), retain_iterations=0)
