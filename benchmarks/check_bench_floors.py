@@ -31,6 +31,15 @@ Checked metrics:
   forecaster actually warmed something demand then hit), and plans
   served through the service are fingerprint-identical to the
   synchronous planner;
+* chaos — under the injected fault schedules availability stays above
+  ``BENCH_chaos.json["smoke"]["availability_min"]`` in every scenario,
+  every served plan is fingerprint-identical to the synchronous
+  article or explicitly degraded-tagged (zero violations), the
+  single-shard-kill scenario loses nothing (all keys readable from a
+  replica mid-fault, none missing after healing), post-restart
+  re-replication completes under ``smoke.recovery_s_max``, the
+  double-fault scenario actually exercised degraded serving, and all
+  owed background upgrades drained;
 * observability — the *tracked* ``BENCH_obs.json`` overhead ratios hold
   the acceptance ceilings (disabled ≤ 1.01, enabled ≤ 1.05 vs the
   uninstrumented smoke workload), the smoke rerun stays under the
@@ -65,6 +74,10 @@ DEFAULT_TRANSPORT_SMOKE_RATIO_MAX = 0.15
 DEFAULT_SERVICE_P99_MAX_S = 2.5
 DEFAULT_SERVICE_HIT_RATE_MIN = 0.6
 DEFAULT_SERVICE_PREWARM_MIN = 0.0005
+DEFAULT_CHAOS_AVAILABILITY_MIN = 0.999
+DEFAULT_CHAOS_RECOVERY_S_MAX = 10.0
+DEFAULT_CHAOS_VIOLATIONS_MAX = 0
+DEFAULT_CHAOS_DEGRADED_MIN = 1
 DEFAULT_OBS_DISABLED_RATIO_MAX = 1.01
 DEFAULT_OBS_ENABLED_RATIO_MAX = 1.05
 DEFAULT_OBS_SMOKE_DISABLED_RATIO_MAX = 1.05
@@ -278,6 +291,79 @@ def check_service(gate: Gate, strict: bool) -> None:
     )
 
 
+def check_chaos(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_chaos.json") or {}
+    floors = tracked.get("smoke") or {}
+    smoke = _load("BENCH_chaos.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "chaos smoke output missing")
+        return
+
+    avail_min = float(
+        floors.get("availability_min", DEFAULT_CHAOS_AVAILABILITY_MIN)
+    )
+    recovery_max = float(
+        floors.get("recovery_s_max", DEFAULT_CHAOS_RECOVERY_S_MAX)
+    )
+    violations_max = int(
+        floors.get(
+            "fingerprint_violations_max", DEFAULT_CHAOS_VIOLATIONS_MAX
+        )
+    )
+    degraded_min = int(
+        floors.get("degraded_served_min", DEFAULT_CHAOS_DEGRADED_MIN)
+    )
+
+    rows = {row["scenario"]: row for row in smoke.get("rows") or []}
+    for scenario in ("single_shard_kill", "double_fault"):
+        gate.check(
+            scenario in rows,
+            f"chaos smoke ran the {scenario} scenario",
+        )
+    for scenario, row in rows.items():
+        avail = float(row.get("availability", 0.0))
+        gate.check(
+            avail >= avail_min,
+            f"chaos [{scenario}] availability {avail:.4f} >= {avail_min}",
+        )
+        violations = int(row.get("fingerprint_violations", 99))
+        gate.check(
+            violations <= violations_max,
+            f"chaos [{scenario}] served plans fingerprint-identical or "
+            f"degraded-tagged ({violations} violations)",
+        )
+        recovery = row.get("recovery_s")
+        gate.check(
+            recovery is not None and float(recovery) <= recovery_max,
+            f"chaos [{scenario}] re-replication recovered in {recovery}s "
+            f"<= {recovery_max}s",
+        )
+        gate.check(
+            bool(row.get("upgrades_drained"))
+            and int(row.get("pending_upgrades", 1)) == 0,
+            f"chaos [{scenario}] background plan upgrades drained",
+        )
+
+    kill = rows.get("single_shard_kill") or {}
+    gate.check(
+        int(kill.get("unreadable_during_fault", 99)) == 0,
+        "chaos [single_shard_kill] every key readable from a replica "
+        f"mid-fault ({kill.get('unreadable_during_fault')} unreadable "
+        f"of {kill.get('probed_keys')})",
+    )
+    gate.check(
+        int(kill.get("store_keys_lost", 99)) == 0,
+        "chaos [single_shard_kill] no keys lost after healing "
+        f"({kill.get('store_keys_lost')} lost)",
+    )
+    double = rows.get("double_fault") or {}
+    gate.check(
+        int(double.get("degraded_served", 0)) >= degraded_min,
+        f"chaos [double_fault] degraded serving exercised "
+        f"({double.get('degraded_served')} serves >= {degraded_min})",
+    )
+
+
 def check_obs(gate: Gate, strict: bool) -> None:
     tracked = _load("BENCH_obs.json")
     if tracked is None:
@@ -385,6 +471,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_overlap(gate, strict=args.strict)
     check_transport(gate, strict=args.strict)
     check_service(gate, strict=args.strict)
+    check_chaos(gate, strict=args.strict)
     check_obs(gate, strict=args.strict)
 
     if gate.failures:

@@ -79,6 +79,19 @@ else
         --output "$REPO_ROOT/BENCH_service.smoke.json"
 fi
 
+echo "== chaos (fault injection) smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites BENCH_chaos.json (full-length fault schedules + floors).
+    python benchmarks/bench_chaos.py
+else
+    # Compressed fault schedules against the replicated plan service:
+    # availability, mid-fault readability, re-replication recovery,
+    # degraded-serve integrity — gated against the floors in
+    # BENCH_chaos.json by check_bench_floors.py below.
+    python benchmarks/bench_chaos.py --smoke \
+        --output "$REPO_ROOT/BENCH_chaos.smoke.json"
+fi
+
 echo "== observability smoke =="
 if [[ "${1:-}" == "--full" ]]; then
     # Rewrites BENCH_obs.json and the Fig. 18 sweep-point TRACE_obs.json.

@@ -35,6 +35,7 @@ never a re-serialization.
 from __future__ import annotations
 
 import pickle
+import random
 import threading
 import time
 from collections import OrderedDict
@@ -444,32 +445,79 @@ class KVClient:
     they charge is the payload the store actually encoded — the bytes
     a Redis client would put on the socket — not a second
     serialization of the value.
+
+    ``max_retries`` > 0 makes every operation retry *transient*
+    failures with jittered exponential backoff (base doubling per
+    attempt, capped, scaled by a uniform jitter factor so a fleet of
+    clients retrying the same outage doesn't re-stampede in phase).
+    Transience is duck-typed — any exception carrying a truthy
+    ``retryable`` attribute qualifies (the convention of
+    :mod:`repro.service.errors`, which this layer must not import) —
+    so a dead shard or an injected drop is retried while a genuine
+    bug (``TypeError``, ``KeyError``) surfaces on the first throw.
+    The default ``max_retries=0`` preserves fail-fast behavior.
     """
 
     store: KVStore
     machine: int
     bytes_sent: int = 0
     bytes_received: int = 0
+    max_retries: int = 0
+    backoff_base_s: float = 0.005
+    backoff_cap_s: float = 0.25
+    backoff_jitter: float = 0.5
+    retries: int = 0
+    #: Injectable randomness/sleep for deterministic tests.
+    rng: Any = None
+    sleep: Any = time.sleep
 
     @property
     def is_local(self) -> bool:
         return self.machine == self.store.host_machine
 
+    def _backoff_s(self, attempt: int) -> float:
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** attempt))
+        if self.backoff_jitter > 0:
+            rng = self.rng if self.rng is not None else random
+            delay *= 1.0 - self.backoff_jitter * rng.random()
+        return delay
+
+    def _with_retry(self, op):
+        """Run ``op`` with bounded retry on duck-typed transient errors."""
+        attempt = 0
+        while True:
+            try:
+                return op()
+            except Exception as exc:
+                if (not getattr(exc, "retryable", False)
+                        or attempt >= self.max_retries):
+                    raise
+                self.retries += 1
+                self.sleep(self._backoff_s(attempt))
+                attempt += 1
+
     def put(self, key: str, value: Any) -> int:
-        version, nbytes = self.store.put_entry(key, value)
+        version, nbytes = self._with_retry(
+            lambda: self.store.put_entry(key, value)
+        )
         if not self.is_local:
             self.bytes_sent += nbytes
         return version
 
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
-        value, nbytes = self.store.get_entry(key, timeout=timeout)
+        value, nbytes = self._with_retry(
+            lambda: self.store.get_entry(key, timeout=timeout)
+        )
         if not self.is_local:
             self.bytes_received += nbytes
         return value
 
     def put_if_changed(self, key: str, value: Any) -> Tuple[int, bool]:
         """Conditional write; only a changed payload moves over the wire."""
-        version, changed, nbytes = self.store.put_if_changed_entry(key, value)
+        version, changed, nbytes = self._with_retry(
+            lambda: self.store.put_if_changed_entry(key, value)
+        )
         if changed and not self.is_local:
             self.bytes_sent += nbytes
         return version, changed
@@ -481,8 +529,10 @@ class KVClient:
         timeout: Optional[float] = None,
     ) -> Tuple[Optional[Any], int, bool]:
         """Conditional fetch; an unchanged entry moves no payload."""
-        value, new_version, fetched, nbytes = self.store.get_unless_entry(
-            key, version=version, timeout=timeout
+        value, new_version, fetched, nbytes = self._with_retry(
+            lambda: self.store.get_unless_entry(
+                key, version=version, timeout=timeout
+            )
         )
         if fetched and not self.is_local:
             self.bytes_received += nbytes

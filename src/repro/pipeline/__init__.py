@@ -40,7 +40,8 @@ from .backends import (
     make_backend,
 )
 from .driver import OverlapReport, PipelineRunner, cost_model_executor
-from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable, leaked_maps
+from .shm import DEFAULT_SLOT_BYTES, PlanRing, ShmUnavailable, \
+    leaked_maps, reclaim_leaked
 from .pipeline import (
     IterationRecord,
     OverlapPipeline,
@@ -75,6 +76,7 @@ __all__ = [
     "ShmUnavailable",
     "DEFAULT_SLOT_BYTES",
     "leaked_maps",
+    "reclaim_leaked",
     "OverlapReport",
     "PipelineRunner",
     "cost_model_executor",

@@ -51,6 +51,7 @@ __all__ = [
     "PlanRing",
     "DEFAULT_SLOT_BYTES",
     "leaked_maps",
+    "reclaim_leaked",
 ]
 
 _log = logging.getLogger(__name__)
@@ -62,6 +63,14 @@ _log = logging.getLogger(__name__)
 #: number per process, not one per long-dead ring.
 _LEAKED_MAPS = Counter("shm.leaked_maps")
 
+#: The leaked segments themselves, kept so the mapping can be retried:
+#: a ``BufferError`` at close time only means some exported view was
+#: *still alive at that moment* — once the view is garbage-collected,
+#: a later ``close()`` succeeds and the map is reclaimed.  Guarded by
+#: its own lock (leaks can come from any ring on any thread).
+_LEAKED_SEGMENTS: list = []
+_LEAK_LOCK = threading.Lock()
+
 
 def leaked_maps() -> int:
     """Shm mappings leaked by ``BufferError`` on close (this process)."""
@@ -70,6 +79,8 @@ def leaked_maps() -> int:
 
 def _leak(segment, unlinked: bool) -> None:
     _LEAKED_MAPS.inc()
+    with _LEAK_LOCK:
+        _LEAKED_SEGMENTS.append(segment)
     _log.warning(
         "plan ring segment %s leaked its mapping (exported buffer still "
         "alive at close%s)",
@@ -77,6 +88,33 @@ def _leak(segment, unlinked: bool) -> None:
         "; segment unlinked regardless" if unlinked else
         "; /dev/shm segment may persist",
     )
+
+
+def reclaim_leaked() -> int:
+    """Retry closing previously leaked mappings; return how many freed.
+
+    Runs automatically on the next ring operation after a leak (see
+    :meth:`PlanRing.reserve`), so ``shm.leaked_maps`` goes back *down*
+    once the stray views that caused the ``BufferError`` have been
+    released — the counter reports maps still leaked, not a high-water
+    mark.  Segments whose views are still alive stay queued for the
+    next attempt.
+    """
+    with _LEAK_LOCK:
+        pending = list(_LEAKED_SEGMENTS)
+        _LEAKED_SEGMENTS.clear()
+        reclaimed = 0
+        for segment in pending:
+            try:
+                segment.close()
+            except BufferError:  # view still alive; keep for next pass
+                _LEAKED_SEGMENTS.append(segment)
+                continue
+            reclaimed += 1
+    if reclaimed:
+        _LEAKED_MAPS.inc(-reclaimed)
+        _log.info("reclaimed %d leaked plan ring mapping(s)", reclaimed)
+    return reclaimed
 
 _FREE = 0
 _RESERVED = 1
@@ -198,6 +236,7 @@ class PlanRing:
 
     def reserve(self) -> Optional[int]:
         """Claim a free slot for one job; ``None`` when the ring is full."""
+        reclaim_leaked()
         with self._lock:
             for probe in range(self.slots):
                 slot = (self._next + probe) % self.slots

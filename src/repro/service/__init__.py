@@ -21,11 +21,39 @@ cluster shapes — from shared infrastructure:
   :class:`~repro.core.cache.PlanCache` reservations, so every
   signature is planned at most once, served from hot cache, warm
   store, or a fair-queued planner worker.
+
+Robustness (PR 9) adds the failure-handling layer:
+
+* :mod:`~repro.service.errors` — one typed failure hierarchy with a
+  retryable/non-retryable split (duck-typed so lower layers can
+  classify without importing this package).
+* :mod:`~repro.service.health` — circuit breakers + heartbeat
+  liveness (:class:`~repro.service.health.ShardHealth`), so requests
+  route around dead shards instead of timing out into them.
+* R-way replication in the sharded store (writes to R successors,
+  replica-fallback reads, write-repair + anti-entropy healing) and
+  hedged fetches with a p99-derived hedge delay.
+* :mod:`~repro.service.degraded` — deterministic zigzag fallback
+  plans (tagged ``meta["degraded"]``) served on deadline miss, with
+  background upgrade to the optimal plan.
 """
 
-from .admission import AdmissionController, FairScheduler, PlanRejected
+from .admission import AdmissionController, FairScheduler
+from .degraded import degraded_plan, is_degraded
+from .errors import (
+    KVOpDropped,
+    PlannerUnavailable,
+    PlanRejected,
+    PlanTimeout,
+    ServiceError,
+    ShardUnavailable,
+    TransientServiceError,
+    is_retryable,
+)
 from .forecast import WorkloadForecast
-from .service import PREWARM_TENANT, PlanService, signature_key
+from .health import CircuitBreaker, ShardHealth
+from .service import PREWARM_TENANT, UPGRADE_TENANT, PlanService, \
+    signature_key
 from .sharding import HashRing, ShardedPlanStore
 
 __all__ = [
@@ -37,5 +65,17 @@ __all__ = [
     "HashRing",
     "ShardedPlanStore",
     "PREWARM_TENANT",
+    "UPGRADE_TENANT",
     "signature_key",
+    "ServiceError",
+    "TransientServiceError",
+    "ShardUnavailable",
+    "KVOpDropped",
+    "PlanTimeout",
+    "PlannerUnavailable",
+    "is_retryable",
+    "CircuitBreaker",
+    "ShardHealth",
+    "degraded_plan",
+    "is_degraded",
 ]

@@ -29,26 +29,9 @@ from collections import deque
 from typing import Dict, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
+from .errors import PlanRejected
 
 __all__ = ["PlanRejected", "AdmissionController", "FairScheduler"]
-
-
-class PlanRejected(RuntimeError):
-    """A plan request shed by admission control (typed, retryable).
-
-    ``retry_after_s`` is the backoff hint clients should honor before
-    re-submitting; ``reason`` is one of ``"tenant_queue_full"``,
-    ``"tenant_inflight"`` or ``"service_saturated"``.
-    """
-
-    def __init__(self, tenant: str, reason: str,
-                 retry_after_s: float = 0.0) -> None:
-        super().__init__(
-            f"plan request for tenant {tenant!r} rejected: {reason}"
-        )
-        self.tenant = tenant
-        self.reason = reason
-        self.retry_after_s = retry_after_s
 
 
 class AdmissionController:

@@ -1,0 +1,80 @@
+"""Degraded-mode plans: a deterministic cheap fallback placement.
+
+When the optimal planner cannot answer inside a fetch deadline (hung
+worker, shed dispatch, dead shard on the warm path), the service must
+still return *something executable*: a training step running a
+baseline-quality plan beats a training step stalled on a perfect one.
+
+The fallback reuses the repo's own cheap machinery end to end — block
+generation, the static-CP zigzag placement every baseline framework
+uses (:func:`repro.placement.zigzag_labels`, paper Fig. 4), and the
+normal division scheduler/serializer — so the result is a fully valid
+:class:`~repro.scheduling.instructions.ExecutionPlan` that executes on
+the same runtime, just with baseline communication volume.  No
+hypergraph partitioning, no refinement, no restarts: cost is dominated
+by block generation, typically an order of magnitude under a full
+plan.
+
+Every degraded plan is tagged ``meta["degraded"] = True`` (and
+``meta["degraded_source"] = "zigzag"``); the service serves it
+immediately and schedules a background upgrade that atomically swaps
+in the optimal plan through the cache's publication/epoch cursors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blocks import BatchSpec, generate_blocks
+from ..obs.trace import span as _span
+from ..placement import Placement, build_block_hypergraph, zigzag_labels
+from ..scheduling import build_schedule, serialize_schedule
+
+__all__ = ["degraded_plan", "is_degraded"]
+
+
+def degraded_plan(planner, batch: BatchSpec, cluster=None):
+    """Deterministic zigzag-placement fallback plan for ``batch``.
+
+    ``planner`` supplies the geometry (cluster, attention, block size,
+    divisions) so a degraded plan targets exactly the shape the optimal
+    plan would have; only the placement quality differs.  Works with
+    any planner exposing ``cluster``/``attention``/``config`` (the
+    :class:`~repro.core.planner.DCPPlanner` surface); wrapped planners
+    without them fall back to defaults via ``getattr``.
+    """
+    cluster = cluster if cluster is not None else planner.cluster
+    config = planner.config
+    with _span("degraded_plan", "planner"):
+        block_set = generate_blocks(
+            batch,
+            attention=getattr(planner, "attention", None),
+            block_size=config.block_size,
+        )
+        bhg = build_block_hypergraph(block_set)
+        labels = zigzag_labels(bhg, cluster.num_devices)
+        slice_device, comp_device = bhg.labels_to_devices(labels)
+        placement = Placement(
+            block_set=block_set,
+            cluster=cluster,
+            slice_device=slice_device.copy(),
+            comp_device=comp_device.copy(),
+            num_vertices=bhg.graph.num_vertices,
+            num_edges=bhg.graph.num_edges,
+        )
+        schedule = build_schedule(
+            block_set,
+            placement,
+            num_divisions=config.num_divisions,
+            strategy=config.scheduler,
+        )
+        plan = serialize_schedule(schedule)
+    plan.meta["degraded"] = True
+    plan.meta["degraded_source"] = "zigzag"
+    return plan
+
+
+def is_degraded(plan) -> bool:
+    """Whether ``plan`` is a tagged degraded-mode fallback."""
+    meta: Optional[dict] = getattr(plan, "meta", None)
+    return bool(meta and meta.get("degraded"))

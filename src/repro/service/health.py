@@ -1,0 +1,231 @@
+"""Failure detection for plan serving: heartbeats + circuit breakers.
+
+A dead shard that every request still probes turns one failure into a
+fleet-wide latency cliff: each fetch pays the full timeout before
+falling back.  The standard fix is a per-target *circuit breaker* —
+after ``failure_threshold`` consecutive failures the breaker opens and
+callers fail over instantly; after ``reset_after_s`` it half-opens and
+admits exactly one probe, whose outcome closes or re-opens it.
+
+:class:`ShardHealth` aggregates breakers per target (shards, planner
+workers) and adds heartbeat bookkeeping: long-running components call
+:meth:`ShardHealth.heartbeat` on every loop iteration, and anything
+silent longer than ``heartbeat_timeout_s`` is reported dead even if it
+never returned an error — the hung-worker case, which produces no
+failures at all, only silence.
+
+Both classes take an injectable ``clock`` (default
+``time.monotonic``) so tests and the chaos harness can drive breaker
+state transitions deterministically instead of sleeping through them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CircuitBreaker", "ShardHealth"]
+
+#: Breaker states (exposed for tests/introspection).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker over consecutive failures.
+
+    * ``closed`` — traffic flows; ``failure_threshold`` consecutive
+      failures open it.
+    * ``open`` — :meth:`allow` is False until ``reset_after_s`` has
+      elapsed since opening.
+    * ``half_open`` — exactly one caller is admitted as a probe; its
+      :meth:`record_success` closes the breaker, its
+      :meth:`record_failure` re-opens it (and restarts the timer).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if reset_after_s <= 0:
+            raise ValueError("reset_after_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.opened_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the reset timer elapses (lock held)."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_after_s):
+            self._state = HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May the caller attempt the operation right now?
+
+        In ``half_open`` only the first caller is admitted (the probe);
+        concurrent callers keep failing fast until the probe reports.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = CLOSED
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == HALF_OPEN:
+                # Failed probe: straight back to open, timer restarted.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.opened_count += 1
+                return
+            self._failures += 1
+            if self._state == CLOSED and \
+                    self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.opened_count += 1
+
+    def trip(self) -> None:
+        """Force-open (failure detection outside the call path,
+        e.g. a missed heartbeat or an explicit kill notification)."""
+        with self._lock:
+            if self._state != OPEN:
+                self._state = OPEN
+                self.opened_count += 1
+            self._opened_at = self._clock()
+            self._probing = False
+
+
+class ShardHealth:
+    """Per-target breakers + heartbeat liveness for the service.
+
+    Targets are plain strings (``"shard0"``, ``"worker:1"``).  The
+    service consults :meth:`allow` before routing an operation at a
+    target and reports outcomes back; loop-structured components
+    additionally :meth:`heartbeat`, letting :meth:`is_alive` detect
+    silent hangs.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 0.25,
+        heartbeat_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._heartbeats: Dict[str, float] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._opened = self.metrics.counter("health.breaker_opened")
+        self._fast_fails = self.metrics.counter("health.fast_fails")
+
+    def breaker(self, target: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(target)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_after_s=self.reset_after_s,
+                    clock=self._clock,
+                )
+                self._breakers[target] = breaker
+            return breaker
+
+    # -- call-path API ---------------------------------------------------
+
+    def allow(self, target: str) -> bool:
+        allowed = self.breaker(target).allow()
+        if not allowed:
+            self._fast_fails.inc()
+        return allowed
+
+    def record_success(self, target: str) -> None:
+        self.breaker(target).record_success()
+        self.heartbeat(target)
+
+    def record_failure(self, target: str) -> None:
+        breaker = self.breaker(target)
+        before = breaker.opened_count
+        breaker.record_failure()
+        if breaker.opened_count > before:
+            self._opened.inc()
+
+    def trip(self, target: str) -> None:
+        breaker = self.breaker(target)
+        before = breaker.opened_count
+        breaker.trip()
+        if breaker.opened_count > before:
+            self._opened.inc()
+
+    # -- heartbeat API ---------------------------------------------------
+
+    def heartbeat(self, target: str) -> None:
+        with self._lock:
+            self._heartbeats[target] = self._clock()
+
+    def last_heartbeat(self, target: str) -> Optional[float]:
+        with self._lock:
+            return self._heartbeats.get(target)
+
+    def is_alive(self, target: str) -> bool:
+        """Heartbeat recency: has ``target`` checked in lately?
+
+        A target that never heartbeat is presumed alive (it may simply
+        not be loop-structured); one that did and then went silent past
+        ``heartbeat_timeout_s`` is dead — the hung-worker signature.
+        """
+        with self._lock:
+            stamp = self._heartbeats.get(target)
+        if stamp is None:
+            return True
+        return self._clock() - stamp < self.heartbeat_timeout_s
+
+    def alive(self, targets: List[str]) -> List[str]:
+        return [t for t in targets if self.is_alive(t)]
+
+    def snapshot(self) -> Dict[str, str]:
+        """Target -> breaker state (for stats()/debugging)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {target: b.state for target, b in sorted(breakers.items())}

@@ -23,21 +23,43 @@ Plans served through the service are fingerprint-identical to the
 synchronous ``planner.plan_batch`` article: the cache holds the
 planner's own object, and the store round-trips through the canonical
 columnar encoding (:mod:`repro.core.planwire`).
+
+Fault tolerance (the exception to that identity) is explicit and
+tagged.  A fetch may carry a **deadline**; when the optimal plan
+cannot be produced in time — planner pool saturated (admission shed
+the dispatch), a worker hung, the warm store's primary dead — the
+service synthesizes a deterministic *degraded* plan (cheap zigzag
+placement, :mod:`repro.service.degraded`), tags it
+``meta["degraded"] = True``, serves it immediately, and schedules a
+**background upgrade**: the optimal plan is still computed and then
+atomically swapped into the hot cache through the publication epoch
+cursors, so the *next* fetch of the signature is optimal again.
+Deadline-bearing store reads are **hedged** (see
+:meth:`~repro.service.sharding.ShardedPlanStore.try_get`), and planner
+workers survive failing jobs and heartbeat into the shard-health
+tracker, so a hung worker is visible, not silent.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeout
 from hashlib import blake2b
 from typing import Dict, List, Optional
 
 from ..blocks import BatchSpec
-from ..core.cache import PlanCache, batch_signature
+from ..core.cache import PlanAbandoned, PlanCache, batch_signature
 from ..core.planwire import decode_plan, encode_plan
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import span as _span
 from .admission import AdmissionController, FairScheduler, PlanRejected
+from .degraded import degraded_plan, is_degraded
+from .errors import (
+    PlannerUnavailable,
+    PlanTimeout,
+    TransientServiceError,
+)
 from .forecast import WorkloadForecast
 from .sharding import ShardedPlanStore
 
@@ -47,6 +69,12 @@ __all__ = ["PlanService"]
 #: jobs are admission-controlled and fair-queued like anyone's) with a
 #: light default weight, so speculation never crowds out demand.
 PREWARM_TENANT = "__prewarm__"
+
+#: Tenant name background degraded-plan upgrades run under.  Like
+#: pre-warm it is a real fair-queued tenant with a light weight: an
+#: upgrade improves a plan someone already holds, so it must never
+#: crowd out a tenant still waiting for its first plan.
+UPGRADE_TENANT = "__upgrade__"
 
 
 def signature_key(signature) -> str:
@@ -66,8 +94,9 @@ class PlanService:
         Planner worker threads draining the fair scheduler.
     cache_capacity:
         Hot-cache entries (decoded plans, LRU).
-    shards / max_bytes_per_shard / ttl_s:
+    shards / replication / max_bytes_per_shard / ttl_s:
         Warm-store geometry; see :class:`ShardedPlanStore`.
+        ``replication`` > 1 survives shard loss with no lost plans.
     admission:
         Load-shedding policy; defaults mirror
         :class:`AdmissionController`.
@@ -76,6 +105,10 @@ class PlanService:
         arrival epoch rolls and the top-``prewarm_top_k`` predicted
         signatures are pre-warmed.  ``epoch_requests=None`` disables
         auto-rolling (call :meth:`roll_epoch` yourself).
+    fault_injector / hedge_after_s / anti_entropy_interval_s:
+        Chaos/robustness wiring, passed to the store (and, for the
+        injector, consulted by planner workers under ``worker:<i>``
+        targets — an injected hang stalls the worker like a real one).
     """
 
     def __init__(
@@ -84,6 +117,7 @@ class PlanService:
         workers: int = 2,
         cache_capacity: int = 64,
         shards: int = 4,
+        replication: int = 1,
         max_bytes_per_shard: Optional[int] = None,
         ttl_s: Optional[float] = None,
         admission: Optional[AdmissionController] = None,
@@ -91,6 +125,10 @@ class PlanService:
         prewarm_top_k: int = 8,
         epoch_requests: Optional[int] = None,
         prewarm_weight: float = 0.5,
+        upgrade_weight: float = 0.5,
+        fault_injector=None,
+        hedge_after_s: Optional[float] = None,
+        anti_entropy_interval_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
@@ -101,19 +139,25 @@ class PlanService:
             raise ValueError("epoch_requests must be positive")
         self.planner = planner
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._injector = fault_injector
         self.cache = PlanCache(
             planner, capacity=cache_capacity, metrics=self.metrics
         )
         self.store = ShardedPlanStore(
             shards=shards,
+            replication=replication,
             max_bytes_per_shard=max_bytes_per_shard,
             ttl_s=ttl_s,
             metrics=self.metrics,
+            fault_injector=fault_injector,
+            hedge_after_s=hedge_after_s,
+            anti_entropy_interval_s=anti_entropy_interval_s,
         )
         self.scheduler = FairScheduler(
             admission=admission, quantum=quantum, metrics=self.metrics
         )
         self.scheduler.set_weight(PREWARM_TENANT, prewarm_weight)
+        self.scheduler.set_weight(UPGRADE_TENANT, upgrade_weight)
         self.forecast = WorkloadForecast(metrics=self.metrics)
         self.prewarm_top_k = prewarm_top_k
         self.epoch_requests = epoch_requests
@@ -125,6 +169,19 @@ class PlanService:
             "service.prewarm_submitted"
         )
         self._prewarm_hits = self.metrics.counter("service.prewarm_hits")
+        self._degraded_served = self.metrics.counter(
+            "service.degraded_served"
+        )
+        self._upgrades = self.metrics.counter("service.plan_upgrades")
+        self._upgrade_submitted = self.metrics.counter(
+            "service.upgrade_submitted"
+        )
+        self._job_errors = self.metrics.counter(
+            "service.worker_job_errors"
+        )
+        self._store_put_failures = self.metrics.counter(
+            "service.store_put_failures"
+        )
         self._fetch_s = self.metrics.histogram("service.fetch_s")
         self._plan_s = self.metrics.histogram("service.plan_s")
         self._busy_s = self.metrics.counter("service.worker_busy_s")
@@ -138,11 +195,19 @@ class PlanService:
         #: not (yet) re-planned by demand: a demand hit on one counts
         #: as a pre-warm hit.
         self._prewarmed: set = set()
+        #: Degraded-serve ledger: signature -> "pending" (a degraded
+        #: plan is out, its optimal upgrade is owed) or "done" (the
+        #: optimal plan has been swapped in).
+        self._degraded: Dict[object, str] = {}
+        #: Signatures with an upgrade dispatch currently in flight —
+        #: guards against stacking duplicate upgrade jobs.
+        self._upgrading: set = set()
         self._demand_since_roll = 0
         self._closed = False
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
+                args=(i,),
                 name=f"plan-service-{i}",
                 daemon=True,
             )
@@ -153,8 +218,24 @@ class PlanService:
 
     # -- worker side -----------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
+        """Drain the fair scheduler; survive failing jobs.
+
+        A raising job has already released its reservation waiters
+        (see :meth:`_plan_job`), so the worker records the error and
+        moves on — one poisoned batch must not decommission a planner
+        thread for the life of the service.  Each iteration heartbeats
+        into the shard-health tracker under ``worker:<index>`` and
+        honors injected hangs, so a stalled worker is *observably*
+        stalled (its heartbeat goes silent) rather than silently gone.
+        """
+        target = f"worker:{index}"
         while True:
+            self.store.health.heartbeat(target)
+            if self._injector is not None:
+                delay = self._injector.delay_s(target)
+                if delay > 0:
+                    time.sleep(delay)
             item = self.scheduler.pop(timeout=1.0)
             if item is None:
                 if self._closed:
@@ -164,6 +245,8 @@ class PlanService:
             start = time.perf_counter()
             try:
                 job()
+            except Exception:
+                self._job_errors.inc()
             finally:
                 self._busy_s.inc(time.perf_counter() - start)
                 self.scheduler.task_done(tenant)
@@ -179,39 +262,70 @@ class PlanService:
                     start = time.perf_counter()
                     plan = self.planner.plan_batch(batch)
                     self._plan_s.observe(time.perf_counter() - start)
-                self.store.put(
-                    signature_key(signature), encode_plan(plan).to_bytes()
-                )
-                self._publish(signature, plan, epoch, prewarm=prewarm)
-                self._planned.inc()
             except BaseException as exc:
                 self.cache.abandon(signature, exc, epoch=epoch)
                 raise
+            # The plan exists: a warm-store outage must not turn it
+            # into a failed fetch.  Serve from cache, heal the store
+            # via read-repair/anti-entropy once it returns.
+            try:
+                self.store.put(
+                    signature_key(signature), encode_plan(plan).to_bytes()
+                )
+            except TransientServiceError:
+                self._store_put_failures.inc()
+            self._publish(signature, plan, epoch, prewarm=prewarm)
+            self._planned.inc()
 
         return job
 
     def _publish(self, signature, plan, epoch: int, prewarm: bool) -> None:
-        """Insert into the hot cache + mark the entry's provenance."""
+        """Insert into the hot cache + mark the entry's provenance.
+
+        Publishing an *optimal* plan for a signature whose degraded
+        fallback is still out is the atomic upgrade: the epoch-checked
+        :meth:`~repro.core.cache.PlanCache.publish` swaps the cache
+        entry in place and the ledger flips to ``"done"``.
+        """
+        upgraded = False
         with self._lock:
             if prewarm:
                 self._prewarmed.add(signature)
             else:
                 self._prewarmed.discard(signature)
+            if (not is_degraded(plan)
+                    and self._degraded.get(signature) == "pending"):
+                self._degraded[signature] = "done"
+                upgraded = True
+        if upgraded:
+            self._upgrades.inc()
         self.cache.publish(signature, plan, epoch)
 
     # -- demand path -----------------------------------------------------
 
     def fetch_plan(self, tenant: str, batch: BatchSpec,
-                   timeout: Optional[float] = None):
+                   timeout: Optional[float] = None,
+                   deadline: Optional[float] = None):
         """Serve ``tenant`` the plan for ``batch``.
 
-        Raises :class:`PlanRejected` when admission sheds the request
-        (including requests that joined a reservation whose owning
-        dispatch was shed — waiters share their owner's fate, so a
-        shed signature fails fast for everyone instead of stranding
-        the joiners).
+        ``timeout`` bounds the wait for an in-flight plan; expiry (or
+        an admission shed — including requests that joined a
+        reservation whose owning dispatch was shed) raises typed
+        errors (:class:`PlanTimeout`, :class:`PlanRejected`).
+
+        ``deadline`` (seconds) changes the contract from *fail* to
+        *degrade*: the fetch hedges its warm-store read, and if no
+        optimal plan materializes inside the budget — planner
+        saturated, worker hung, store primary dead — a deterministic
+        degraded plan (``meta["degraded"] = True``) is served
+        immediately and the optimal plan is upgraded in the
+        background.  A deadline-bearing fetch only raises when even
+        the fallback cannot be built.
         """
         start = time.perf_counter()
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
         signature = batch_signature(batch)
         with _span("service.fetch", "service", tenant=tenant):
             self._requests.inc()
@@ -225,35 +339,191 @@ class PlanService:
                     if signature in self._prewarmed:
                         self._prewarm_hits.inc()
                 plan = payload
+                if is_degraded(plan):
+                    # The hit is a fallback still owed its upgrade; if
+                    # the earlier upgrade dispatch was shed, retry it.
+                    self._ensure_upgrade(signature, batch)
             elif status == "wait":
-                plan = payload.result(timeout=timeout)
+                plan = self._await_shared(signature, payload, timeout,
+                                          deadline, deadline_at)
             else:
                 plan = self._serve_miss(tenant, signature, batch, payload,
-                                        epoch, timeout)
+                                        epoch, timeout, deadline_at)
             self._fetch_s.observe(time.perf_counter() - start)
         self._maybe_roll_epoch()
         return plan
 
+    @staticmethod
+    def _remaining(deadline_at: Optional[float]) -> Optional[float]:
+        if deadline_at is None:
+            return None
+        return max(0.0, deadline_at - time.monotonic())
+
+    def _await_shared(self, signature, future, timeout: Optional[float],
+                      deadline: Optional[float],
+                      deadline_at: Optional[float]):
+        """Waiter path: join someone else's in-flight reservation.
+
+        With a deadline, a timed-out/failed wait degrades instead of
+        raising; no upgrade is scheduled here — the reservation owner's
+        dispatch is still in flight and its publication *is* the
+        upgrade.
+        """
+        budget = (
+            self._remaining(deadline_at) if deadline_at is not None
+            else timeout
+        )
+        try:
+            return future.result(timeout=budget)
+        except FutureTimeout:
+            if deadline_at is None:
+                raise PlanTimeout(
+                    timeout if timeout is not None else 0.0,
+                    detail="in-flight plan not published in time",
+                ) from None
+        except (PlanRejected, PlanAbandoned, TransientServiceError):
+            if deadline_at is None:
+                raise
+        return self._degrade(signature)
+
+    def _planner_available(self) -> bool:
+        return (not self._closed
+                and any(t.is_alive() for t in self._workers))
+
     def _serve_miss(self, tenant: str, signature, batch, reservation,
-                    epoch: int, timeout: Optional[float]):
+                    epoch: int, timeout: Optional[float],
+                    deadline_at: Optional[float]):
         """Owner path: store lookup first, else a fair-queued dispatch."""
-        blob = self.store.try_get(signature_key(signature))
+        hedge = deadline_at is not None and self.store.replication > 1
+        blob = self.store.try_get(
+            signature_key(signature),
+            hedge=hedge,
+            timeout_s=self._remaining(deadline_at),
+        )
         if blob is not None:
             plan = decode_plan(blob)
             self._store_hits.inc()
             self._publish(signature, plan, epoch, prewarm=False)
             return plan
+        if not self._planner_available():
+            exc = PlannerUnavailable("no live planner workers")
+            if deadline_at is not None:
+                return self._degrade_owned(signature, batch, epoch,
+                                           upgrade_inflight=False)
+            self.cache.abandon(signature, exc, epoch=epoch)
+            raise exc
         try:
             self.scheduler.submit(
                 tenant, self._plan_job(signature, batch, epoch,
                                        prewarm=False),
             )
         except PlanRejected as exc:
+            if deadline_at is not None:
+                # Shed dispatch: serve the fallback now, queue the
+                # optimal under the (light-weight) upgrade tenant.
+                return self._degrade_owned(signature, batch, epoch,
+                                           upgrade_inflight=False)
             # Release anyone who joined this reservation with the same
             # typed error, then surface it to the owner.
             self.cache.abandon(signature, exc, epoch=epoch)
             raise
-        return reservation.result(timeout=timeout)
+        budget = (
+            self._remaining(deadline_at) if deadline_at is not None
+            else timeout
+        )
+        try:
+            return reservation.result(timeout=budget)
+        except FutureTimeout:
+            if deadline_at is not None:
+                # The dispatch is queued/running; its publication will
+                # upgrade the degraded entry we are about to serve.
+                return self._degrade_owned(signature, batch, epoch,
+                                           upgrade_inflight=True)
+            raise PlanTimeout(
+                timeout if timeout is not None else 0.0,
+                detail=f"signature {signature_key(signature)}",
+            ) from None
+
+    # -- degraded-mode serving ------------------------------------------
+
+    def _degrade(self, signature):
+        """Synthesize + account a degraded plan (no cache publication)."""
+        with self._lock:
+            batch = self._exemplars[signature]
+        with _span("service.degrade", "service"):
+            plan = degraded_plan(self.planner, batch)
+        self._degraded_served.inc()
+        return plan
+
+    def _degrade_owned(self, signature, batch, epoch: int,
+                       upgrade_inflight: bool):
+        """Owner-side degraded serve: publish the fallback, owe the swap.
+
+        Publishing pops our reservation, so every waiter is released
+        with the same tagged fallback immediately.  The optimal plan
+        arrives later — from the still-queued demand dispatch
+        (``upgrade_inflight``) or a fresh background upgrade job — and
+        its epoch-checked publication replaces the cache entry
+        atomically.
+        """
+        plan = self._degrade(signature)
+        with self._lock:
+            self._degraded[signature] = "pending"
+        self.cache.publish(signature, plan, epoch)
+        if not upgrade_inflight:
+            self._ensure_upgrade(signature, batch)
+        return plan
+
+    def _ensure_upgrade(self, signature, batch) -> bool:
+        """Queue a background optimal re-plan for a degraded entry.
+
+        Idempotent: no-ops when the signature is no longer pending or
+        an upgrade dispatch is already in flight.  A shed dispatch
+        leaves the ledger ``"pending"`` so the next fetch of the
+        degraded entry retries.  Returns whether a job was submitted.
+        """
+        with self._lock:
+            if (self._degraded.get(signature) != "pending"
+                    or signature in self._upgrading):
+                return False
+            self._upgrading.add(signature)
+
+        def job() -> None:
+            try:
+                epoch = self.cache.epoch
+                with _span("service.upgrade", "service"):
+                    start = time.perf_counter()
+                    plan = self.planner.plan_batch(batch)
+                    self._plan_s.observe(time.perf_counter() - start)
+                try:
+                    self.store.put(
+                        signature_key(signature),
+                        encode_plan(plan).to_bytes(),
+                    )
+                except TransientServiceError:
+                    self._store_put_failures.inc()
+                self._publish(signature, plan, epoch, prewarm=False)
+                self._planned.inc()
+            finally:
+                with self._lock:
+                    self._upgrading.discard(signature)
+
+        try:
+            self.scheduler.submit(UPGRADE_TENANT, job)
+        except (PlanRejected, RuntimeError):
+            with self._lock:
+                self._upgrading.discard(signature)
+            return False
+        self._upgrade_submitted.inc()
+        return True
+
+    def pending_upgrades(self) -> int:
+        """Degraded-served signatures whose optimal swap is still owed."""
+        with self._lock:
+            return sum(
+                1 for state in self._degraded.values()
+                if state == "pending"
+            )
 
     # -- forecast / pre-warm path ---------------------------------------
 
@@ -305,7 +575,10 @@ class PlanService:
                 )
                 if status != "own":
                     continue  # cached or someone is already planning it
-                blob = self.store.try_get(signature_key(signature))
+                try:
+                    blob = self.store.try_get(signature_key(signature))
+                except TransientServiceError:
+                    blob = None
                 if blob is not None:
                     # Warm store still holds it: promote without
                     # planning (still a pre-warmed cache entry).
@@ -345,10 +618,25 @@ class PlanService:
             "rejected": self.scheduler.metrics.counter(
                 "service.rejected"
             ).value,
+            "degraded_served": self._degraded_served.value,
+            "plan_upgrades": self._upgrades.value,
+            "pending_upgrades": self.pending_upgrades(),
+            "worker_job_errors": self._job_errors.value,
+            "store_put_failures": self._store_put_failures.value,
+            "hedged_fetches": self.metrics.counter(
+                "service.hedged_fetches"
+            ).value,
+            "hedge_wins": self.metrics.counter(
+                "service.hedge_wins"
+            ).value,
+            "read_repairs": self.metrics.counter(
+                "service.read_repairs"
+            ).value,
             "worker_busy_s": self._busy_s.value,
             "workers": len(self._workers),
             "forecast_epoch": self.forecast.epoch,
             "store_shards": self.store.num_shards,
+            "replication": self.store.replication,
         }
 
     def close(self) -> None:
@@ -356,6 +644,7 @@ class PlanService:
         self.scheduler.close()
         for thread in self._workers:
             thread.join(timeout=5.0)
+        self.store.close()
 
     def __enter__(self) -> "PlanService":
         return self

@@ -1,4 +1,4 @@
-"""Consistent-hash sharded plan store.
+"""Consistent-hash sharded plan store with R-way replication.
 
 One coarse :class:`~repro.core.kvstore.KVStore` lock serializes every
 tenant of a multi-tenant plan service; sharding the keyspace over a
@@ -9,22 +9,53 @@ ring of independent stores gives each shard its own lock (and its own
 ``replicas`` virtual points onto a 64-bit circle (blake2b of
 ``"node#i"``), and a key belongs to the first node point at or after
 the key's own hash.  Adding a node moves only the keys that land on
-the new node's points — O(moved/total) ≈ 1/nodes — which
-:meth:`ShardedPlanStore.add_node` exploits to rebalance live: the same
-scan-and-re-key motion the delta re-planner uses on cluster events,
-applied to shard residency instead of plan shape.
+the new node's points — O(moved/total) ≈ 1/nodes.
+
+Replication (Dynamo-style) makes the store survive shard loss:
+
+* a key's **owners** are the first ``replication`` *distinct* nodes
+  clockwise from its hash (:meth:`HashRing.nodes_for`); writes go to
+  every owner, and one reachable owner is enough for the write to
+  succeed (missed replicas are healed later);
+* reads fall back **replica by replica** in owner order, skipping
+  shards whose circuit breaker is open (no timeout paid per dead
+  shard), and **write-repair** any reachable owner found missing the
+  key;
+* a restarted (or newly added) shard is healed by that read repair
+  plus **anti-entropy** (:meth:`ShardedPlanStore.sync`): scan every
+  reachable shard, re-copy each key to any owner missing it;
+* **hedged reads**: with replication > 1 a read may arm a hedge — if
+  the primary has not answered within a p99-derived delay (from the
+  live ``kv.get_s`` histogram), the next replica is queried in
+  parallel and the first non-miss wins (the loser's result is
+  discarded).
+
+Failure *detection* is health-based, not timeout-based: every shard
+operation reports success/failure into a
+:class:`~repro.service.health.ShardHealth` breaker; a shard that
+fails repeatedly is skipped instantly until its reset window elapses
+(half-open probe).  Fault *injection* — the chaos harness — plugs in
+as an optional :class:`~repro.faults.injector.FaultInjector`: killed
+shards raise :class:`~repro.service.errors.ShardUnavailable`, slow
+shards stall, lossy shards drop ops, and a kill→restart cycle wipes
+the shard's contents (a real process restart loses host memory),
+which is exactly what replication must survive.
 """
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from bisect import bisect_right
 from hashlib import blake2b
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.kvstore import KVStore
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.trace import span as _span
+from .errors import KVOpDropped, ShardUnavailable, TransientServiceError
+from .health import ShardHealth
 
 __all__ = ["HashRing", "ShardedPlanStore"]
 
@@ -60,46 +91,94 @@ class HashRing:
     def nodes(self) -> List[str]:
         return list(self._nodes)
 
-    def node_for(self, key: str) -> str:
+    def nodes_for(self, key: str, count: int = 1) -> List[str]:
+        """First ``count`` *distinct* nodes clockwise from ``key``.
+
+        The replication owner list: ``nodes_for(key, R)[0]`` is the
+        primary, the rest are successor replicas.  ``count`` beyond
+        the node population is clamped (you cannot hold more copies
+        than there are shards).
+        """
+        count = min(max(count, 1), len(self._nodes))
         point = _point(key)
         index = bisect_right(self._points, (point, "￿"))
-        if index == len(self._points):
-            index = 0  # wrap: first point on the circle
-        return self._points[index][1]
+        total = len(self._points)
+        out: List[str] = []
+        seen: set = set()
+        for probe in range(total):
+            node = self._points[(index + probe) % total][1]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) == count:
+                    break
+        return out
+
+    def node_for(self, key: str) -> str:
+        return self.nodes_for(key, 1)[0]
 
 
 class ShardedPlanStore:
-    """A ring of per-shard :class:`KVStore` nodes keyed by signature.
+    """A replicated ring of per-shard :class:`KVStore` nodes.
 
     Every shard is a full store — versioned writes, blocking gets,
     bounded residency (``max_bytes``/``ttl_s`` apply *per shard*) — but
     each holds its own lock, so the coarse serialization of one shared
     store disappears for keys that hash apart.  All shards feed the
     same metrics registry: ``kv.*`` counters aggregate across shards,
-    ``service.store_shards``/``service.rebalanced_keys`` track the ring
-    itself.
+    ``service.*`` gauges/counters track the ring, replication, and
+    repair machinery.
 
-    :meth:`add_node` rebalances live: keys whose ring owner changed are
-    re-keyed onto the new shard payload-intact (raw stored bytes move,
-    no re-encode), under a store-wide rebalance lock so concurrent
-    readers either find the old location or the new one, never neither.
+    With ``replication`` R > 1 the store tolerates R-1 simultaneous
+    shard losses with no lost keys (see the module docstring for the
+    write/read/repair protocol).  ``fault_injector`` wires the chaos
+    harness in; ``anti_entropy_interval_s`` starts a background healer
+    thread (otherwise call :meth:`sync` explicitly after topology or
+    failure events).
+
+    :meth:`add_node` rebalances live: every key's owner set is
+    recomputed against the grown ring, copies land on new owners
+    payload-intact (raw stored bytes move, no re-encode) and leave
+    non-owners, under a store-wide rebalance lock so concurrent
+    readers either find the old location or the new one, never
+    neither.
     """
 
     def __init__(
         self,
         shards: int = 4,
         replicas: int = 64,
+        replication: int = 1,
         max_bytes_per_shard: Optional[int] = None,
         ttl_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_injector=None,
+        health: Optional[ShardHealth] = None,
+        breaker_failures: int = 3,
+        breaker_reset_s: float = 0.25,
+        hedge_after_s: Optional[float] = None,
+        anti_entropy_interval_s: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
+        if replication < 1:
+            raise ValueError("replication must be positive")
+        if hedge_after_s is not None and hedge_after_s < 0:
+            raise ValueError("hedge_after_s must be non-negative")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.max_bytes_per_shard = max_bytes_per_shard
         self.ttl_s = ttl_s
-        self._rebalance_lock = threading.Lock()
+        self.replication = min(replication, shards)
+        self.hedge_after_s = hedge_after_s
+        self._injector = fault_injector
+        self.health = health if health is not None else ShardHealth(
+            failure_threshold=breaker_failures,
+            reset_after_s=breaker_reset_s,
+            metrics=self.metrics,
+        )
+        self._rebalance_lock = threading.RLock()
         self._stores: Dict[str, KVStore] = {}
+        self._seen_restarts: Dict[str, int] = {}
         names = [f"shard{i}" for i in range(shards)]
         self.ring = HashRing(names, replicas=replicas)
         for name in names:
@@ -107,6 +186,30 @@ class ShardedPlanStore:
         self._shards_gauge = self.metrics.gauge("service.store_shards")
         self._shards_gauge.set(shards)
         self._rebalanced = self.metrics.counter("service.rebalanced_keys")
+        self._write_failures = self.metrics.counter(
+            "service.replica_write_failures"
+        )
+        self._read_repairs = self.metrics.counter("service.read_repairs")
+        self._ae_repairs = self.metrics.counter(
+            "service.antientropy_repairs"
+        )
+        self._restarts_seen = self.metrics.counter(
+            "service.shard_restarts_seen"
+        )
+        self._hedged = self.metrics.counter("service.hedged_fetches")
+        self._hedge_wins = self.metrics.counter("service.hedge_wins")
+        self._closed = threading.Event()
+        self._ae_thread: Optional[threading.Thread] = None
+        if anti_entropy_interval_s is not None:
+            if anti_entropy_interval_s <= 0:
+                raise ValueError("anti_entropy_interval_s must be positive")
+            self._ae_thread = threading.Thread(
+                target=self._anti_entropy_loop,
+                args=(anti_entropy_interval_s,),
+                name="plan-store-anti-entropy",
+                daemon=True,
+            )
+            self._ae_thread.start()
 
     def _make_store(self) -> KVStore:
         return KVStore(
@@ -117,50 +220,295 @@ class ShardedPlanStore:
 
     @property
     def num_shards(self) -> int:
-        return len(self._stores)
+        with self._rebalance_lock:
+            return len(self._stores)
 
     @property
     def rebalanced_keys(self) -> int:
         return self._rebalanced.value
 
     def shard_for(self, key: str) -> str:
-        return self.ring.node_for(key)
+        with self._rebalance_lock:
+            return self.ring.node_for(key)
+
+    def owners_for(self, key: str) -> List[str]:
+        """Owner shard names in preference order (primary first)."""
+        with self._rebalance_lock:
+            return self.ring.nodes_for(key, self.replication)
 
     def store(self, name: str) -> KVStore:
-        return self._stores[name]
+        with self._rebalance_lock:
+            return self._stores[name]
+
+    # -- guarded shard access -------------------------------------------
+    #
+    # Every keyed operation flows through _shard_op: circuit-breaker
+    # fail-fast first (no timeout paid on a known-dead shard), then
+    # fault injection (delay, kill, drop), then the real store call,
+    # with the outcome reported back into the breaker.
+
+    def _check_restart(self, name: str) -> None:
+        """Realize the data loss of a kill→restart cycle, lazily.
+
+        The injector only flips availability; host memory is ours to
+        model.  On the first operation after a restart the shard's
+        backing store is replaced with a fresh empty one — exactly
+        what a real process restart leaves behind — and the breaker is
+        given a clean slate so the healed shard takes traffic again.
+        """
+        if self._injector is None:
+            return
+        count = self._injector.restart_count(f"shard:{name}")
+        with self._rebalance_lock:
+            if self._seen_restarts.get(name, 0) == count:
+                return
+            self._seen_restarts[name] = count
+            self._stores[name] = self._make_store()
+        self._restarts_seen.inc()
+        self.health.record_success(name)
+
+    def _shard_op(self, name: str, op: str, fn):
+        if not self.health.allow(name):
+            raise ShardUnavailable(name, reason="circuit_open")
+        self._check_restart(name)
+        if self._injector is not None:
+            target = f"shard:{name}"
+            delay = self._injector.delay_s(target)
+            if delay > 0:
+                time.sleep(delay)
+            if self._injector.is_killed(target):
+                self.health.record_failure(name)
+                raise ShardUnavailable(name, reason="killed")
+            if self._injector.should_drop(target, op):
+                self.health.record_failure(name)
+                raise KVOpDropped(target, op)
+        with self._rebalance_lock:
+            store = self._stores[name]
+        try:
+            result = fn(store)
+        except TransientServiceError:
+            self.health.record_failure(name)
+            raise
+        self.health.record_success(name)
+        return result
 
     # -- keyed operations ------------------------------------------------
-    #
-    # The rebalance lock is shared-read in spirit but plain in
-    # implementation: operations take it only long enough to resolve
-    # key -> shard, so the coarse section is the ring lookup, never the
-    # shard's own put/get (which holds only that shard's lock).
 
     def _resolve(self, key: str) -> KVStore:
         with self._rebalance_lock:
             return self._stores[self.ring.node_for(key)]
 
     def put(self, key: str, value: Any) -> int:
-        return self._resolve(key).put(key, value)
+        """Write ``key`` to every reachable owner replica.
 
-    def try_get(self, key: str) -> Optional[Any]:
-        return self._resolve(key).try_get(key)
+        Succeeds when at least one replica accepted the write (the
+        rest heal by read repair / anti-entropy); raises
+        :class:`ShardUnavailable` only when *no* owner is reachable.
+        Returns the highest version any replica assigned.
+        """
+        owners = self.owners_for(key)
+        version: Optional[int] = None
+        for name in owners:
+            try:
+                wrote = self._shard_op(
+                    name, "put", lambda s: s.put(key, value)
+                )
+            except TransientServiceError:
+                self._write_failures.inc()
+                continue
+            version = wrote if version is None else max(version, wrote)
+        if version is None:
+            raise ShardUnavailable(
+                "+".join(owners), reason="all_replicas_down"
+            )
+        return version
+
+    def _read_owner(self, key: str, name: str) -> Optional[Any]:
+        return self._shard_op(name, "get", lambda s: s.try_get(key))
+
+    def _repair(self, key: str, value: Any, absent: List[str]) -> None:
+        """Write-repair: re-copy ``key`` onto reachable owners that
+        missed it (an earlier failed write, a wiped restart)."""
+        for name in absent:
+            try:
+                self._shard_op(name, "put", lambda s: s.put(key, value))
+                self._read_repairs.inc()
+            except TransientServiceError:
+                pass
+
+    def try_get(self, key: str, hedge: bool = False,
+                timeout_s: Optional[float] = None) -> Optional[Any]:
+        """Replica-by-replica fetch; ``None`` only if no owner holds it.
+
+        ``hedge=True`` (and replication > 1) arms the hedged path: the
+        primary read races a delayed replica read, first hit wins (see
+        :meth:`hedge_delay_s`).  ``timeout_s`` bounds the hedged wait.
+        """
+        owners = self.owners_for(key)
+        if hedge and len(owners) > 1:
+            return self._try_get_hedged(key, owners, timeout_s)
+        absent: List[str] = []
+        for name in owners:
+            try:
+                value = self._read_owner(key, name)
+            except TransientServiceError:
+                continue
+            if value is not None:
+                if absent:
+                    self._repair(key, value, absent)
+                return value
+            absent.append(name)
+        return None
+
+    def hedge_delay_s(self) -> float:
+        """How long to give the primary before hedging to a replica.
+
+        ``hedge_after_s`` when configured; otherwise derived from the
+        live ``kv.get_s`` latency histogram (p99, clamped to
+        [0.5 ms, 100 ms]) once enough samples exist, with a 10 ms
+        cold-start default.
+        """
+        if self.hedge_after_s is not None:
+            return self.hedge_after_s
+        hist = self.metrics.get("kv.get_s")
+        if isinstance(hist, Histogram) and hist.count >= 50:
+            p99 = hist.quantile(0.99)
+            if math.isfinite(p99):
+                return min(max(p99, 5e-4), 0.1)
+        return 0.01
+
+    def _try_get_hedged(self, key: str, owners: List[str],
+                        timeout_s: Optional[float]) -> Optional[Any]:
+        """Race the primary against a delayed replica read.
+
+        The primary read runs in a helper thread; if it has not
+        produced a hit within :meth:`hedge_delay_s`, the next replica
+        is queried concurrently.  The first non-miss wins and the
+        loser's (eventual) result is discarded — a slow or hung
+        primary costs one hedge delay instead of a full stall.
+        """
+        done = threading.Condition()
+        results: List[Optional[Any]] = []
+        finished = [0]
+
+        def fetch(name: str, is_hedge: bool) -> None:
+            try:
+                value = self._read_owner(key, name)
+            except TransientServiceError:
+                value = None
+            with done:
+                finished[0] += 1
+                if value is not None:
+                    results.append((value, is_hedge))
+                done.notify_all()
+
+        primary = threading.Thread(
+            target=fetch, args=(owners[0], False), daemon=True
+        )
+        primary.start()
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        with done:
+            done.wait_for(
+                lambda: bool(results) or finished[0] >= 1,
+                timeout=self.hedge_delay_s(),
+            )
+            if results:
+                return results[0][0]
+            primary_done = finished[0] >= 1
+        if primary_done:
+            # The primary answered quickly — it just doesn't hold the
+            # key.  That is the ordinary replica-fallback case (with
+            # write-repair of the reachable-but-absent primary), not a
+            # hedge: the hedge counters stay untouched.
+            for name in owners[1:]:
+                try:
+                    value = self._read_owner(key, name)
+                except TransientServiceError:
+                    continue
+                if value is not None:
+                    self._repair(key, value, [owners[0]])
+                    return value
+            return None
+        # Primary is genuinely slow: hedge to the fallback replicas
+        # while it keeps running; first non-miss wins.
+        self._hedged.inc()
+        hedge = threading.Thread(
+            target=lambda: [fetch(name, True) for name in owners[1:]],
+            daemon=True,
+        )
+        hedge.start()
+        with done:
+            done.wait_for(
+                lambda: bool(results) or finished[0] >= len(owners),
+                timeout=(
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                ),
+            )
+            if results:
+                value, from_hedge = results[0]
+                if from_hedge:
+                    self._hedge_wins.inc()
+                return value
+        return None
 
     def get(self, key: str, timeout: Optional[float] = None) -> Any:
-        return self._resolve(key).get(key, timeout=timeout)
+        """Blocking fetch across replicas.
+
+        Replication 1 without injection delegates to the shard's own
+        blocking get (condition-variable wait); otherwise replicas are
+        polled so a killed primary cannot absorb the whole timeout.
+        """
+        if self.replication == 1 and self._injector is None:
+            return self._resolve(key).get(key, timeout=timeout)
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        interval = 0.001
+        while True:
+            value = self.try_get(key)
+            if value is not None:
+                return value
+            if deadline is not None and time.monotonic() >= deadline:
+                raise KeyError(key)
+            time.sleep(interval)
+            interval = min(interval * 2, 0.02)
 
     def contains(self, key: str) -> bool:
-        return self._resolve(key).contains(key)
+        for name in self.owners_for(key):
+            try:
+                if self._shard_op(name, "contains",
+                                  lambda s: s.contains(key)):
+                    return True
+            except TransientServiceError:
+                continue
+        return False
 
     def delete(self, key: str) -> bool:
-        return self._resolve(key).delete(key)
+        existed = False
+        for name in self.owners_for(key):
+            try:
+                existed |= self._shard_op(
+                    name, "delete", lambda s: s.delete(key)
+                )
+            except TransientServiceError:
+                continue
+        return existed
 
     def keys(self) -> List[str]:
+        """Union of keys over reachable shards (replicas deduplicated)."""
         with self._rebalance_lock:
-            stores = list(self._stores.values())
-        out: List[str] = []
-        for store in stores:
-            out.extend(store.keys())
+            names = list(self._stores)
+        out: set = set()
+        for name in names:
+            try:
+                out.update(
+                    self._shard_op(name, "keys", lambda s: s.keys())
+                )
+            except TransientServiceError:
+                continue
         return sorted(out)
 
     def size_bytes(self) -> int:
@@ -176,16 +524,98 @@ class ShardedPlanStore:
                 for name, store in self._stores.items()
             }
 
+    # -- healing ---------------------------------------------------------
+
+    def sync(self) -> int:
+        """Anti-entropy pass: every key onto every reachable owner.
+
+        Scans reachable shards for the full key population, then
+        re-copies each key (payload-intact) to any owner replica
+        missing it — how a restarted/wiped or freshly added shard
+        converges back to full replication.  Returns the number of
+        copies created.
+        """
+        with self._rebalance_lock:
+            names = list(self._stores)
+        holders: Dict[str, str] = {}
+        for name in names:
+            try:
+                for key in self._shard_op(name, "keys",
+                                          lambda s: s.keys()):
+                    holders.setdefault(key, name)
+            except TransientServiceError:
+                continue
+        repaired = 0
+        with _span("service.anti_entropy", "service",
+                   keys=len(holders)):
+            for key, holder in holders.items():
+                owners = self.owners_for(key)
+                value = None
+                for source in [holder] + [
+                    n for n in owners if n != holder
+                ]:
+                    try:
+                        value = self._read_owner(key, source)
+                    except TransientServiceError:
+                        value = None
+                    if value is not None:
+                        break
+                if value is None:
+                    continue
+                for name in owners:
+                    try:
+                        present = self._shard_op(
+                            name, "contains", lambda s: s.contains(key)
+                        )
+                        if not present:
+                            self._shard_op(
+                                name, "put",
+                                lambda s: s.put(key, value),
+                            )
+                            repaired += 1
+                    except TransientServiceError:
+                        continue
+        if repaired:
+            self._ae_repairs.inc(repaired)
+        return repaired
+
+    def _anti_entropy_loop(self, interval_s: float) -> None:
+        while not self._closed.wait(timeout=interval_s):
+            try:
+                self.sync()
+            except Exception:  # pragma: no cover - healer must survive
+                pass
+
+    def missing_replicas(self) -> int:
+        """Owner slots currently missing their copy (0 = fully healed)."""
+        missing = 0
+        for key in self.keys():
+            for name in self.owners_for(key):
+                try:
+                    if not self._shard_op(name, "contains",
+                                          lambda s: s.contains(key)):
+                        missing += 1
+                except TransientServiceError:
+                    missing += 1
+        return missing
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._ae_thread is not None:
+            self._ae_thread.join(timeout=5.0)
+            self._ae_thread = None
+
     # -- topology --------------------------------------------------------
 
     def add_node(self, name: Optional[str] = None) -> Tuple[str, int]:
-        """Grow the ring by one shard, migrating displaced keys.
+        """Grow the ring by one shard, migrating displaced copies.
 
-        Returns ``(shard_name, moved_keys)``.  Only keys whose ring
-        owner became the new node move (≈ ``1/shards`` of residency);
-        each moves as its stored payload — raw bytes stay raw, pickled
-        entries move decoded-then-re-encoded to the same bytes — so a
-        reader after the move fetches exactly what it would have before.
+        Returns ``(shard_name, moved_keys)`` where ``moved_keys``
+        counts copies created on the new shard.  Every key's owner set
+        is recomputed against the grown ring: copies land on new
+        owners payload-intact (raw stored bytes move, no re-encode)
+        and leave shards that stopped owning them, so a reader after
+        the move fetches exactly what it would have before.
         """
         with self._rebalance_lock:
             if name is None:
@@ -198,20 +628,29 @@ class ShardedPlanStore:
             with _span("service.rebalance", "service", shard=name):
                 self.ring.add(name)
                 fresh = self._make_store()
-                moved = 0
-                for store in self._stores.values():
-                    displaced = [
-                        key for key in store.keys()
-                        if self.ring.node_for(key) == name
-                    ]
-                    for key in displaced:
-                        value = store.try_get(key)
-                        if value is None:  # raced with eviction/TTL
-                            continue
-                        fresh.put(key, value)
-                        store.delete(key)
-                        moved += 1
                 self._stores[name] = fresh
+                moved = 0
+                holders: Dict[str, List[str]] = {}
+                for shard, store in self._stores.items():
+                    for key in store.keys():
+                        holders.setdefault(key, []).append(shard)
+                for key, holding in holders.items():
+                    owners = self.ring.nodes_for(key, self.replication)
+                    value = None
+                    for source in holding:
+                        value = self._stores[source].try_get(key)
+                        if value is not None:
+                            break
+                    if value is None:  # raced with eviction/TTL
+                        continue
+                    for owner in owners:
+                        if owner not in holding:
+                            self._stores[owner].put(key, value)
+                            if owner == name:
+                                moved += 1
+                    for shard in holding:
+                        if shard not in owners:
+                            self._stores[shard].delete(key)
                 self._shards_gauge.set(len(self._stores))
                 self._rebalanced.inc(moved)
         return name, moved

@@ -1,0 +1,388 @@
+"""Tests for failure handling in the plan service: typed errors,
+degraded-mode serving with background upgrade, retrying KV clients,
+and shm leak reclamation."""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    AttentionSpec,
+    BatchSpec,
+    ClusterSpec,
+    DCPConfig,
+    DCPPlanner,
+    make_mask,
+)
+from repro.core import batch_signature
+from repro.core.kvstore import KVClient, KVStore
+from repro.faults import FaultInjector
+from repro.pipeline import plan_fingerprint
+from repro.pipeline import shm as shm_mod
+from repro.pipeline.shm import PlanRing, ShmUnavailable
+from repro.service import (
+    AdmissionController,
+    PlanRejected,
+    PlanService,
+    degraded_plan,
+    is_degraded,
+)
+from repro.service.errors import (
+    KVOpDropped,
+    PlannerUnavailable,
+    PlanTimeout,
+    ServiceError,
+    ShardUnavailable,
+    TransientServiceError,
+    is_retryable,
+)
+
+
+def make_planner():
+    cluster = ClusterSpec(num_machines=1, devices_per_machine=2)
+    attention = AttentionSpec(num_q_heads=4, num_kv_groups=2, head_dim=16)
+    return DCPPlanner(cluster, attention,
+                      DCPConfig(block_size=16, restarts=1))
+
+
+def batch(seqlens):
+    return BatchSpec.build(list(seqlens), make_mask("causal"))
+
+
+class GatedPlanner:
+    """Planner that blocks on a gate, for saturating the worker pool."""
+
+    def __init__(self, planner=None):
+        self.planner = planner if planner is not None else make_planner()
+        self.gate = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    @property
+    def cluster(self):
+        return self.planner.cluster
+
+    @property
+    def attention(self):
+        return self.planner.attention
+
+    @property
+    def config(self):
+        return self.planner.config
+
+    def plan_batch(self, spec):
+        with self._lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=30.0)
+        return self.planner.plan_batch(spec)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# -- typed error hierarchy ----------------------------------------------------
+
+
+class TestErrorHierarchy:
+    def test_retryable_classification(self):
+        assert is_retryable(PlanRejected("t", "tenant_queue_full"))
+        assert is_retryable(ShardUnavailable("shard0"))
+        assert is_retryable(KVOpDropped("shard:shard0", "put"))
+        assert is_retryable(PlanTimeout(0.1))
+        assert not is_retryable(PlannerUnavailable("pool dead"))
+        assert not is_retryable(ValueError("not a service error"))
+
+    def test_one_hierarchy(self):
+        for exc in (PlanRejected("t", "r"), ShardUnavailable("s"),
+                    KVOpDropped("s", "put"), PlanTimeout(0.1)):
+            assert isinstance(exc, TransientServiceError)
+            assert isinstance(exc, ServiceError)
+            assert isinstance(exc, RuntimeError)
+        assert isinstance(PlannerUnavailable("x"), ServiceError)
+
+    def test_plan_rejected_carries_backoff_hint(self):
+        exc = PlanRejected("tenant", "service_saturated",
+                           retry_after_s=0.05)
+        assert exc.tenant == "tenant"
+        assert exc.reason == "service_saturated"
+        assert exc.retry_after_s == pytest.approx(0.05)
+
+
+# -- KVClient bounded retry ---------------------------------------------------
+
+
+class FlakyStore:
+    """Store whose next ``fails`` entry-ops raise a transient error."""
+
+    def __init__(self, fails, exc=None):
+        self.store = KVStore()
+        self.remaining = fails
+        self.exc = exc
+
+    def _maybe_fail(self):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc if self.exc is not None \
+                else ShardUnavailable("flaky")
+
+    def put_entry(self, key, value):
+        self._maybe_fail()
+        return self.store.put_entry(key, value)
+
+    def get_entry(self, key, timeout=None):
+        self._maybe_fail()
+        return self.store.get_entry(key, timeout=timeout)
+
+    def __getattr__(self, name):
+        return getattr(self.store, name)
+
+
+class TestKVClientRetry:
+    def test_transient_errors_retried_with_backoff(self):
+        slept = []
+        client = KVClient(FlakyStore(fails=2), machine=1, max_retries=3,
+                          backoff_base_s=0.01, backoff_jitter=0.0,
+                          sleep=slept.append)
+        assert client.put("k", b"v") == 1
+        assert client.retries == 2
+        assert slept == [pytest.approx(0.01), pytest.approx(0.02)]
+        assert client.get("k") == b"v"
+
+    def test_backoff_is_capped_and_jittered(self):
+        class FixedRng:
+            def random(self):
+                return 1.0
+
+        client = KVClient(KVStore(), machine=0, max_retries=8,
+                          backoff_base_s=0.1, backoff_cap_s=0.2,
+                          backoff_jitter=0.5, rng=FixedRng())
+        # attempt 5: base * 2^5 = 3.2 -> capped 0.2 -> jitter halves it.
+        assert client._backoff_s(5) == pytest.approx(0.1)
+
+    def test_retries_exhausted_reraises(self):
+        client = KVClient(FlakyStore(fails=5), machine=0, max_retries=2,
+                          backoff_base_s=0.0, sleep=lambda _s: None)
+        with pytest.raises(ShardUnavailable):
+            client.put("k", b"v")
+        assert client.retries == 2
+
+    def test_non_retryable_fails_fast(self):
+        slept = []
+        client = KVClient(FlakyStore(fails=1, exc=ValueError("bug")),
+                          machine=0, max_retries=5, sleep=slept.append)
+        with pytest.raises(ValueError):
+            client.put("k", b"v")
+        assert slept == [] and client.retries == 0
+
+    def test_default_is_fail_fast(self):
+        client = KVClient(FlakyStore(fails=1), machine=0)
+        with pytest.raises(ShardUnavailable):
+            client.put("k", b"v")
+
+
+# -- degraded plans -----------------------------------------------------------
+
+
+class TestDegradedPlan:
+    def test_tagged_valid_and_deterministic(self):
+        planner = make_planner()
+        spec = batch([64, 48])
+        fallback = degraded_plan(planner, spec)
+        assert is_degraded(fallback)
+        assert fallback.meta["degraded_source"] == "zigzag"
+        again = degraded_plan(planner, spec)
+        assert plan_fingerprint(fallback) == plan_fingerprint(again)
+        # Same executable geometry as the optimal plan, worse placement.
+        optimal = planner.plan_batch(spec)
+        assert not is_degraded(optimal)
+        assert set(fallback.device_plans) == set(optimal.device_plans)
+
+
+class TestDeadlineDegradedServing:
+    def test_deadline_miss_serves_degraded_then_upgrades(self):
+        planner = GatedPlanner()
+        with PlanService(planner, workers=1, replication=2) as service:
+            spec = batch([64, 48])
+            served = service.fetch_plan("t", spec, deadline=0.3)
+            assert is_degraded(served)
+            stats = service.stats()
+            assert stats["degraded_served"] == 1
+            assert stats["pending_upgrades"] == 1
+            # A second fetch hits the degraded cache entry immediately.
+            assert is_degraded(service.fetch_plan("t", spec, deadline=0.3))
+            planner.gate.set()  # let the queued demand dispatch finish
+            signature = batch_signature(spec)
+            assert wait_until(
+                lambda: not is_degraded(service.cache.peek(signature))
+            )
+            upgraded = service.fetch_plan("t", spec, deadline=0.3)
+            assert not is_degraded(upgraded)
+            assert plan_fingerprint(upgraded) == \
+                plan_fingerprint(make_planner().plan_batch(spec))
+            stats = service.stats()
+            assert stats["plan_upgrades"] == 1
+            assert stats["pending_upgrades"] == 0
+
+    def test_shed_dispatch_degrades_and_background_upgrades(self):
+        planner = GatedPlanner()
+        admission = AdmissionController(max_queued_per_tenant=1,
+                                        max_inflight_per_tenant=1)
+        with PlanService(planner, workers=1,
+                         admission=admission) as service:
+            filler = batch([32, 32])
+            hot = batch([64, 48])
+            # Saturate: one job in flight on the only worker, one queued.
+            worker = threading.Thread(
+                target=lambda: service.fetch_plan("t", filler, timeout=30.0)
+            )
+            worker.start()
+            assert wait_until(lambda: planner.calls == 1)
+            service.scheduler.submit("t", lambda: None)  # fills the queue
+            start = time.monotonic()
+            served = service.fetch_plan("t", hot, deadline=5.0)
+            # Shed dispatch degrades immediately, not after the deadline.
+            assert time.monotonic() - start < 2.0
+            assert is_degraded(served)
+            planner.gate.set()
+            worker.join(timeout=30.0)
+            signature = batch_signature(hot)
+            assert wait_until(
+                lambda: not is_degraded(service.cache.peek(signature))
+            )
+            assert service.stats()["plan_upgrades"] == 1
+
+    def test_waiters_behind_reservation_get_degraded_too(self):
+        planner = GatedPlanner()
+        with PlanService(planner, workers=1) as service:
+            spec = batch([64, 48])
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(
+                        service.fetch_plan("t", spec, deadline=0.5)
+                    )
+                )
+                for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            planner.gate.set()
+            assert len(results) == 3
+            assert all(is_degraded(plan) for plan in results)
+            # Exactly one degraded synthesis was published; the others
+            # joined it (reservation waiters) or hit the cached entry.
+            assert service.stats()["requests"] == 3
+
+    def test_fast_path_with_deadline_stays_optimal(self):
+        with PlanService(make_planner(), workers=2,
+                         replication=2) as service:
+            spec = batch([64, 48])
+            plan = service.fetch_plan("t", spec, deadline=30.0)
+            assert not is_degraded(plan)
+            assert service.stats()["degraded_served"] == 0
+
+    def test_timeout_without_deadline_raises_typed(self):
+        planner = GatedPlanner()
+        service = PlanService(planner, workers=1)
+        try:
+            with pytest.raises(PlanTimeout) as excinfo:
+                service.fetch_plan("t", batch([64, 48]), timeout=0.1)
+            assert is_retryable(excinfo.value)
+        finally:
+            planner.gate.set()
+            service.close()
+
+
+class TestWorkerRobustness:
+    def test_worker_survives_poison_job(self):
+        class PoisonedPlanner:
+            def __init__(self):
+                self.planner = make_planner()
+                self.cluster = self.planner.cluster
+                self.attention = self.planner.attention
+                self.config = self.planner.config
+
+            def plan_batch(self, spec):
+                if len(spec.sequences) == 1:
+                    raise RuntimeError("poison batch")
+                return self.planner.plan_batch(spec)
+
+        with PlanService(PoisonedPlanner(), workers=1) as service:
+            with pytest.raises(RuntimeError, match="poison"):
+                service.fetch_plan("t", batch([64]), timeout=30.0)
+            # The single worker survived and keeps serving other batches.
+            plan = service.fetch_plan("t", batch([64, 48]), timeout=30.0)
+            assert not is_degraded(plan)
+            assert service.stats()["worker_job_errors"] == 1
+
+    def test_store_outage_does_not_fail_the_fetch(self):
+        injector = FaultInjector()
+        with PlanService(make_planner(), workers=1, shards=2,
+                         fault_injector=injector) as service:
+            injector.kill("shard:shard0")
+            injector.kill("shard:shard1")
+            plan = service.fetch_plan("t", batch([64, 48]), timeout=30.0)
+            assert not is_degraded(plan)  # planned + cache-served
+            assert service.stats()["store_put_failures"] == 1
+
+
+# -- shm leak reclamation -----------------------------------------------------
+
+
+class TestShmLeakReclaim:
+    def _ring(self):
+        try:
+            return PlanRing.create(slots=2, slot_bytes=4096)
+        except ShmUnavailable:
+            pytest.skip("shared memory unavailable on this host")
+
+    def test_leaked_map_reclaimed_after_view_release(self):
+        ring = self._ring()
+        slot = ring.reserve()
+        assert ring.write(slot, b"payload")
+        view = ring.read(slot)
+        before = shm_mod.leaked_maps()
+        ring.close()  # exported view still alive -> both segments leak
+        leaked = shm_mod.leaked_maps() - before
+        assert leaked > 0
+        view.release()
+        assert shm_mod.reclaim_leaked() == leaked
+        assert shm_mod.leaked_maps() == before
+
+    def test_next_ring_operation_reclaims(self):
+        ring = self._ring()
+        slot = ring.reserve()
+        assert ring.write(slot, b"payload")
+        view = ring.read(slot)
+        before = shm_mod.leaked_maps()
+        ring.close()
+        assert shm_mod.leaked_maps() > before
+        view.release()
+        other = self._ring()
+        try:
+            other.reserve()  # ring traffic triggers deferred reclaim
+            assert shm_mod.leaked_maps() == before
+        finally:
+            other.close()
+
+    def test_unreleasable_view_stays_queued(self):
+        ring = self._ring()
+        slot = ring.reserve()
+        assert ring.write(slot, b"payload")
+        view = ring.read(slot)
+        before = shm_mod.leaked_maps()
+        ring.close()
+        leaked = shm_mod.leaked_maps() - before
+        assert shm_mod.reclaim_leaked() == 0  # view still alive
+        assert shm_mod.leaked_maps() == before + leaked
+        view.release()
+        assert shm_mod.reclaim_leaked() == leaked
