@@ -40,6 +40,13 @@ Checked metrics:
   re-replication completes under ``smoke.recovery_s_max``, the
   double-fault scenario actually exercised degraded serving, and all
   owed background upgrades drained;
+* scenario matrix — the smoke grid covers every mask family x packer
+  pair with at least ``BENCH_scenarios.json["min_cells"]`` cells; every
+  cell's steady hidden fraction clears
+  ``BENCH_scenarios.json["smoke_hidden_floor"]`` and records
+  communication volume; fixed-stream cells are fingerprint-identical
+  to synchronous planning and event cells observed at least one
+  re-plan;
 * observability — the *tracked* ``BENCH_obs.json`` overhead ratios hold
   the acceptance ceilings (disabled ≤ 1.01, enabled ≤ 1.05 vs the
   uninstrumented smoke workload), the smoke rerun stays under the
@@ -78,6 +85,8 @@ DEFAULT_CHAOS_AVAILABILITY_MIN = 0.999
 DEFAULT_CHAOS_RECOVERY_S_MAX = 10.0
 DEFAULT_CHAOS_VIOLATIONS_MAX = 0
 DEFAULT_CHAOS_DEGRADED_MIN = 1
+DEFAULT_SCENARIO_HIDDEN_FLOOR = 0.3
+DEFAULT_SCENARIO_MIN_CELLS = 12
 DEFAULT_OBS_DISABLED_RATIO_MAX = 1.01
 DEFAULT_OBS_ENABLED_RATIO_MAX = 1.05
 DEFAULT_OBS_SMOKE_DISABLED_RATIO_MAX = 1.05
@@ -364,6 +373,80 @@ def check_chaos(gate: Gate, strict: bool) -> None:
     )
 
 
+def check_scenarios(gate: Gate, strict: bool) -> None:
+    tracked = _load("BENCH_scenarios.json") or {}
+    smoke = _load("BENCH_scenarios.smoke.json")
+    if smoke is None:
+        gate.check(not strict, "scenario-matrix smoke output missing")
+        return
+
+    hidden_floor = float(
+        tracked.get("smoke_hidden_floor", DEFAULT_SCENARIO_HIDDEN_FLOOR)
+    )
+    min_cells = int(tracked.get("min_cells", DEFAULT_SCENARIO_MIN_CELLS))
+    rows = smoke.get("rows") or []
+    gate.check(
+        len(rows) >= min_cells,
+        f"scenario matrix ran {len(rows)} cells >= {min_cells}",
+    )
+    config = smoke.get("config") or {}
+    covered = {(row["mask_family"], row["packer"]) for row in rows}
+    missing = [
+        f"{family}/{packer}"
+        for family in config.get("mask_families") or []
+        for packer in config.get("packers") or []
+        if (family, packer) not in covered
+    ]
+    gate.check(
+        not missing,
+        "scenario matrix covers every mask family x packer pair"
+        + (f" (missing: {', '.join(missing)})" if missing else ""),
+    )
+
+    worst = min(
+        (float(row["steady_hidden_fraction"]) for row in rows), default=0.0
+    )
+    gate.check(
+        worst >= hidden_floor,
+        f"scenario matrix worst steady hidden fraction {worst:.3f} >= "
+        f"floor {hidden_floor:.3f}",
+    )
+    no_comm = [
+        row["scenario"] for row in rows
+        if int(row.get("comm_bytes_total", 0)) <= 0
+    ]
+    gate.check(
+        not no_comm,
+        "every scenario cell recorded communication volume"
+        + (f" (empty: {', '.join(no_comm)})" if no_comm else ""),
+    )
+    unverified = [
+        row["scenario"] for row in rows
+        if row.get("stream") == "fixed"
+        and not row.get("fingerprints_identical")
+    ]
+    gate.check(
+        not unverified,
+        "fixed-stream scenario plans fingerprint-identical to "
+        "synchronous planning"
+        + (f" (diverged: {', '.join(unverified)})" if unverified else ""),
+    )
+    event_rows = [row for row in rows if row.get("stream") == "events"]
+    gate.check(
+        bool(event_rows),
+        f"scenario matrix ran {len(event_rows)} event cells",
+    )
+    stuck = [
+        row["scenario"] for row in event_rows
+        if int(row.get("replans", 0)) < 1
+    ]
+    gate.check(
+        not stuck,
+        "every event scenario cell re-planned"
+        + (f" (no re-plan: {', '.join(stuck)})" if stuck else ""),
+    )
+
+
 def check_obs(gate: Gate, strict: bool) -> None:
     tracked = _load("BENCH_obs.json")
     if tracked is None:
@@ -472,6 +555,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     check_transport(gate, strict=args.strict)
     check_service(gate, strict=args.strict)
     check_chaos(gate, strict=args.strict)
+    check_scenarios(gate, strict=args.strict)
     check_obs(gate, strict=args.strict)
 
     if gate.failures:

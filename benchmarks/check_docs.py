@@ -1,0 +1,140 @@
+"""CI gate: the docs tree must track the code and benchmark surface.
+
+Three checks, all cheap and dependency-free:
+
+* every *tracked* benchmark report at the repo root (``BENCH_*.json``,
+  excluding ``*.smoke.json`` scratch outputs) is mentioned somewhere
+  under ``docs/`` — a new benchmark must document its schema and floors
+  in ``docs/benchmarks.md``;
+* every package under ``src/repro/`` (a directory with an
+  ``__init__.py``) is mentioned under ``docs/`` — a new subsystem must
+  appear in ``docs/architecture.md``'s subsystem map;
+* every relative markdown link in ``docs/*.md`` and ``README.md``
+  resolves to an existing file, so the docs tree cannot silently rot as
+  files move (links that escape the repo root — e.g. GitHub badge
+  URLs relative to the hosted repo — are skipped).
+
+Usage::
+
+    python benchmarks/check_docs.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from typing import List, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+#: ``[text](target)`` with an optional ``#fragment``; bare ``#`` anchors
+#: and external schemes are filtered by the caller.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _doc_files() -> List[str]:
+    return sorted(glob.glob(os.path.join(DOCS_DIR, "**", "*.md"),
+                            recursive=True))
+
+
+def _docs_text() -> str:
+    chunks = []
+    for path in _doc_files():
+        with open(path, encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def tracked_bench_files() -> List[str]:
+    names = sorted(
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    )
+    return [name for name in names if not name.endswith(".smoke.json")]
+
+
+def repro_packages() -> List[str]:
+    root = os.path.join(REPO_ROOT, "src", "repro")
+    return sorted(
+        entry
+        for entry in os.listdir(root)
+        if os.path.isfile(os.path.join(root, entry, "__init__.py"))
+    )
+
+
+def missing_bench_mentions(text: str) -> List[str]:
+    return [name for name in tracked_bench_files() if name not in text]
+
+
+def missing_package_mentions(text: str) -> List[str]:
+    """Packages with neither a ``repro.pkg`` nor ``repro/pkg`` mention."""
+    return [
+        pkg
+        for pkg in repro_packages()
+        if f"repro.{pkg}" not in text and f"repro/{pkg}" not in text
+    ]
+
+
+def broken_links() -> List[str]:
+    """Relative links in docs/ and README.md that do not resolve."""
+    broken: List[str] = []
+    for path in _doc_files() + [os.path.join(REPO_ROOT, "README.md")]:
+        if not os.path.isfile(path):
+            continue
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        base = os.path.dirname(path)
+        for target in LINK_RE.findall(text):
+            target = target.split("#", 1)[0]
+            if not target or target.startswith(EXTERNAL):
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not resolved.startswith(REPO_ROOT + os.sep):
+                # Escapes the checkout (e.g. a badge URL relative to
+                # the hosted repo page) — not ours to verify.
+                continue
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, REPO_ROOT)
+                broken.append(f"{rel}: link target {target!r} not found")
+    return broken
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    failures: List[str] = []
+    if not os.path.isdir(DOCS_DIR) or not _doc_files():
+        failures.append("docs/ tree is missing (or holds no .md files)")
+        text = ""
+    else:
+        text = _docs_text()
+        for name in missing_bench_mentions(text):
+            failures.append(
+                f"tracked benchmark {name} is not documented anywhere "
+                f"under docs/ (document its schema, floors, and "
+                f"regeneration command in docs/benchmarks.md)"
+            )
+        for pkg in missing_package_mentions(text):
+            failures.append(
+                f"package src/repro/{pkg} is not documented anywhere "
+                f"under docs/ (add it to docs/architecture.md)"
+            )
+    failures.extend(broken_links())
+
+    if failures:
+        print(f"{len(failures)} docs freshness check(s) FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"docs ok: {len(tracked_bench_files())} tracked benchmark files "
+        f"and {len(repro_packages())} repro packages documented, all "
+        f"relative links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

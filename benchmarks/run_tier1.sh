@@ -92,6 +92,20 @@ else
         --output "$REPO_ROOT/BENCH_chaos.smoke.json"
 fi
 
+echo "== scenario matrix smoke =="
+if [[ "${1:-}" == "--full" ]]; then
+    # Rewrites BENCH_scenarios.json (full 30-cell mask x packer x
+    # stream grid + floors).
+    python benchmarks/bench_scenarios.py
+else
+    # Reduced grid (>= 12 cells): every mask family x streaming packer
+    # fixed cell plus event cells, gated on the per-cell hidden-fraction
+    # floor, fingerprint identity, and re-plan observation recorded in
+    # BENCH_scenarios.json.
+    python benchmarks/bench_scenarios.py --smoke \
+        --output "$REPO_ROOT/BENCH_scenarios.smoke.json"
+fi
+
 echo "== observability smoke =="
 if [[ "${1:-}" == "--full" ]]; then
     # Rewrites BENCH_obs.json and the Fig. 18 sweep-point TRACE_obs.json.
@@ -111,3 +125,9 @@ if [[ "${1:-}" != "--full" ]]; then
     # files (strict: a missing smoke output is itself a failure).
     python benchmarks/check_bench_floors.py --strict
 fi
+
+echo "== docs freshness =="
+# Every tracked BENCH_*.json and every src/repro/* package must be
+# documented under docs/, and every relative link in docs/ and
+# README.md must resolve.
+python benchmarks/check_docs.py

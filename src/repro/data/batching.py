@@ -4,17 +4,193 @@ Sequences are taken in dataset order; each batch greedily accumulates
 whole sequences until the token budget would overflow.  Sequences
 longer than ``max_seqlen`` are truncated (the paper's "maximally
 allowed sequence length").
+
+This module owns the **single authoritative streaming-packing loop**,
+:func:`stream_pack_select`: a bounded reordering buffer of pending
+sequences plus a pluggable *selection* callable that decides which
+buffered sequence joins the open batch next.  Every packer in
+:mod:`repro.data.packing` — sequential, workload-balanced,
+length-grouped, streaming or materialized — is a thin wrapper over
+this one loop, so ``pack_*``/``stream_pack_*`` consistency holds by
+construction rather than by parallel implementations.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
-
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..blocks import BatchSpec
 from ..masks import MaskSpec
 
-__all__ = ["pack_batches", "stream_pack", "batches_to_specs"]
+__all__ = [
+    "PackState",
+    "pack_batches",
+    "stream_pack",
+    "stream_pack_select",
+    "batches_to_specs",
+]
+
+
+class PackState:
+    """Running state the packing loop exposes to selection policies.
+
+    Attributes
+    ----------
+    token_budget:
+        The batch token budget the loop packs against.
+    batch:
+        Lengths already placed in the open batch (read-only by
+        convention).
+    used:
+        Tokens already placed in the open batch.
+    batch_work:
+        Quadratic attention workload ``sum(l**2)`` of the open batch —
+        maintained incrementally so workload-aware policies are O(1)
+        per selection.
+    tokens_entered / work_entered:
+        Totals over every sequence that ever entered the buffer
+        (placed, pending, or in the open batch), with lengths capped at
+        the budget exactly as they will be placed.  Policies use these
+        to estimate per-batch targets without seeing the future.
+    """
+
+    __slots__ = (
+        "token_budget",
+        "batch",
+        "used",
+        "batch_work",
+        "tokens_entered",
+        "work_entered",
+    )
+
+    def __init__(self, token_budget: int) -> None:
+        """Initialize empty packing state for one ``token_budget``."""
+        self.token_budget = token_budget
+        self.batch: List[int] = []
+        self.used = 0
+        self.batch_work = 0.0
+        self.tokens_entered = 0
+        self.work_entered = 0.0
+
+    @property
+    def room(self) -> int:
+        """Tokens still available in the open batch."""
+        return self.token_budget - self.used
+
+    def target_work(self) -> float:
+        """Estimated balanced per-batch quadratic workload.
+
+        Total workload seen so far divided by the number of
+        budget-sized batches that many tokens fill — the target a
+        workload-balancing policy packs each batch toward.
+        """
+        batches = max(self.tokens_entered / self.token_budget, 1.0)
+        return self.work_entered / batches
+
+    def _place(self, length: int) -> None:
+        capped = min(length, self.token_budget)
+        self.batch.append(capped)
+        self.used += capped
+        self.batch_work += float(capped) ** 2
+
+    def _close(self) -> List[int]:
+        closed = self.batch
+        self.batch = []
+        self.used = 0
+        self.batch_work = 0.0
+        return closed
+
+    def _admit(self, length: int) -> None:
+        capped = min(length, self.token_budget)
+        self.tokens_entered += capped
+        self.work_entered += float(capped) ** 2
+
+
+#: A selection policy: given the running :class:`PackState` and the
+#: *fitting* buffered candidate lengths (arrival order preserved),
+#: return the index of the candidate to place next.
+SelectFn = Callable[[PackState, Sequence[int]], int]
+
+
+def stream_pack_select(
+    lengths: Iterable[int],
+    select: Optional[SelectFn] = None,
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+    buffer: Optional[int] = 1,
+) -> Iterator[List[int]]:
+    """The authoritative streaming-packing loop (bounded reordering).
+
+    Consumes ``lengths`` lazily into a pending buffer of at most
+    ``buffer`` sequences (``None``: unbounded — the whole stream may be
+    reordered, the offline limit).  Each step, ``select`` picks which
+    *fitting* buffered sequence joins the open batch; when nothing
+    pending fits the remaining room, the batch closes and is yielded.
+    ``select=None`` always takes the oldest pending sequence, which
+    makes the loop the classic greedy packer regardless of buffer size.
+
+    Two structural properties every policy inherits:
+
+    * at ``buffer=1`` the pending set is a single sequence, so *any*
+      policy degenerates to :func:`stream_pack` exactly;
+    * batches are emitted the moment they close, so an unbounded source
+      streams with O(buffer) memory and a downstream pipeline can plan
+      batch 0 while the packer is still reading.
+
+    Sequences are cleaned as in :func:`stream_pack`: truncated to
+    ``max_seqlen``, dropped if shorter than one token, and capped at
+    the budget when placed.
+    """
+    if token_budget < 1:
+        raise ValueError("token budget must be positive")
+    if buffer is not None and buffer < 1:
+        raise ValueError("reordering buffer must hold at least one sequence")
+    source = iter(lengths)
+    pending: List[int] = []
+    state = PackState(token_budget)
+    exhausted = False
+    while True:
+        while not exhausted and (buffer is None or len(pending) < buffer):
+            try:
+                raw = next(source)
+            except StopIteration:
+                exhausted = True
+                break
+            length = int(raw)
+            if max_seqlen is not None:
+                length = min(length, max_seqlen)
+            if length < 1:
+                continue
+            pending.append(length)
+            state._admit(length)
+        if not pending:
+            break
+        if state.batch:
+            fitting = [
+                i for i, length in enumerate(pending)
+                if state.used + length <= token_budget
+            ]
+            if not fitting:
+                yield state._close()
+                continue
+        else:
+            fitting = list(range(len(pending)))
+        if select is None or len(fitting) == 1:
+            position = fitting[0]
+        else:
+            candidates = [pending[i] for i in fitting]
+            position = fitting[select(state, candidates)]
+        state._place(pending.pop(position))
+    if state.batch:
+        yield state._close()
 
 
 def stream_pack(
@@ -24,29 +200,16 @@ def stream_pack(
 ) -> Iterator[List[int]]:
     """Online packing: yield each batch the moment its budget closes.
 
-    The single authoritative greedy-packing loop — consumes ``lengths``
-    lazily (an unbounded source is fine), so a downstream streaming
-    pipeline can start planning the first batch while the packer is
-    still reading the stream.  :func:`pack_batches` is the materialized
-    form of this generator.
+    The sequential (arrival-order) instance of
+    :func:`stream_pack_select` — consumes ``lengths`` lazily (an
+    unbounded source is fine), so a downstream streaming pipeline can
+    start planning the first batch while the packer is still reading
+    the stream.  :func:`pack_batches` is the materialized form of this
+    generator.
     """
-    if token_budget < 1:
-        raise ValueError("token budget must be positive")
-    current: List[int] = []
-    used = 0
-    for raw in lengths:
-        length = int(raw)
-        if max_seqlen is not None:
-            length = min(length, max_seqlen)
-        if length < 1:
-            continue
-        if current and used + length > token_budget:
-            yield current
-            current, used = [], 0
-        current.append(min(length, token_budget))
-        used += current[-1]
-    if current:
-        yield current
+    return stream_pack_select(
+        lengths, None, token_budget=token_budget, max_seqlen=max_seqlen
+    )
 
 
 def pack_batches(

@@ -16,9 +16,25 @@ DCP's placement-side dynamism still pays:
 * :func:`pack_length_grouped` — HBP-style: group similar lengths so
   static CP degrees fit each batch well.
 
+Every offline packer above also has a **streaming variant** built on
+:class:`StreamPacker` — a bounded reordering buffer over the single
+authoritative loop in :func:`~repro.data.batching.stream_pack_select`:
+
+* :func:`stream_pack` — sequential, re-exported from
+  :mod:`repro.data.batching` (any policy at ``buffer=1``);
+* :func:`stream_pack_workload_balanced` —
+  :class:`WorkloadBalancedPolicy`, packs each batch toward the running
+  balanced-workload target;
+* :func:`stream_pack_length_grouped` — :class:`LengthGroupedPolicy`,
+  always places the shortest buffered sequence; at unbounded buffer it
+  reproduces :func:`pack_length_grouped` exactly.
+
 All packers return ``List[List[int]]`` like
-:func:`~repro.data.batching.pack_batches` and compose with
-:func:`~repro.data.batching.batches_to_specs`.
+:func:`~repro.data.batching.pack_batches` (streaming variants yield
+the same batches lazily) and compose with
+:func:`~repro.data.batching.batches_to_specs`.  Registries:
+:data:`PACKERS` (offline, materialized) and :data:`STREAM_PACKERS`
+(streaming factories taking ``buffer=``).
 """
 
 from __future__ import annotations
@@ -27,7 +43,13 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from .batching import batches_to_specs, pack_batches, stream_pack
+from .batching import (
+    PackState,
+    batches_to_specs,
+    pack_batches,
+    stream_pack,
+    stream_pack_select,
+)
 
 __all__ = [
     "pack_sequential",
@@ -35,10 +57,22 @@ __all__ = [
     "pack_workload_balanced",
     "pack_length_grouped",
     "stream_pack",
+    "stream_pack_workload_balanced",
+    "stream_pack_length_grouped",
+    "StreamPacker",
+    "PackingPolicy",
+    "SequentialPolicy",
+    "WorkloadBalancedPolicy",
+    "LengthGroupedPolicy",
     "stream_packed_specs",
     "packing_stats",
     "PACKERS",
+    "STREAM_PACKERS",
 ]
+
+#: Default reordering-buffer size for streaming packers: deep enough to
+#: matter, shallow enough that the packer stays O(1) memory per step.
+DEFAULT_BUFFER = 16
 
 
 def _clean(lengths: Sequence[int], max_seqlen: Optional[int]) -> List[int]:
@@ -100,6 +134,9 @@ def pack_workload_balanced(
     The batch count is fixed to what sequential packing needs (same
     iteration count), then sequences are LPT-assigned by quadratic
     workload subject to the token budget; overflow opens a new batch.
+    This is the offline balance reference the streaming variant
+    (:func:`stream_pack_workload_balanced`) approaches as its buffer
+    grows.
     """
     if token_budget < 1:
         raise ValueError("token budget must be positive")
@@ -132,6 +169,186 @@ def pack_workload_balanced(
     return [batch for batch in batches if batch]
 
 
+class PackingPolicy:
+    """Scoring policy for :class:`StreamPacker` selection.
+
+    Subclasses implement :meth:`select`, choosing which of the fitting
+    buffered sequences joins the open batch next.  Policies are
+    stateless between :class:`StreamPacker` runs — all running state
+    lives in the :class:`~repro.data.batching.PackState` the loop
+    passes in — so one policy instance can drive many streams.
+    """
+
+    #: Registry key and display name of the policy.
+    name = "abstract"
+
+    def select(self, state: PackState, candidates: Sequence[int]) -> int:
+        """Return the index of the candidate to place next.
+
+        ``candidates`` holds the fitting buffered lengths in arrival
+        order and is never empty; implementations must be
+        deterministic functions of ``(state, candidates)``.
+        """
+        raise NotImplementedError
+
+
+class SequentialPolicy(PackingPolicy):
+    """FIFO selection: always place the oldest buffered sequence.
+
+    With this policy the reordering buffer is inert — the packer is
+    :func:`stream_pack` at every buffer size, which makes it the
+    control row of the scenario matrix.
+    """
+
+    name = "sequential"
+
+    def select(self, state: PackState, candidates: Sequence[int]) -> int:
+        """Pick the oldest (first-arrived) fitting candidate."""
+        return 0
+
+
+class WorkloadBalancedPolicy(PackingPolicy):
+    """Pack each batch toward the running balanced-workload target.
+
+    The target is the total quadratic workload seen so far divided by
+    the number of budget-sized batches that many tokens fill
+    (:meth:`~repro.data.batching.PackState.target_work`) — the best
+    per-batch workload an offline balancer could achieve on the prefix.
+    Among fitting candidates, prefer the longest one that keeps the
+    open batch at or under target (fill heavy work early); once every
+    candidate overshoots, take the smallest overshoot.  Ties go to the
+    oldest candidate so the packer is deterministic.
+    """
+
+    name = "workload_balanced"
+
+    def select(self, state: PackState, candidates: Sequence[int]) -> int:
+        """Pick the candidate that best tracks the workload target."""
+        target = state.target_work()
+        best = 0
+        best_key = None
+        for index, length in enumerate(candidates):
+            capped = min(length, state.token_budget)
+            projected = state.batch_work + float(capped) ** 2
+            if projected <= target:
+                key = (0, -capped)
+            else:
+                key = (1, projected - target)
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        return best
+
+
+class LengthGroupedPolicy(PackingPolicy):
+    """Always place the shortest buffered sequence (HBP-style groups).
+
+    Short sequences cluster into dense homogeneous batches while long
+    ones wait in the buffer for company of their own size.  At
+    unbounded buffer the emitted order is exactly the sorted stream, so
+    the packer reproduces :func:`pack_length_grouped` batch for batch.
+    """
+
+    name = "length_grouped"
+
+    def select(self, state: PackState, candidates: Sequence[int]) -> int:
+        """Pick the shortest fitting candidate (oldest on ties)."""
+        return min(range(len(candidates)), key=lambda i: candidates[i])
+
+
+class StreamPacker:
+    """Bounded-reordering-buffer streaming packer.
+
+    Wraps the single authoritative loop
+    (:func:`~repro.data.batching.stream_pack_select`) with a
+    :class:`PackingPolicy` and a buffer size.  Two properties hold for
+    *every* policy by construction:
+
+    * ``buffer=1`` is exactly :func:`stream_pack` — with one pending
+      sequence there is nothing to choose;
+    * batches stream out as they close, so an unbounded source runs in
+      O(buffer) memory and composes with
+      :class:`~repro.pipeline.StreamingOverlapPipeline`.
+
+    As ``buffer`` grows the policy sees more of the stream and the
+    packing approaches the corresponding offline packer's balance
+    (exactly, for :class:`LengthGroupedPolicy` at unbounded buffer).
+    """
+
+    def __init__(
+        self,
+        policy: PackingPolicy,
+        token_budget: int = 131072,
+        max_seqlen: Optional[int] = None,
+        buffer: Optional[int] = DEFAULT_BUFFER,
+    ) -> None:
+        """Bind a policy to a budget, length cap, and buffer size.
+
+        ``buffer=None`` means unbounded (the offline limit: the whole
+        stream is materialized before the first batch closes).
+        """
+        if buffer is not None and buffer < 1:
+            raise ValueError(
+                "reordering buffer must hold at least one sequence"
+            )
+        self.policy = policy
+        self.token_budget = token_budget
+        self.max_seqlen = max_seqlen
+        self.buffer = buffer
+
+    def stream(self, lengths: Iterable[int]) -> Iterator[List[int]]:
+        """Lazily pack ``lengths``, yielding each batch as it closes."""
+        return stream_pack_select(
+            lengths,
+            self.policy.select,
+            token_budget=self.token_budget,
+            max_seqlen=self.max_seqlen,
+            buffer=self.buffer,
+        )
+
+    def pack(self, lengths: Iterable[int]) -> List[List[int]]:
+        """Materialize :meth:`stream` into a list of batches."""
+        return list(self.stream(lengths))
+
+
+def stream_pack_workload_balanced(
+    lengths: Iterable[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+    buffer: Optional[int] = DEFAULT_BUFFER,
+) -> Iterator[List[int]]:
+    """Streaming workload-balanced packing over a bounded buffer.
+
+    Online counterpart of :func:`pack_workload_balanced`: each batch is
+    packed toward the running balanced-workload target using only the
+    ``buffer`` pending sequences.  Equivalent to :func:`stream_pack` at
+    ``buffer=1``; within ε of the offline packer's workload balance as
+    the buffer grows (see ``tests/test_streaming_packers.py``).
+    """
+    packer = StreamPacker(
+        WorkloadBalancedPolicy(), token_budget, max_seqlen, buffer
+    )
+    return packer.stream(lengths)
+
+
+def stream_pack_length_grouped(
+    lengths: Iterable[int],
+    token_budget: int = 131072,
+    max_seqlen: Optional[int] = None,
+    buffer: Optional[int] = DEFAULT_BUFFER,
+) -> Iterator[List[int]]:
+    """Streaming length-grouped packing over a bounded buffer.
+
+    Online counterpart of :func:`pack_length_grouped`: always places
+    the shortest buffered sequence, clustering similar lengths.
+    Equivalent to :func:`stream_pack` at ``buffer=1``; *exactly* the
+    offline packer at unbounded buffer (``buffer=None``).
+    """
+    packer = StreamPacker(
+        LengthGroupedPolicy(), token_budget, max_seqlen, buffer
+    )
+    return packer.stream(lengths)
+
+
 def pack_length_grouped(
     lengths: Sequence[int],
     token_budget: int = 131072,
@@ -141,10 +358,16 @@ def pack_length_grouped(
 
     Homogeneous batches let a static CP degree fit every sequence in
     the batch; the cost is inter-batch workload variance (long-sequence
-    batches are far heavier than short-sequence ones).
+    batches are far heavier than short-sequence ones).  Implemented as
+    the unbounded-buffer streaming packer, materialized — picking the
+    shortest pending sequence from an unbounded buffer emits exactly
+    the sorted stream.
     """
-    cleaned = sorted(_clean(lengths, max_seqlen))
-    return pack_batches(cleaned, token_budget, max_seqlen)
+    return list(
+        stream_pack_length_grouped(
+            lengths, token_budget, max_seqlen, buffer=None
+        )
+    )
 
 
 def stream_packed_specs(
@@ -152,17 +375,24 @@ def stream_packed_specs(
     mask,
     token_budget: int = 131072,
     max_seqlen: Optional[int] = None,
+    packer: Optional[StreamPacker] = None,
 ) -> Iterator:
     """Stream :class:`~repro.blocks.BatchSpec` straight off a packer.
 
     The generator the streaming overlap pipeline feeds from: each
     packed batch becomes a spec as it is emitted (``mask`` as in
     :func:`~repro.data.batching.batches_to_specs` — a shared spec or a
-    ``seqlen -> mask`` callable).
+    ``seqlen -> mask`` callable).  ``packer`` selects the streaming
+    packer (a :class:`StreamPacker`; its budget/cap override the
+    keyword arguments); default is sequential :func:`stream_pack`.
     """
-    for batch in stream_pack(
-        lengths, token_budget=token_budget, max_seqlen=max_seqlen
-    ):
+    if packer is None:
+        batches = stream_pack(
+            lengths, token_budget=token_budget, max_seqlen=max_seqlen
+        )
+    else:
+        batches = packer.stream(lengths)
+    for batch in batches:
         yield batches_to_specs([batch], mask)[0]
 
 
@@ -196,10 +426,29 @@ def packing_stats(batches: List[List[int]]) -> dict:
     }
 
 
-#: Strategy registry for sweeps.
+#: Strategy registry for sweeps (offline, materialized packers).
 PACKERS = {
     "sequential": pack_sequential,
     "ffd": pack_first_fit_decreasing,
     "workload_balanced": pack_workload_balanced,
     "length_grouped": pack_length_grouped,
+}
+
+#: Streaming-packer factories: ``name -> (token_budget, max_seqlen,
+#: buffer) -> StreamPacker``.  The scenario matrix iterates this.
+STREAM_PACKERS = {
+    "sequential": (
+        lambda token_budget=131072, max_seqlen=None, buffer=DEFAULT_BUFFER:
+        StreamPacker(SequentialPolicy(), token_budget, max_seqlen, buffer)
+    ),
+    "workload_balanced": (
+        lambda token_budget=131072, max_seqlen=None, buffer=DEFAULT_BUFFER:
+        StreamPacker(
+            WorkloadBalancedPolicy(), token_budget, max_seqlen, buffer
+        )
+    ),
+    "length_grouped": (
+        lambda token_budget=131072, max_seqlen=None, buffer=DEFAULT_BUFFER:
+        StreamPacker(LengthGroupedPolicy(), token_budget, max_seqlen, buffer)
+    ),
 }

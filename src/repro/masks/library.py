@@ -37,6 +37,7 @@ class FullMask(MaskSpec):
     name = "full"
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         return AttendRanges(
             a_start=_empty(seqlen),
             a_end=np.full(seqlen, seqlen, dtype=np.int64),
@@ -52,6 +53,7 @@ class CausalMask(MaskSpec):
     name = "causal"
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         return AttendRanges(
             a_start=_empty(seqlen),
@@ -75,10 +77,12 @@ class LambdaMask(MaskSpec):
     name = "lambda"
 
     def __post_init__(self) -> None:
+        """Validate parameters at construction."""
         if self.sink < 0 or self.window < 1:
             raise ValueError("sink must be >= 0 and window >= 1")
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         causal_end = rows + 1
         a_end = np.minimum(self.sink, causal_end)
@@ -98,6 +102,7 @@ class LambdaMask(MaskSpec):
         )
 
     def describe(self) -> str:
+        """Human-readable mask name with parameters."""
         return f"lambda(sink={self.sink}, window={self.window})"
 
 
@@ -119,10 +124,12 @@ class CausalBlockwiseMask(MaskSpec):
     name = "causal_blockwise"
 
     def __post_init__(self) -> None:
+        """Validate parameters at construction."""
         if self.block < 1 or self.window_blocks < 1 or self.sink_blocks < 0:
             raise ValueError("invalid causal blockwise parameters")
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         causal_end = rows + 1
         block_index = rows // self.block
@@ -158,6 +165,7 @@ class CausalBlockwiseMask(MaskSpec):
         )
 
     def describe(self) -> str:
+        """Human-readable mask name with parameters."""
         return (
             f"causal_blockwise(block={self.block}, "
             f"window={self.window_blocks}, sink={self.sink_blocks})"
@@ -183,6 +191,7 @@ class SharedQuestionMask(MaskSpec):
     name = "shared_question"
 
     def __post_init__(self) -> None:
+        """Validate parameters at construction."""
         if self.num_answers < 1:
             raise ValueError("need at least one answer")
         if not 0.0 < self.answer_fraction * self.num_answers < 1.0:
@@ -203,6 +212,7 @@ class SharedQuestionMask(MaskSpec):
         return bounds
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         causal_end = rows + 1
         bounds = self.segment_bounds(seqlen)
@@ -223,6 +233,7 @@ class SharedQuestionMask(MaskSpec):
         )
 
     def describe(self) -> str:
+        """Human-readable mask name with parameters."""
         return (
             f"shared_question(answers={self.num_answers}, "
             f"fraction={self.answer_fraction})"
@@ -244,10 +255,12 @@ class PackedDocumentMask(MaskSpec):
     name = "packed_documents"
 
     def __post_init__(self) -> None:
+        """Validate parameters at construction."""
         if not self.doc_lens or any(n < 1 for n in self.doc_lens):
             raise ValueError("document lengths must be positive")
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         starts = np.zeros(seqlen, dtype=np.int64)
         cursor = 0
@@ -267,6 +280,7 @@ class PackedDocumentMask(MaskSpec):
         )
 
     def describe(self) -> str:
+        """Human-readable mask name with parameters."""
         return f"packed_documents(docs={len(self.doc_lens)})"
 
 
@@ -282,10 +296,12 @@ class PrefixLMMask(MaskSpec):
     name = "prefix_lm"
 
     def __post_init__(self) -> None:
+        """Validate parameters at construction."""
         if self.prefix < 0:
             raise ValueError("prefix must be non-negative")
 
     def ranges(self, seqlen: int) -> AttendRanges:
+        """Attendable key ranges per query row (see base class)."""
         rows = np.arange(seqlen, dtype=np.int64)
         causal_end = rows + 1
         prefix = min(self.prefix, seqlen)
@@ -298,6 +314,7 @@ class PrefixLMMask(MaskSpec):
         )
 
     def describe(self) -> str:
+        """Human-readable mask name with parameters."""
         return f"prefix_lm(prefix={self.prefix})"
 
 

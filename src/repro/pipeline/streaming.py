@@ -4,7 +4,10 @@
 :class:`~repro.pipeline.OverlapPipeline` into the serving-shaped
 variant the ROADMAP names: the batch source is an *iterator* with no
 upfront length — typically a packer still emitting
-(:func:`repro.data.stream_packed_specs`) — and the cluster shape is no
+(:func:`repro.data.stream_packed_specs`, optionally driven by one of
+the bounded-reordering-buffer streaming packers in
+:data:`repro.data.STREAM_PACKERS`: sequential, workload-balanced or
+length-grouped) — and the cluster shape is no
 longer an immutable constructor argument but a live feed of device
 add/remove events (:class:`~repro.sim.ClusterEventSource`).
 
@@ -101,6 +104,7 @@ class ClusterPinnedPlanner:
     warm: Optional[Tuple] = field(default=None, compare=False)
 
     def plan_batch(self, batch):
+        """Plan ``batch`` against the pinned cluster (warm if labels ride)."""
         if self.warm is not None:
             return self.planner.plan_batch(
                 batch, cluster=self.cluster, warm=self.warm
@@ -139,6 +143,7 @@ class StreamingOverlapPipeline(OverlapPipeline):
         replan_mode: str = "delta",
         **kwargs,
     ) -> None:
+        """See the class docstring for ``events`` and ``replan_mode``."""
         if replan_mode not in REPLAN_MODES:
             raise ValueError(
                 f"unknown replan_mode {replan_mode!r}; use one of "
